@@ -1,0 +1,136 @@
+#include "bench_util.h"
+
+#include <sys/stat.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/format.h"
+#include "core/landmarks.h"
+#include "viz/csv_export.h"
+#include "viz/gnuplot_export.h"
+#include "viz/ppm_writer.h"
+
+namespace robustmap::bench {
+
+BenchScale ResolveScale(int default_row_bits, int default_min_log2) {
+  BenchScale s;
+  s.row_bits = default_row_bits;
+  s.grid_min_log2 = default_min_log2;
+  if (const char* fast = std::getenv("REPRO_FAST");
+      fast != nullptr && fast[0] == '1') {
+    s.row_bits = 16;
+    s.grid_min_log2 = -12;
+  }
+  if (const char* rb = std::getenv("REPRO_ROW_BITS"); rb != nullptr) {
+    int v = std::atoi(rb);
+    if (v >= 12 && v <= 30 && v % 2 == 0) s.row_bits = v;
+  }
+  // Domain 2^16 gives the paper's 2^-16 finest selectivity; never exceed the
+  // row count.
+  s.value_bits = std::min(16, s.row_bits - 2);
+  if (s.grid_min_log2 < -s.value_bits) s.grid_min_log2 = -s.value_bits;
+  return s;
+}
+
+std::unique_ptr<StudyEnvironment> MakeEnvironment(const BenchScale& scale) {
+  StudyOptions opts;
+  opts.row_bits = scale.row_bits;
+  opts.value_bits = scale.value_bits;
+  return StudyEnvironment::Create(opts).ValueOrDie();
+}
+
+std::string OutDir() {
+  std::string dir = "bench_out";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void ExportMap(const std::string& figure_name, const RobustnessMap& map,
+               bool relative) {
+  std::string base = OutDir() + "/" + figure_name;
+  (void)WriteMapCsvFile(base + ".csv", map);
+  (void)WriteGnuplot(base, map);
+  if (map.space().is_2d()) {
+    ColorScale scale = relative ? ColorScale::RelativeFactor()
+                                : ColorScale::AbsoluteSeconds();
+    for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+      std::string path = base + "_plan" + std::to_string(pl) + ".ppm";
+      (void)WritePpm(path, map.space(), map.SecondsOfPlan(pl), scale);
+    }
+  }
+  std::printf("[artifacts] %s.csv, %s.plt written\n", base.c_str(),
+              base.c_str());
+}
+
+void PrintCurveTable(const RobustnessMap& map) {
+  std::vector<std::string> header = {"selectivity", "rows"};
+  for (const auto& label : map.plan_labels()) header.push_back(label);
+  TextTable t(header);
+  const ParameterSpace& space = map.space();
+  for (size_t pt = 0; pt < space.num_points(); ++pt) {
+    std::vector<std::string> row;
+    row.push_back(FormatSelectivity(space.x_value(pt)));
+    row.push_back(FormatCount(map.At(0, pt).output_rows));
+    for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+      row.push_back(FormatSeconds(map.At(pl, pt).seconds));
+    }
+    t.AddRow(std::move(row));
+  }
+  std::printf("%s", t.ToString().c_str());
+}
+
+void PrintHeader(const std::string& figure, const std::string& claim,
+                 const BenchScale& scale) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("Scale: 2^%d rows (%s), value domain 2^%d\n", scale.row_bits,
+              FormatCount(uint64_t{1} << scale.row_bits).c_str(),
+              scale.value_bits);
+  std::printf("==============================================================\n");
+}
+
+void PrintCurveLandmarks(const RobustnessMap& map) {
+  std::printf("\nLandmark analysis (monotonicity / flattening / jumps):\n");
+  for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+    CurveLandmarks lm =
+        AnalyzeCurve(map.space().x().values, map.SecondsOfPlan(pl));
+    std::printf("  %-24s", map.plan_label(pl).c_str());
+    if (lm.clean()) {
+      std::printf(" clean\n");
+      continue;
+    }
+    std::printf(" mono_violations=%zu steepenings=%zu discontinuities=%zu",
+                lm.monotonicity_violations.size(),
+                lm.steepening_points.size(), lm.discontinuities.size());
+    if (!lm.steepening_points.empty()) {
+      const auto& sp = lm.steepening_points.back();
+      std::printf(" (slope %.2f -> %.2f at x=%s)", sp.slope_before,
+                  sp.slope_after,
+                  FormatSelectivity(map.space().x().values[sp.index]).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+double CrossoverX(const std::vector<double>& xs, const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  for (size_t i = 0; i + 1 < xs.size(); ++i) {
+    double d0 = a[i] - b[i];
+    double d1 = a[i + 1] - b[i + 1];
+    if (d0 == 0) return xs[i];
+    if (d0 * d1 < 0) {
+      // Interpolate in log space for geometric axes.
+      double l0 = std::log(a[i] / b[i]);
+      double l1 = std::log(a[i + 1] / b[i + 1]);
+      double t = l0 / (l0 - l1);
+      return std::exp(std::log(xs[i]) +
+                      t * (std::log(xs[i + 1]) - std::log(xs[i])));
+    }
+  }
+  return -1;
+}
+
+}  // namespace robustmap::bench

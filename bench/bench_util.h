@@ -1,0 +1,55 @@
+#ifndef ROBUSTMAP_BENCH_BENCH_UTIL_H_
+#define ROBUSTMAP_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/robustness_map.h"
+#include "core/sweep.h"
+#include "workload/dataset.h"
+
+namespace robustmap::bench {
+
+/// Scale knobs shared by all figure benches.
+///
+///   REPRO_ROW_BITS  — override log2(row count) (default per bench; 26
+///                     approximates the paper's 60M-row lineitem).
+///   REPRO_FAST=1    — shrink to a quick smoke configuration.
+struct BenchScale {
+  int row_bits;
+  int value_bits;
+  int grid_min_log2;  ///< selectivity grid lower bound (e.g. -16)
+};
+
+/// Resolves the scale for a bench with the given defaults.
+BenchScale ResolveScale(int default_row_bits, int default_min_log2 = -16);
+
+/// Creates the standard study environment at the given scale.
+std::unique_ptr<StudyEnvironment> MakeEnvironment(const BenchScale& scale);
+
+/// Output directory for CSV/PPM/gnuplot artifacts (created on demand).
+std::string OutDir();
+
+/// Writes csv, gnuplot and (2-D) per-plan PPM artifacts for a map.
+void ExportMap(const std::string& figure_name, const RobustnessMap& map,
+               bool relative = false);
+
+/// Prints a 1-D map as a fixed-width table of seconds (plans as columns).
+void PrintCurveTable(const RobustnessMap& map);
+
+/// Prints the standard bench header.
+void PrintHeader(const std::string& figure, const std::string& claim,
+                 const BenchScale& scale);
+
+/// Prints landmark analysis for each plan of a 1-D map.
+void PrintCurveLandmarks(const RobustnessMap& map);
+
+/// Finds the x where curves `a` and `b` cross (linear interpolation in
+/// log-log space); returns -1 if they never cross.
+double CrossoverX(const std::vector<double>& xs, const std::vector<double>& a,
+                  const std::vector<double>& b);
+
+}  // namespace robustmap::bench
+
+#endif  // ROBUSTMAP_BENCH_BENCH_UTIL_H_

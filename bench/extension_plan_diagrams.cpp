@@ -1,0 +1,78 @@
+// Extension bench: the two opportunities the paper names but does not
+// pursue (§3.3), plus the §3.4 "map of optimality regions":
+//
+//  * a plan diagram of measured best plans per point, with region-size
+//    search-order heuristic;
+//  * worst-performance ("danger") maps;
+//  * a comparison of the three systems, each running the best plan it owns.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/plan_diagram.h"
+#include "core/sweep.h"
+#include "core/system_compare.h"
+#include "viz/ascii_heatmap.h"
+#include "viz/legend.h"
+
+using namespace robustmap;
+using namespace robustmap::bench;
+
+int main() {
+  BenchScale scale = ResolveScale(/*default_row_bits=*/18);
+  PrintHeader("Extension: plan diagrams, danger maps, system comparison",
+              "§3.3/§3.4 future work: regions of optimality per plan, "
+              "particularly dangerous plans, and multi-system comparison",
+              scale);
+  auto env = MakeEnvironment(scale);
+
+  ParameterSpace space = ParameterSpace::TwoD(
+      Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
+      Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
+  auto map =
+      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), space)
+          .ValueOrDie();
+
+  // --- Plan diagram (regions of optimality, §3.4) ---
+  PlanDiagram diagram = ComputePlanDiagram(map, ToleranceSpec{0.0, 1.01});
+  std::printf("\n%s", RenderPlanDiagram(diagram).c_str());
+  std::printf("\nbranch-and-bound search order by region size (§3.4):\n  ");
+  for (size_t pl : RegionSizeSearchOrder(diagram)) {
+    std::printf("%s ", map.plan_label(pl).c_str());
+  }
+  std::printf("\n");
+  int fragmented = 0;
+  for (const RegionStats& r : diagram.winner_regions) {
+    if (!r.is_contiguous()) ++fragmented;
+  }
+  std::printf("winners with non-contiguous optimality regions: %d of %zu "
+              "(irregular shapes hint at implementation idiosyncrasies)\n",
+              fragmented, diagram.winners.size());
+
+  // --- Danger map (worst plan per point) ---
+  WorstCaseMap worst = ComputeWorstCase(map);
+  auto danger = DangerCells(worst);
+  std::printf("\nmost dangerous plans (cells where the plan is the WORST "
+              "choice):\n");
+  for (size_t pl = 0; pl < danger.size(); ++pl) {
+    if (danger[pl] == 0) continue;
+    std::printf("  %-24s %zu cells\n", map.plan_label(pl).c_str(),
+                danger[pl]);
+  }
+
+  // --- Cross-system comparison ---
+  auto cmp = CompareSystems(map, SystemConfig::AllSystems()).ValueOrDie();
+  std::printf("\neach system running the best plan it owns:\n%s",
+              RenderSystemComparison(cmp).c_str());
+  ColorScale cs = ColorScale::RelativeFactor();
+  for (size_t s = 0; s < cmp.profiles.size(); ++s) {
+    HeatmapOptions hopts;
+    hopts.title = "\n" + cmp.profiles[s].name +
+                  " best-own-plan cost factor vs. best of all systems";
+    std::printf("%s", RenderHeatmap(space, cmp.quotient[s], cs, hopts).c_str());
+  }
+  std::printf("%s", RenderLegend(cs).c_str());
+
+  ExportMap("extension_plan_diagrams", map, /*relative=*/true);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figures 3 and 6: the color scales themselves.
+//
+// Figure 3 maps absolute execution time to colors "from green to red and
+// finally black ... each color difference indicating an order of magnitude";
+// Figure 6 does the same for cost factors relative to the best plan.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/color_scale.h"
+#include "viz/legend.h"
+#include "viz/ppm_writer.h"
+
+using namespace robustmap;
+using namespace robustmap::bench;
+
+int main() {
+  std::printf("Figure 3 / Figure 6: color codes for robustness maps\n\n");
+
+  ColorScale absolute = ColorScale::AbsoluteSeconds();
+  ColorScale relative = ColorScale::RelativeFactor();
+  ColorScale counts = ColorScale::Counts(8);
+
+  std::printf("%s\n", RenderLegend(absolute).c_str());
+  std::printf("%s\n", RenderLegend(relative).c_str());
+  std::printf("%s\n", RenderLegend(counts).c_str());
+
+  std::string dir = OutDir();
+  (void)WriteLegendPpm(dir + "/fig03_absolute_legend.ppm", absolute);
+  (void)WriteLegendPpm(dir + "/fig06_relative_legend.ppm", relative);
+  std::printf("[artifacts] %s/fig03_absolute_legend.ppm, "
+              "%s/fig06_relative_legend.ppm written\n",
+              dir.c_str(), dir.c_str());
+
+  // Sanity rows: representative values and their buckets.
+  double probes[] = {0.0005, 0.005, 0.05, 0.5, 5, 50, 500, 5000};
+  std::printf("\nbucket check (absolute): ");
+  for (double v : probes) std::printf("%d ", absolute.BucketOf(v));
+  double factors[] = {1, 3, 30, 300, 3000, 30000, 300000};
+  std::printf("\nbucket check (relative): ");
+  for (double v : factors) std::printf("%d ", relative.BucketOf(v));
+  std::printf("\n");
+  return 0;
+}

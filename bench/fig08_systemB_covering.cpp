@@ -1,0 +1,73 @@
+// Figure 8: System B's two-column covering-index plan, relative to the best
+// of all 13 plans across the three systems.
+//
+// System B's MVCC applies only to main-table rows, so even a covering index
+// must fetch; rows are fetched in bitmap-sorted order. The paper: "this plan
+// is close to optimal ... over a much larger region of the parameter space
+// [than Figure 7's plan]. Moreover, its worst quotient is not as bad" — so
+// "robustness might well trump performance."
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/optimality.h"
+#include "core/regions.h"
+#include "core/relative.h"
+#include "core/sweep.h"
+#include "viz/ascii_heatmap.h"
+#include "viz/legend.h"
+
+using namespace robustmap;
+using namespace robustmap::bench;
+
+int main() {
+  BenchScale scale = ResolveScale(/*default_row_bits=*/18);
+  PrintHeader("Figure 8: System B two-column covering index + bitmap fetch",
+              "near-optimal over a much larger region than Figure 7's plan; "
+              "worst quotient far smaller",
+              scale);
+  auto env = MakeEnvironment(scale);
+
+  ParameterSpace space = ParameterSpace::TwoD(
+      Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
+      Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
+  auto map =
+      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), space)
+          .ValueOrDie();
+  RelativeMap rel = ComputeRelative(map);
+  size_t plan_b = map.PlanIndexOf("B.cover(a,b).bitmap").ValueOrDie();
+  size_t plan_a = map.PlanIndexOf("A.idx_a.improved").ValueOrDie();
+
+  ColorScale cs = ColorScale::RelativeFactor();
+  HeatmapOptions hopts;
+  hopts.title =
+      "\nFigure 8: B.cover(a,b).bitmap, cost factor vs. best of 13";
+  std::printf("%s",
+              RenderHeatmap(space, rel.quotient[plan_b], cs, hopts).c_str());
+  std::printf("%s", RenderLegend(cs).c_str());
+
+  ToleranceSpec tol{0.1 * std::exp2(static_cast<double>(scale.row_bits) - 26),
+                    1.0};
+  OptimalityMap opt = ComputeOptimality(map, tol);
+  RegionStats rb = AnalyzeRegions(space, OptimalRegionOf(opt, plan_b));
+  RegionStats ra = AnalyzeRegions(space, OptimalRegionOf(opt, plan_a));
+  double wq_b = WorstQuotient(rel, plan_b);
+  double wq_a = WorstQuotient(rel, plan_a);
+  std::printf("\ncomparison with Figure 7's plan:\n");
+  std::printf("  near-optimal cells:  B.cover %zu vs. A.idx_a %zu (of %zu) -> "
+              "%s\n",
+              rb.member_cells, ra.member_cells, space.num_points(),
+              rb.member_cells > ra.member_cells
+                  ? "larger region, as the paper reports"
+                  : "UNEXPECTED");
+  std::printf("  worst factor:        B.cover %.4g vs. A.idx_a %.4g -> %s\n",
+              wq_b, wq_a,
+              wq_b < wq_a ? "smaller worst quotient, as the paper reports"
+                          : "UNEXPECTED");
+  std::printf("  => if run-time predicate values are unknown at compile time, "
+              "the covering plan is the safer choice\n");
+
+  ExportMap("fig08_systemB_covering", map, /*relative=*/true);
+  return 0;
+}

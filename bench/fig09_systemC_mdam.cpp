@@ -1,0 +1,61 @@
+// Figure 9: System C's two-column index exploited with MDAM [LJBY95],
+// relative to the best of all 13 plans.
+//
+// "The relative performance is reasonable across the entire parameter
+// space" — the covering two-column index "is extremely robust but only if
+// fully exploited using MDAM technology."
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/metrics.h"
+#include "core/relative.h"
+#include "core/sweep.h"
+#include "viz/ascii_heatmap.h"
+#include "viz/legend.h"
+
+using namespace robustmap;
+using namespace robustmap::bench;
+
+int main() {
+  BenchScale scale = ResolveScale(/*default_row_bits=*/18);
+  PrintHeader("Figure 9: System C two-column index + MDAM",
+              "reasonable relative performance across the ENTIRE space; the "
+              "same index without MDAM (and System B's fetch-burdened "
+              "variant) is much less robust",
+              scale);
+  auto env = MakeEnvironment(scale);
+
+  ParameterSpace space = ParameterSpace::TwoD(
+      Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
+      Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
+  auto map =
+      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), space)
+          .ValueOrDie();
+  RelativeMap rel = ComputeRelative(map);
+  size_t mdam = map.PlanIndexOf("C.mdam(a,b)").ValueOrDie();
+
+  ColorScale cs = ColorScale::RelativeFactor();
+  HeatmapOptions hopts;
+  hopts.title = "\nFigure 9: C.mdam(a,b), cost factor vs. best of 13";
+  std::printf("%s",
+              RenderHeatmap(space, rel.quotient[mdam], cs, hopts).c_str());
+  std::printf("%s", RenderLegend(cs).c_str());
+
+  auto summaries = SummarizePlans(map, ToleranceSpec{0.1, 1.0});
+  std::printf("\nall 13 plans, robustness summary (worst factor sorted "
+              "last column first):\n%s",
+              RenderSummaryTable(summaries).c_str());
+
+  const auto& s = summaries[mdam];
+  std::printf("\nC.mdam(a,b): worst factor %.3g, within 10x of best over "
+              "%.0f%% of the space%s\n",
+              s.worst_quotient, s.area_within_10x * 100,
+              s.area_within_10x >= 0.99
+                  ? " -> reasonable across the entire space, as the paper "
+                    "reports"
+                  : "");
+
+  ExportMap("fig09_systemC_mdam", map, /*relative=*/true);
+  return 0;
+}

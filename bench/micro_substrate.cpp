@@ -1,0 +1,146 @@
+// Substrate micro-benchmarks (google-benchmark): regression tracking for
+// the data structures the simulator's wall-clock performance rests on.
+
+#include <benchmark/benchmark.h>
+
+#include "common/permutation.h"
+#include "common/rng.h"
+#include "exec/hash_join.h"
+#include "index/btree.h"
+#include "index/procedural_index.h"
+#include "io/buffer_pool.h"
+#include "storage/procedural_table.h"
+#include "workload/distributions.h"
+
+namespace robustmap {
+namespace {
+
+void BM_Mix64(benchmark::State& state) {
+  uint64_t x = 12345;
+  for (auto _ : state) {
+    x = Mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_FeistelPermute(benchmark::State& state) {
+  FeistelPermutation perm(24, 7);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm.Permute(x++ & 0xffffff));
+  }
+}
+BENCHMARK(BM_FeistelPermute);
+
+void BM_FeistelInverse(benchmark::State& state) {
+  FeistelPermutation perm(24, 7);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm.Inverse(x++ & 0xffffff));
+  }
+}
+BENCHMARK(BM_FeistelInverse);
+
+void BM_BTreeBulkLoad(benchmark::State& state) {
+  int64_t n = state.range(0);
+  std::vector<IndexEntry> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    entries.push_back({i / 4, 0, static_cast<Rid>(i)});
+  }
+  for (auto _ : state) {
+    VirtualClock clock;
+    SimDevice device(DiskParameters{}, &clock);
+    BTreeOptions opts;
+    opts.key_columns = {0};
+    auto tree = BTree::BulkLoad(&device, entries, opts);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeBulkLoad)->Arg(100000);
+
+void BM_BTreeSeek(benchmark::State& state) {
+  std::vector<IndexEntry> entries;
+  for (int64_t i = 0; i < 100000; ++i) {
+    entries.push_back({i, 0, static_cast<Rid>(i)});
+  }
+  VirtualClock clock;
+  SimDevice device(DiskParameters{}, &clock);
+  BufferPool pool(&device, 4096);
+  RunContext ctx;
+  ctx.clock = &clock;
+  ctx.device = &device;
+  ctx.pool = &pool;
+  BTreeOptions opts;
+  opts.key_columns = {0};
+  auto tree = BTree::BulkLoad(&device, entries, opts).ValueOrDie();
+  Rng rng(3);
+  for (auto _ : state) {
+    auto c = tree->Seek(&ctx, static_cast<int64_t>(rng.NextBounded(100000)),
+                        INT64_MIN);
+    benchmark::DoNotOptimize(c->Valid());
+  }
+}
+BENCHMARK(BM_BTreeSeek);
+
+void BM_ProceduralIndexEntryAt(benchmark::State& state) {
+  VirtualClock clock;
+  SimDevice device(DiskParameters{}, &clock);
+  ProceduralTableOptions topts;
+  topts.row_bits = 20;
+  topts.value_bits = 14;
+  auto table = ProceduralTable::Create(&device, topts).ValueOrDie();
+  ProceduralIndexOptions iopts;
+  iopts.key_columns = {0};
+  auto index = ProceduralIndex::Create(&device, table.get(), iopts).ValueOrDie();
+  uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->EntryAt(k++ & ((1u << 20) - 1)));
+  }
+}
+BENCHMARK(BM_ProceduralIndexEntryAt);
+
+void BM_BufferPoolAccess(benchmark::State& state) {
+  VirtualClock clock;
+  SimDevice device(DiskParameters{}, &clock);
+  device.AllocateExtent(1 << 20);
+  BufferPool pool(&device, 8192);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Access(rng.NextBounded(16384)));
+  }
+}
+BENCHMARK(BM_BufferPoolAccess);
+
+void BM_RidMapInsertFind(benchmark::State& state) {
+  int64_t n = state.range(0);
+  for (auto _ : state) {
+    RidMap map(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      map.Insert(static_cast<Rid>(i * 3), static_cast<uint32_t>(i));
+    }
+    uint32_t hits = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      hits += map.Find(static_cast<Rid>(i)) != UINT32_MAX ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_RidMapInsertFind)->Arg(100000);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(65536, 0.99);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace robustmap
+
+BENCHMARK_MAIN();

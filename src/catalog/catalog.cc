@@ -1,0 +1,54 @@
+#include "catalog/catalog.h"
+
+namespace robustmap {
+
+Status Catalog::AddTable(TableInfo info) {
+  if (info.table == nullptr) {
+    return Status::InvalidArgument("null table: " + info.name);
+  }
+  if (tables_.count(info.name) > 0) {
+    return Status::InvalidArgument("duplicate table: " + info.name);
+  }
+  std::string name = info.name;
+  tables_.emplace(std::move(name), std::move(info));
+  return Status::OK();
+}
+
+Status Catalog::AddIndex(IndexInfo info) {
+  if (info.index == nullptr) {
+    return Status::InvalidArgument("null index: " + info.name);
+  }
+  if (indexes_.count(info.name) > 0) {
+    return Status::InvalidArgument("duplicate index: " + info.name);
+  }
+  if (tables_.count(info.table_name) == 0) {
+    return Status::NotFound("index " + info.name + " over unknown table " +
+                            info.table_name);
+  }
+  std::string name = info.name;
+  indexes_.emplace(std::move(name), std::move(info));
+  return Status::OK();
+}
+
+Result<const TableInfo*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return &it->second;
+}
+
+Result<const IndexInfo*> Catalog::GetIndex(const std::string& name) const {
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) return Status::NotFound("no index named " + name);
+  return &it->second;
+}
+
+std::vector<const IndexInfo*> Catalog::IndexesOn(
+    const std::string& table_name) const {
+  std::vector<const IndexInfo*> out;
+  for (const auto& [name, info] : indexes_) {
+    if (info.table_name == table_name) out.push_back(&info);
+  }
+  return out;
+}
+
+}  // namespace robustmap

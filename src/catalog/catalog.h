@@ -1,0 +1,52 @@
+#ifndef ROBUSTMAP_CATALOG_CATALOG_H_
+#define ROBUSTMAP_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "index/index.h"
+#include "storage/table.h"
+
+namespace robustmap {
+
+/// A registered table: storage plus schema.
+struct TableInfo {
+  std::string name;
+  std::shared_ptr<Table> table;
+  Schema schema;
+};
+
+/// A registered index over a table.
+struct IndexInfo {
+  std::string name;
+  std::string table_name;
+  std::shared_ptr<Index> index;
+};
+
+/// Name → storage-object directory for one experimental database.
+class Catalog {
+ public:
+  Status AddTable(TableInfo info);
+  Status AddIndex(IndexInfo info);
+
+  Result<const TableInfo*> GetTable(const std::string& name) const;
+  Result<const IndexInfo*> GetIndex(const std::string& name) const;
+
+  /// All indexes declared over `table_name`.
+  std::vector<const IndexInfo*> IndexesOn(const std::string& table_name) const;
+
+  size_t num_tables() const { return tables_.size(); }
+  size_t num_indexes() const { return indexes_.size(); }
+
+ private:
+  std::unordered_map<std::string, TableInfo> tables_;
+  std::unordered_map<std::string, IndexInfo> indexes_;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CATALOG_CATALOG_H_

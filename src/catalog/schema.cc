@@ -1,0 +1,12 @@
+#include "catalog/schema.h"
+
+namespace robustmap {
+
+Result<uint32_t> Schema::ColumnIndex(const std::string& name) const {
+  for (uint32_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+}  // namespace robustmap

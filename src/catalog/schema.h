@@ -1,0 +1,42 @@
+#ifndef ROBUSTMAP_CATALOG_SCHEMA_H_
+#define ROBUSTMAP_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace robustmap {
+
+/// A column description. All columns are 64-bit integers in this library
+/// (the paper's predicates are range predicates over ordered domains; wider
+/// type support would not change any robustness result).
+struct ColumnDef {
+  std::string name;
+  /// Values lie in [0, domain); 0 = unbounded/unknown.
+  int64_t domain = 0;
+};
+
+/// An ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  uint32_t num_columns() const {
+    return static_cast<uint32_t>(columns_.size());
+  }
+  const ColumnDef& column(uint32_t i) const { return columns_[i]; }
+
+  /// Ordinal of the named column.
+  Result<uint32_t> ColumnIndex(const std::string& name) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CATALOG_SCHEMA_H_

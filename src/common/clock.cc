@@ -1,0 +1,3 @@
+#include "common/clock.h"
+
+// VirtualClock is header-only; this translation unit anchors the target.

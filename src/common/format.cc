@@ -1,0 +1,100 @@
+#include "common/format.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace robustmap {
+
+namespace {
+std::string Printf(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::string FormatSeconds(double seconds) {
+  double abs = std::fabs(seconds);
+  if (abs < 1e-6) return Printf("%.3g ns", seconds * 1e9);
+  if (abs < 1e-3) return Printf("%.3g us", seconds * 1e6);
+  if (abs < 1.0) return Printf("%.3g ms", seconds * 1e3);
+  if (abs < 1000.0) return Printf("%.3g s", seconds);
+  return Printf("%.4g s", seconds);
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g %s", v, units[unit]);
+  return buf;
+}
+
+std::string FormatCount(uint64_t count) {
+  std::string digits = std::to_string(count);
+  std::string out;
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run != 0 && run % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++run;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string FormatSelectivity(double selectivity) {
+  if (selectivity <= 0) return "0";
+  double log2v = std::log2(selectivity);
+  double rounded = std::round(log2v);
+  if (std::fabs(log2v - rounded) < 1e-9 && rounded <= 0) {
+    if (rounded == 0) return "1";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "2^%d", static_cast<int>(rounded));
+    return buf;
+  }
+  return Printf("%.4g", selectivity);
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string* out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out->append(row[c]);
+      out->append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!out->empty() && out->back() == ' ') out->pop_back();
+    out->push_back('\n');
+  };
+  std::string out;
+  emit_row(header_, &out);
+  std::string rule;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+  out += rule + "\n";
+  for (const auto& row : rows_) emit_row(row, &out);
+  return out;
+}
+
+}  // namespace robustmap

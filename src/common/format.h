@@ -1,0 +1,42 @@
+#ifndef ROBUSTMAP_COMMON_FORMAT_H_
+#define ROBUSTMAP_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace robustmap {
+
+/// "1.25 ms", "43.2 s", "890 s" — human-readable durations from seconds.
+std::string FormatSeconds(double seconds);
+
+/// "8.0 KiB", "6.4 GiB" — human-readable byte counts.
+std::string FormatBytes(uint64_t bytes);
+
+/// "61,341" — thousands separators.
+std::string FormatCount(uint64_t count);
+
+/// "2^-11" or "0.125" style rendering of a selectivity.
+std::string FormatSelectivity(double selectivity);
+
+/// Fixed-width plain-text table, for bench output.
+///
+/// Usage:
+///   TextTable t({"plan", "cost"});
+///   t.AddRow({"table scan", "43.2 s"});
+///   std::cout << t.ToString();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_COMMON_FORMAT_H_

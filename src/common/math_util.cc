@@ -1,0 +1,72 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace robustmap {
+
+std::vector<double> Log2Grid(int min_log2, int max_log2) {
+  return Log2GridFine(min_log2, max_log2, 1);
+}
+
+std::vector<double> Log2GridFine(int min_log2, int max_log2,
+                                 int steps_per_octave) {
+  assert(min_log2 <= max_log2);
+  assert(steps_per_octave >= 1);
+  std::vector<double> grid;
+  int total_steps = (max_log2 - min_log2) * steps_per_octave;
+  grid.reserve(static_cast<size_t>(total_steps) + 1);
+  for (int i = 0; i <= total_steps; ++i) {
+    double exponent =
+        min_log2 + static_cast<double>(i) / static_cast<double>(steps_per_octave);
+    grid.push_back(std::exp2(exponent));
+  }
+  return grid;
+}
+
+int FloorLog2(uint64_t x) {
+  assert(x >= 1);
+  return 63 - __builtin_clzll(x);
+}
+
+double ExpectedDistinctPages(double rows, double pages, double rows_per_page) {
+  (void)rows_per_page;
+  if (pages <= 0) return 0;
+  // Each of `rows` fetches hits a uniformly random page; expected distinct
+  // pages = P * (1 - (1 - 1/P)^rows).
+  double p = pages;
+  return p * (1.0 - std::exp(rows * std::log1p(-1.0 / p)));
+}
+
+double Lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+bool ApproxEqual(double a, double b, double tol) {
+  double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  assert(!values.empty());
+  double log_sum = 0;
+  for (double v : values) {
+    assert(v > 0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  assert(!values.empty());
+  std::sort(values.begin(), values.end());
+  double rank = Clamp(p, 0, 100) / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  return Lerp(values[lo], values[hi], rank - static_cast<double>(lo));
+}
+
+}  // namespace robustmap

@@ -1,0 +1,45 @@
+#include "common/permutation.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace robustmap {
+
+FeistelPermutation::FeistelPermutation(int bits, uint64_t seed) : bits_(bits) {
+  assert(bits >= 2 && bits <= 62 && bits % 2 == 0);
+  half_bits_ = bits / 2;
+  half_mask_ = (uint64_t{1} << half_bits_) - 1;
+  Rng rng(seed ^ 0x5ca1ab1e5ca1ab1eULL);
+  for (auto& k : keys_) k = rng.Next();
+}
+
+uint64_t FeistelPermutation::RoundFunction(int round, uint64_t half) const {
+  return Mix64(half ^ keys_[round]) & half_mask_;
+}
+
+uint64_t FeistelPermutation::Permute(uint64_t x) const {
+  uint64_t left = x >> half_bits_;
+  uint64_t right = x & half_mask_;
+  for (int r = 0; r < kRounds; ++r) {
+    uint64_t next_left = right;
+    uint64_t next_right = left ^ RoundFunction(r, right);
+    left = next_left;
+    right = next_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t FeistelPermutation::Inverse(uint64_t y) const {
+  uint64_t left = y >> half_bits_;
+  uint64_t right = y & half_mask_;
+  for (int r = kRounds - 1; r >= 0; --r) {
+    uint64_t prev_right = left;
+    uint64_t prev_left = right ^ RoundFunction(r, prev_right);
+    left = prev_left;
+    right = prev_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+}  // namespace robustmap

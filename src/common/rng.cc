@@ -1,0 +1,39 @@
+#include "common/rng.h"
+
+namespace robustmap {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Rng::Next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Debiased modulo via rejection sampling on the top of the range.
+  uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 top bits into the mantissa.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+}  // namespace robustmap

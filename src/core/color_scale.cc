@@ -1,0 +1,102 @@
+#include "core/color_scale.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace robustmap {
+
+namespace {
+// Green -> yellow -> orange -> red -> dark red -> black ramp, one step per
+// order of magnitude (Figure 3's description).
+constexpr Rgb kHeatRamp[] = {
+    {0, 170, 0},     // bright green
+    {120, 200, 0},   // green-yellow
+    {220, 220, 0},   // yellow
+    {255, 165, 0},   // orange
+    {255, 60, 0},    // red-orange
+    {200, 0, 0},     // red
+    {110, 0, 0},     // dark red
+    {0, 0, 0},       // black
+};
+}  // namespace
+
+ColorScale::ColorScale(std::string title, std::vector<double> upper_bounds,
+                       std::vector<Rgb> colors,
+                       std::vector<std::string> labels, std::string glyphs)
+    : title_(std::move(title)),
+      upper_bounds_(std::move(upper_bounds)),
+      colors_(std::move(colors)),
+      labels_(std::move(labels)),
+      glyphs_(std::move(glyphs)) {
+  assert(colors_.size() == labels_.size());
+  assert(colors_.size() == glyphs_.size());
+  assert(upper_bounds_.size() + 1 == colors_.size());
+}
+
+ColorScale ColorScale::AbsoluteSeconds() {
+  return ColorScale(
+      "Execution time",
+      {1e-3, 1e-2, 1e-1, 1e0, 1e1, 1e2, 1e3},
+      {kHeatRamp[0], kHeatRamp[1], kHeatRamp[2], kHeatRamp[3], kHeatRamp[4],
+       kHeatRamp[5], kHeatRamp[6], kHeatRamp[7]},
+      {"< 0.001 seconds", "0.001-0.01 seconds", "0.01-0.1 seconds",
+       "0.1-1 seconds", "1-10 seconds", "10-100 seconds", "100-1000 seconds",
+       "> 1000 seconds"},
+      " .:-=*%@");
+}
+
+ColorScale ColorScale::RelativeFactor() {
+  return ColorScale(
+      "Cost factor vs. best plan",
+      {1.0 + 1e-9, 1e1, 1e2, 1e3, 1e4, 1e5},
+      {kHeatRamp[0], kHeatRamp[1], kHeatRamp[3], kHeatRamp[4], kHeatRamp[5],
+       kHeatRamp[6], kHeatRamp[7]},
+      {"Factor 1", "Factor 1-10", "Factor 10-100", "Factor 100-1,000",
+       "Factor 1,000-10,000", "Factor 10,000-100,000", "Factor > 100,000"},
+      " .-=*%@");
+}
+
+ColorScale ColorScale::Counts(int max_count) {
+  if (max_count < 1) max_count = 1;
+  if (max_count > 8) max_count = 8;
+  std::vector<double> bounds;
+  std::vector<Rgb> colors;
+  std::vector<std::string> labels;
+  std::string glyphs;
+  const char digits[] = "12345678";
+  for (int i = 0; i < max_count; ++i) {
+    if (i + 1 < max_count) bounds.push_back(i + 1.5);
+    // Reverse ramp: many optimal plans = green, exactly one = dark.
+    int ramp = 7 - i * 7 / std::max(1, max_count - 1);
+    if (max_count == 1) ramp = 0;
+    colors.push_back(kHeatRamp[ramp]);
+    char buf[32];
+    if (i + 1 == max_count) {
+      std::snprintf(buf, sizeof(buf), ">= %d plans", i + 1);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%d plan%s", i + 1, i == 0 ? "" : "s");
+    }
+    labels.emplace_back(buf);
+    glyphs.push_back(digits[i]);
+  }
+  return ColorScale("Optimal plans within tolerance", std::move(bounds),
+                    std::move(colors), std::move(labels), std::move(glyphs));
+}
+
+int ColorScale::BucketOf(double v) const {
+  int i = 0;
+  while (i < static_cast<int>(upper_bounds_.size()) && v > upper_bounds_[i]) {
+    ++i;
+  }
+  return i;
+}
+
+std::string ColorScale::AnsiCellOf(double v) const {
+  Rgb c = ColorOf(v);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\x1b[48;2;%u;%u;%um  \x1b[0m", c.r, c.g,
+                c.b);
+  return buf;
+}
+
+}  // namespace robustmap

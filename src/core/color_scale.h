@@ -1,0 +1,61 @@
+#ifndef ROBUSTMAP_CORE_COLOR_SCALE_H_
+#define ROBUSTMAP_CORE_COLOR_SCALE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace robustmap {
+
+/// 24-bit color.
+struct Rgb {
+  uint8_t r = 0, g = 0, b = 0;
+};
+
+/// Bucketed color scale with one bucket per order of magnitude, matching the
+/// paper's legends: "from green to red and finally black ... with each color
+/// difference indicating an order of magnitude" (Figure 3) and the factor
+/// scale of Figure 6.
+class ColorScale {
+ public:
+  /// Figure 3: absolute execution time. Buckets: <1 ms, 1–10 ms, 10–100 ms,
+  /// 0.1–1 s, 1–10 s, 10–100 s, 100–1000 s, >1000 s.
+  static ColorScale AbsoluteSeconds();
+
+  /// Figure 6: cost factor relative to the best plan. Buckets: 1 (optimal),
+  /// 1–10, 10–100, 100–1k, 1k–10k, 10k–100k, >100k.
+  static ColorScale RelativeFactor();
+
+  /// Figure 10 companion: small-integer counts (number of optimal plans).
+  static ColorScale Counts(int max_count);
+
+  /// Bucket index of a value (clamped into range).
+  int BucketOf(double v) const;
+  Rgb ColorOf(double v) const { return colors_[BucketOf(v)]; }
+  char GlyphOf(double v) const { return glyphs_[BucketOf(v)]; }
+  /// ANSI 24-bit background escape + two spaces + reset (one heatmap cell).
+  std::string AnsiCellOf(double v) const;
+
+  size_t num_buckets() const { return colors_.size(); }
+  const std::string& bucket_label(size_t i) const { return labels_[i]; }
+  Rgb bucket_color(size_t i) const { return colors_[i]; }
+  char bucket_glyph(size_t i) const { return glyphs_[i]; }
+  const std::string& title() const { return title_; }
+
+ private:
+  ColorScale(std::string title, std::vector<double> upper_bounds,
+             std::vector<Rgb> colors, std::vector<std::string> labels,
+             std::string glyphs);
+
+  std::string title_;
+  /// Bucket i covers (upper_bounds_[i-1], upper_bounds_[i]]; the last bucket
+  /// is open-ended.
+  std::vector<double> upper_bounds_;
+  std::vector<Rgb> colors_;
+  std::vector<std::string> labels_;
+  std::string glyphs_;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_COLOR_SCALE_H_

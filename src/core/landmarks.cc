@@ -1,0 +1,72 @@
+#include "core/landmarks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace robustmap {
+
+CurveLandmarks AnalyzeCurve(const std::vector<double>& xs,
+                            const std::vector<double>& costs,
+                            const LandmarkOptions& opts) {
+  assert(xs.size() == costs.size());
+  CurveLandmarks out;
+  size_t n = xs.size();
+  if (n < 2) return out;
+
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (costs[i + 1] < costs[i] * (1.0 - opts.monotonicity_slack)) {
+      out.monotonicity_violations.push_back(
+          {i, xs[i], xs[i + 1], costs[i], costs[i + 1]});
+    }
+    if (costs[i + 1] >= costs[i] * opts.discontinuity_ratio && costs[i] > 0) {
+      out.discontinuities.push_back(
+          {i, xs[i], xs[i + 1], costs[i + 1] / costs[i]});
+    }
+  }
+
+  // Marginal cost per segment; flag segments whose marginal cost exceeds
+  // the smallest earlier marginal cost by more than the margin. Near-zero
+  // early marginals are clamped up to a floor so that any real growth after
+  // a flat stretch still registers.
+  auto slope = [&](size_t i) {
+    return (costs[i + 1] - costs[i]) / (xs[i + 1] - xs[i]);
+  };
+  double span = xs.back() - xs.front();
+  double cmax = *std::max_element(costs.begin(), costs.end());
+  double flat_floor =
+      span > 0 ? opts.steepening_flat_floor * cmax / span : 0;
+  double min_slope = std::max(slope(0), flat_floor);
+  for (size_t i = 1; i + 1 < n; ++i) {
+    double s = slope(i);
+    if (s > min_slope * (1.0 + opts.steepening_margin)) {
+      out.steepening_points.push_back({i, min_slope, s});
+    }
+    min_slope = std::min(min_slope, std::max(s, flat_floor));
+  }
+  return out;
+}
+
+SymmetryScore ComputeSymmetry(const ParameterSpace& space,
+                              const std::vector<double>& grid) {
+  SymmetryScore score;
+  if (!space.is_2d() || space.x_size() != space.y_size()) return score;
+  size_t n = space.x_size();
+  double sum = 0;
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double a = grid[space.IndexOf(i, j)];
+      double b = grid[space.IndexOf(j, i)];
+      if (a <= 0 || b <= 0) continue;
+      double d = std::fabs(std::log2(a / b));
+      score.max_abs_log2_ratio = std::max(score.max_abs_log2_ratio, d);
+      sum += d;
+      ++count;
+    }
+  }
+  if (count > 0) score.mean_abs_log2_ratio = sum / static_cast<double>(count);
+  return score;
+}
+
+}  // namespace robustmap

@@ -1,0 +1,91 @@
+#ifndef ROBUSTMAP_CORE_LANDMARKS_H_
+#define ROBUSTMAP_CORE_LANDMARKS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/parameter_space.h"
+
+namespace robustmap {
+
+/// Cost decreased although work increased — "if cases exist in which
+/// fetching more rows is cheaper than fetching fewer rows, something is
+/// amiss" (§3.1).
+struct MonotonicityViolation {
+  size_t index = 0;  ///< violation between points index and index+1
+  double x_from = 0, x_to = 0;
+  double cost_from = 0, cost_to = 0;
+};
+
+/// The marginal cost (Δcost/Δx) rose above its earlier minimum — the curve
+/// steepens again after flattening ("the difference between fetching 100
+/// and 200 rows should not be greater than between 1,000 and 1,100", §3.1:
+/// the first derivative should monotonically decrease). This is the
+/// landmark the improved index scan exhibits at very large results. Affine
+/// curves (fixed overhead + constant per-row cost) never trigger: their
+/// marginal cost is constant.
+struct SteepeningPoint {
+  size_t index = 0;      ///< segment [index, index+1] steepened
+  double slope_before = 0;  ///< smallest earlier marginal cost
+  double slope_after = 0;   ///< marginal cost of this segment
+};
+
+/// Adjacent grid cells whose costs jump by more than `threshold`× — the §4
+/// signature of "implementations lacking graceful degradation".
+struct Discontinuity {
+  size_t index = 0;
+  double x_from = 0, x_to = 0;
+  double ratio = 0;  ///< cost_to / cost_from (>= threshold)
+};
+
+/// Landmark scan of one 1-D cost curve.
+struct CurveLandmarks {
+  std::vector<MonotonicityViolation> monotonicity_violations;
+  std::vector<SteepeningPoint> steepening_points;
+  std::vector<Discontinuity> discontinuities;
+
+  bool clean() const {
+    return monotonicity_violations.empty() && steepening_points.empty() &&
+           discontinuities.empty();
+  }
+};
+
+/// Options for landmark detection.
+struct LandmarkOptions {
+  /// Ignore monotonicity violations smaller than this relative dip
+  /// (measurement noise in real systems; exactly 0 works for the simulator).
+  double monotonicity_slack = 0.02;
+  /// Flag marginal-cost increases beyond this relative margin over the
+  /// smallest earlier marginal cost.
+  double steepening_margin = 0.10;
+  /// Marginal costs below this fraction of the curve's average slope count
+  /// as flat (guards the relative margin against near-zero minima).
+  double steepening_flat_floor = 0.02;
+  /// Adjacent-cell cost ratio that counts as a discontinuity. With factor-2
+  /// parameter steps, an 8x cost jump cannot be explained by linear scaling.
+  double discontinuity_ratio = 8.0;
+};
+
+/// Scans a curve (costs[i] measured at xs[i], xs ascending and positive).
+CurveLandmarks AnalyzeCurve(const std::vector<double>& xs,
+                            const std::vector<double>& costs,
+                            const LandmarkOptions& opts = {});
+
+/// Symmetry of a square 2-D cost surface under (i,j) -> (j,i) — Figure 5's
+/// "the symmetry in this diagram indicates that the two dimensions have very
+/// similar effects".
+struct SymmetryScore {
+  double max_abs_log2_ratio = 0;   ///< worst |log2 c(i,j)/c(j,i)|
+  double mean_abs_log2_ratio = 0;
+
+  /// Heuristic: surfaces within ~25% everywhere count as symmetric.
+  bool is_symmetric() const { return max_abs_log2_ratio < 0.33; }
+};
+
+SymmetryScore ComputeSymmetry(const ParameterSpace& space,
+                              const std::vector<double>& grid);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_LANDMARKS_H_

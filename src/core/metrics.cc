@@ -1,0 +1,70 @@
+#include "core/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/format.h"
+#include "common/math_util.h"
+#include "core/regions.h"
+
+namespace robustmap {
+
+std::vector<PlanRobustnessSummary> SummarizePlans(const RobustnessMap& map,
+                                                  const ToleranceSpec& tol) {
+  RelativeMap rel = ComputeRelative(map);
+  OptimalityMap opt = ComputeOptimality(map, tol);
+  size_t points = map.space().num_points();
+
+  std::vector<PlanRobustnessSummary> out;
+  out.reserve(map.num_plans());
+  for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+    PlanRobustnessSummary s;
+    s.label = map.plan_label(pl);
+    s.worst_quotient = WorstQuotient(rel, pl);
+    s.geomean_quotient = GeometricMean(rel.quotient[pl]);
+    size_t opt_cells = 0, within2 = 0, within10 = 0;
+    for (size_t pt = 0; pt < points; ++pt) {
+      double q = rel.quotient[pl][pt];
+      if ((opt.masks[pt] >> pl) & 1u) ++opt_cells;
+      if (q <= 2.0) ++within2;
+      if (q <= 10.0) ++within10;
+    }
+    s.area_optimal = static_cast<double>(opt_cells) / points;
+    s.area_within_2x = static_cast<double>(within2) / points;
+    s.area_within_10x = static_cast<double>(within10) / points;
+    RegionStats regions = AnalyzeRegions(map.space(), OptimalRegionOf(opt, pl));
+    s.optimality_regions = regions.num_regions;
+    s.fragmentation = regions.fragmentation;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string RenderSummaryTable(
+    const std::vector<PlanRobustnessSummary>& summaries) {
+  TextTable t({"plan", "worst factor", "geomean", "optimal", "<=2x", "<=10x",
+               "regions", "fragmentation"});
+  char buf[64];
+  for (const auto& s : summaries) {
+    std::vector<std::string> row;
+    row.push_back(s.label);
+    std::snprintf(buf, sizeof(buf), "%.3g", s.worst_quotient);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3g", s.geomean_quotient);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.0f%%", s.area_optimal * 100);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.0f%%", s.area_within_2x * 100);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.0f%%", s.area_within_10x * 100);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%d", s.optimality_regions);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", s.fragmentation);
+    row.emplace_back(buf);
+    t.AddRow(std::move(row));
+  }
+  return t.ToString();
+}
+
+}  // namespace robustmap

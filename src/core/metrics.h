@@ -1,0 +1,39 @@
+#ifndef ROBUSTMAP_CORE_METRICS_H_
+#define ROBUSTMAP_CORE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/optimality.h"
+#include "core/relative.h"
+#include "core/robustness_map.h"
+
+namespace robustmap {
+
+/// Scalar robustness indices for one plan, distilled from its relative map.
+/// These quantify the paper's visual judgments: "its worst relative
+/// performance is so poor that it would likely disrupt data center
+/// operation" (Fig. 7) vs. "relative performance is reasonable across the
+/// entire parameter space" (Fig. 9).
+struct PlanRobustnessSummary {
+  std::string label;
+  double worst_quotient = 1;    ///< max cost / best over the space
+  double geomean_quotient = 1;  ///< typical overhead factor
+  double area_optimal = 0;      ///< fraction of points within tolerance
+  double area_within_2x = 0;
+  double area_within_10x = 0;
+  int optimality_regions = 0;   ///< connected components (fragmentation)
+  double fragmentation = 0;     ///< 0 compact .. 1 shattered
+};
+
+/// Summarizes every plan of a map under `tol`.
+std::vector<PlanRobustnessSummary> SummarizePlans(const RobustnessMap& map,
+                                                  const ToleranceSpec& tol);
+
+/// Plain-text table of summaries (bench/report output).
+std::string RenderSummaryTable(
+    const std::vector<PlanRobustnessSummary>& summaries);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_METRICS_H_

@@ -1,0 +1,53 @@
+#include "core/optimality.h"
+
+#include <cassert>
+
+namespace robustmap {
+
+OptimalityMap ComputeOptimality(const RobustnessMap& map, ToleranceSpec tol) {
+  assert(map.num_plans() <= 32);
+  RelativeMap rel = ComputeRelative(map);
+  OptimalityMap opt;
+  opt.space = map.space();
+  opt.plan_labels = map.plan_labels();
+  opt.tolerance = tol;
+  size_t points = map.space().num_points();
+  opt.counts.assign(points, 0);
+  opt.masks.assign(points, 0);
+  opt.best_plan = rel.best_plan;
+  for (size_t pt = 0; pt < points; ++pt) {
+    double limit = rel.best_seconds[pt] * tol.rel_factor + tol.abs_seconds;
+    for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+      if (map.At(pl, pt).seconds <= limit) {
+        ++opt.counts[pt];
+        opt.masks[pt] |= (1u << pl);
+      }
+    }
+  }
+  return opt;
+}
+
+std::vector<bool> OptimalRegionOf(const OptimalityMap& opt, size_t plan) {
+  std::vector<bool> member(opt.masks.size());
+  for (size_t pt = 0; pt < opt.masks.size(); ++pt) {
+    member[pt] = (opt.masks[pt] >> plan) & 1u;
+  }
+  return member;
+}
+
+std::vector<size_t> PlansNeverOptimal(const OptimalityMap& opt) {
+  std::vector<size_t> out;
+  for (size_t pl = 0; pl < opt.plan_labels.size(); ++pl) {
+    bool ever = false;
+    for (uint32_t mask : opt.masks) {
+      if ((mask >> pl) & 1u) {
+        ever = true;
+        break;
+      }
+    }
+    if (!ever) out.push_back(pl);
+  }
+  return out;
+}
+
+}  // namespace robustmap

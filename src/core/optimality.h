@@ -1,0 +1,48 @@
+#ifndef ROBUSTMAP_CORE_OPTIMALITY_H_
+#define ROBUSTMAP_CORE_OPTIMALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/relative.h"
+#include "core/robustness_map.h"
+
+namespace robustmap {
+
+/// When is a plan "optimal enough"? The paper (§3.4, Figure 10) observes
+/// that strict argmin is meaningless under measurement error, and discusses
+/// tolerances from 0.1 s absolute through 1%, 20%, or 2× relative — "the
+/// tradeoff between the expense of system resources and the expense of
+/// human effort." A plan is within tolerance iff
+///     seconds <= best * rel_factor + abs_seconds.
+struct ToleranceSpec {
+  double abs_seconds = 0.1;  ///< the paper's "0.1 sec measurement error"
+  double rel_factor = 1.0;
+};
+
+/// Per-point sets of tolerably-optimal plans (Figure 10's data).
+struct OptimalityMap {
+  ParameterSpace space;
+  std::vector<std::string> plan_labels;
+  ToleranceSpec tolerance;
+  std::vector<int> counts;           ///< per point: # plans within tolerance
+  std::vector<uint32_t> masks;       ///< per point: bit p set = plan p optimal
+  std::vector<size_t> best_plan;     ///< strict argmin
+};
+
+/// Computes Figure 10's per-point optimal-plan sets (plans must number <= 32
+/// for the bitmask — the study has 13).
+OptimalityMap ComputeOptimality(const RobustnessMap& map, ToleranceSpec tol);
+
+/// Membership grid of one plan's optimality region (input to region
+/// analysis and the per-plan shading of Figures 8/9 variants).
+std::vector<bool> OptimalRegionOf(const OptimalityMap& opt, size_t plan);
+
+/// How many plans could be dropped entirely: plans whose optimality region
+/// is empty ("every plan eliminated ... cannot err in the decision whether
+/// to employ it", §3.4).
+std::vector<size_t> PlansNeverOptimal(const OptimalityMap& opt);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_OPTIMALITY_H_

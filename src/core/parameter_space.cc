@@ -1,0 +1,35 @@
+#include "core/parameter_space.h"
+
+#include <cassert>
+
+#include "common/math_util.h"
+
+namespace robustmap {
+
+Axis Axis::Selectivity(const std::string& name, int min_log2, int max_log2) {
+  return Axis{name, Log2Grid(min_log2, max_log2)};
+}
+
+Axis Axis::SelectivityFine(const std::string& name, int min_log2,
+                           int max_log2, int steps_per_octave) {
+  return Axis{name, Log2GridFine(min_log2, max_log2, steps_per_octave)};
+}
+
+ParameterSpace ParameterSpace::OneD(Axis x) {
+  assert(!x.values.empty());
+  ParameterSpace s;
+  s.is_2d_ = false;
+  s.x_ = std::move(x);
+  return s;
+}
+
+ParameterSpace ParameterSpace::TwoD(Axis x, Axis y) {
+  assert(!x.values.empty() && !y.values.empty());
+  ParameterSpace s;
+  s.is_2d_ = true;
+  s.x_ = std::move(x);
+  s.y_ = std::move(y);
+  return s;
+}
+
+}  // namespace robustmap

@@ -1,0 +1,68 @@
+#ifndef ROBUSTMAP_CORE_PARAMETER_SPACE_H_
+#define ROBUSTMAP_CORE_PARAMETER_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace robustmap {
+
+/// One run-time-condition axis of a robustness map (e.g. a predicate's
+/// selectivity, or work memory).
+struct Axis {
+  std::string name;
+  std::vector<double> values;  ///< ascending
+
+  /// Log₂ selectivity grid 2^min_log2 .. 2^max_log2, one point per power of
+  /// two — the paper's "result sizes differ by a factor of 2 between data
+  /// points".
+  static Axis Selectivity(const std::string& name, int min_log2,
+                          int max_log2);
+
+  /// Geometric grid with `steps_per_octave` points per factor of two.
+  static Axis SelectivityFine(const std::string& name, int min_log2,
+                              int max_log2, int steps_per_octave);
+
+  size_t size() const { return values.size(); }
+};
+
+/// A 1-D or 2-D parameter space — "the human limit to three-dimensional
+/// perception and the one dimension required for performance restrict
+/// effective visualizations to two-dimensional parameter spaces" (§3).
+class ParameterSpace {
+ public:
+  static ParameterSpace OneD(Axis x);
+  static ParameterSpace TwoD(Axis x, Axis y);
+
+  bool is_2d() const { return is_2d_; }
+  const Axis& x() const { return x_; }
+  const Axis& y() const { return y_; }
+
+  size_t x_size() const { return x_.size(); }
+  size_t y_size() const { return is_2d_ ? y_.size() : 1; }
+  size_t num_points() const { return x_size() * y_size(); }
+
+  /// Row-major linearization: index = yi * x_size + xi.
+  size_t IndexOf(size_t xi, size_t yi) const { return yi * x_size() + xi; }
+  std::pair<size_t, size_t> CoordsOf(size_t index) const {
+    return {index % x_size(), index / x_size()};
+  }
+
+  double x_value(size_t index) const {
+    return x_.values[CoordsOf(index).first];
+  }
+  /// Returns -1 for 1-D spaces (the second parameter is absent).
+  double y_value(size_t index) const {
+    return is_2d_ ? y_.values[CoordsOf(index).second] : -1.0;
+  }
+
+ private:
+  bool is_2d_ = false;
+  Axis x_;
+  Axis y_;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_PARAMETER_SPACE_H_

@@ -1,0 +1,88 @@
+#include "core/plan_diagram.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+#include "core/relative.h"
+
+namespace robustmap {
+
+PlanDiagram ComputePlanDiagram(const RobustnessMap& map,
+                               const ToleranceSpec& tol) {
+  PlanDiagram d;
+  d.space = map.space();
+  d.plan_labels = map.plan_labels();
+
+  RelativeMap rel = ComputeRelative(map);
+  OptimalityMap opt = ComputeOptimality(map, tol);
+  d.best_plan = rel.best_plan;
+  d.ties = opt.counts;
+
+  d.cells_won.assign(map.num_plans(), 0);
+  for (size_t winner : d.best_plan) ++d.cells_won[winner];
+
+  for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+    if (d.cells_won[pl] > 0) d.winners.push_back(pl);
+  }
+  std::sort(d.winners.begin(), d.winners.end(), [&](size_t a, size_t b) {
+    if (d.cells_won[a] != d.cells_won[b]) {
+      return d.cells_won[a] > d.cells_won[b];
+    }
+    return a < b;
+  });
+
+  d.winner_regions.reserve(d.winners.size());
+  for (size_t pl : d.winners) {
+    std::vector<bool> member(d.space.num_points());
+    for (size_t pt = 0; pt < member.size(); ++pt) {
+      member[pt] = d.best_plan[pt] == pl;
+    }
+    d.winner_regions.push_back(AnalyzeRegions(d.space, member));
+  }
+  return d;
+}
+
+std::string RenderPlanDiagram(const PlanDiagram& d) {
+  // Glyph per plan: winners get letters in region-size order so the
+  // dominant plan is always 'A'.
+  std::vector<char> glyph(d.plan_labels.size(), '?');
+  for (size_t i = 0; i < d.winners.size(); ++i) {
+    glyph[d.winners[i]] = static_cast<char>('A' + (i % 26));
+  }
+
+  std::string out = "Plan diagram (best measured plan per point):\n";
+  size_t xs = d.space.x_size();
+  for (size_t row = d.space.y_size(); row-- > 0;) {
+    std::string line = "  ";
+    for (size_t col = 0; col < xs; ++col) {
+      size_t pt = d.space.IndexOf(col, row);
+      line.push_back(glyph[d.best_plan[pt]]);
+      // Mark ties: lowercase signals that >1 plan is within tolerance.
+      if (d.ties[pt] > 1) line.back() = static_cast<char>(
+          line.back() - 'A' + 'a');
+      line.push_back(' ');
+    }
+    out += line + "\n";
+  }
+  out += "  (lowercase = multiple plans within tolerance at that point)\n";
+  for (size_t i = 0; i < d.winners.size(); ++i) {
+    size_t pl = d.winners[i];
+    out += "  ";
+    out.push_back(static_cast<char>('A' + (i % 26)));
+    out += " = " + d.plan_labels[pl] + " (" +
+           FormatCount(d.cells_won[pl]) + " cells, " +
+           std::to_string(d.winner_regions[i].num_regions) + " region" +
+           (d.winner_regions[i].num_regions == 1 ? "" : "s") + ")\n";
+  }
+  return out;
+}
+
+std::vector<size_t> RegionSizeSearchOrder(const PlanDiagram& d) {
+  std::vector<size_t> order = d.winners;
+  for (size_t pl = 0; pl < d.plan_labels.size(); ++pl) {
+    if (d.cells_won[pl] == 0) order.push_back(pl);
+  }
+  return order;
+}
+
+}  // namespace robustmap

@@ -1,0 +1,50 @@
+#ifndef ROBUSTMAP_CORE_PLAN_DIAGRAM_H_
+#define ROBUSTMAP_CORE_PLAN_DIAGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/optimality.h"
+#include "core/regions.h"
+#include "core/robustness_map.h"
+
+namespace robustmap {
+
+/// §3.4 "Mapping regions of optimality": one map with the best plan for
+/// each point and region of the parameter space — the run-time analogue of
+/// Picasso-style optimizer plan diagrams [RH05], built from *measured*
+/// costs instead of optimizer estimates.
+struct PlanDiagram {
+  ParameterSpace space;
+  std::vector<std::string> plan_labels;
+  /// Strict argmin plan per point.
+  std::vector<size_t> best_plan;
+  /// Number of plans within tolerance per point (ties make single-color
+  /// diagrams ill-defined — the paper's Figure 10 problem).
+  std::vector<int> ties;
+  /// Plans that win at least one point, in decreasing order of region size.
+  std::vector<size_t> winners;
+  /// Cells won per plan (same indexing as plan_labels).
+  std::vector<size_t> cells_won;
+  /// Connected-component stats of each winner's argmin region.
+  std::vector<RegionStats> winner_regions;
+};
+
+/// Builds the diagram from a measured map.
+PlanDiagram ComputePlanDiagram(const RobustnessMap& map,
+                               const ToleranceSpec& tol = {0.0, 1.0});
+
+/// Renders the diagram as a glyph grid (one letter per winning plan) with a
+/// legend. 2-D spaces render as a map; 1-D as a single row.
+std::string RenderPlanDiagram(const PlanDiagram& diagram);
+
+/// §3.4: "explore alternative plans in the order of region sizes. This
+/// heuristic might find a good cost bound quickly such that branch-and-bound
+/// ... can reduce the overall query optimization effort." Returns plan
+/// indexes in that recommended order (winners by region size, then the
+/// rest).
+std::vector<size_t> RegionSizeSearchOrder(const PlanDiagram& diagram);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_PLAN_DIAGRAM_H_

@@ -1,0 +1,58 @@
+#include "core/regions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace robustmap {
+
+RegionStats AnalyzeRegions(const ParameterSpace& space,
+                           const std::vector<bool>& member) {
+  assert(member.size() == space.num_points());
+  RegionStats stats;
+  stats.labels.assign(member.size(), -1);
+
+  size_t xs = space.x_size();
+  size_t ys = space.y_size();
+  std::vector<size_t> component_size;
+  std::vector<size_t> stack;
+
+  for (size_t start = 0; start < member.size(); ++start) {
+    if (!member[start] || stats.labels[start] != -1) continue;
+    int id = stats.num_regions++;
+    size_t size = 0;
+    stack.push_back(start);
+    stats.labels[start] = id;
+    while (!stack.empty()) {
+      size_t pt = stack.back();
+      stack.pop_back();
+      ++size;
+      size_t xi = pt % xs;
+      size_t yi = pt / xs;
+      auto visit = [&](size_t nx, size_t ny) {
+        size_t np = ny * xs + nx;
+        if (member[np] && stats.labels[np] == -1) {
+          stats.labels[np] = id;
+          stack.push_back(np);
+        }
+      };
+      if (xi > 0) visit(xi - 1, yi);
+      if (xi + 1 < xs) visit(xi + 1, yi);
+      if (yi > 0) visit(xi, yi - 1);
+      if (yi + 1 < ys) visit(xi, yi + 1);
+    }
+    component_size.push_back(size);
+    stats.member_cells += size;
+  }
+
+  if (!component_size.empty()) {
+    stats.largest_region =
+        *std::max_element(component_size.begin(), component_size.end());
+    stats.fragmentation =
+        1.0 - static_cast<double>(stats.largest_region) /
+                  static_cast<double>(stats.member_cells);
+  }
+  return stats;
+}
+
+}  // namespace robustmap

@@ -1,0 +1,37 @@
+#ifndef ROBUSTMAP_CORE_REGIONS_H_
+#define ROBUSTMAP_CORE_REGIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/parameter_space.h"
+
+namespace robustmap {
+
+/// Connected-component structure of a plan's optimality region.
+///
+/// "It might be interesting to focus on irregular shapes of optimality
+/// regions — chances are good that some implementation idiosyncrasy rather
+/// than the algorithm itself causes the irregular shape" (§3.4). Figure 7's
+/// headline finding is that a plan's region is "not continuous, which is
+/// rather surprising"; this module quantifies that.
+struct RegionStats {
+  int num_regions = 0;
+  size_t member_cells = 0;   ///< total cells in the region set
+  size_t largest_region = 0; ///< cells in the biggest component
+  /// 0 = one compact region (or empty); → 1 = shattered into fragments.
+  double fragmentation = 0.0;
+  /// Per point: component id (0-based) or -1 outside the region set.
+  std::vector<int> labels;
+
+  bool is_contiguous() const { return num_regions <= 1; }
+};
+
+/// 4-neighborhood connected components over the membership grid (1-D spaces
+/// degenerate to run detection).
+RegionStats AnalyzeRegions(const ParameterSpace& space,
+                           const std::vector<bool>& member);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_REGIONS_H_

@@ -1,0 +1,48 @@
+#include "core/relative.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace robustmap {
+
+RelativeMap ComputeRelative(const RobustnessMap& map) {
+  RelativeMap rel;
+  rel.space = map.space();
+  rel.plan_labels = map.plan_labels();
+  size_t points = map.space().num_points();
+  size_t plans = map.num_plans();
+  assert(plans > 0);
+
+  rel.best_seconds.assign(points, 0);
+  rel.best_plan.assign(points, 0);
+  for (size_t pt = 0; pt < points; ++pt) {
+    double best = map.At(0, pt).seconds;
+    size_t arg = 0;
+    for (size_t pl = 1; pl < plans; ++pl) {
+      double s = map.At(pl, pt).seconds;
+      if (s < best) {
+        best = s;
+        arg = pl;
+      }
+    }
+    rel.best_seconds[pt] = best;
+    rel.best_plan[pt] = arg;
+  }
+
+  rel.quotient.assign(plans, std::vector<double>(points, 1.0));
+  for (size_t pl = 0; pl < plans; ++pl) {
+    for (size_t pt = 0; pt < points; ++pt) {
+      double best = rel.best_seconds[pt];
+      double s = map.At(pl, pt).seconds;
+      rel.quotient[pl][pt] = best > 0 ? s / best : 1.0;
+    }
+  }
+  return rel;
+}
+
+double WorstQuotient(const RelativeMap& rel, size_t plan) {
+  return *std::max_element(rel.quotient[plan].begin(),
+                           rel.quotient[plan].end());
+}
+
+}  // namespace robustmap

@@ -1,0 +1,46 @@
+#include "core/sweep.h"
+
+#include <cstdio>
+
+#include "engine/query.h"
+
+namespace robustmap {
+
+Result<RobustnessMap> RunSweep(const ParameterSpace& space,
+                               const std::vector<std::string>& plan_labels,
+                               const PointRunner& runner,
+                               const SweepOptions& opts) {
+  RobustnessMap map(space, plan_labels);
+  for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
+    if (opts.verbose) {
+      std::fprintf(stderr, "  sweep: plan %zu/%zu (%s)\n", plan + 1,
+                   plan_labels.size(), plan_labels[plan].c_str());
+    }
+    for (size_t point = 0; point < space.num_points(); ++point) {
+      auto m = runner(plan, space.x_value(point), space.y_value(point));
+      RM_RETURN_IF_ERROR(m.status());
+      map.Set(plan, point, std::move(m).value());
+    }
+  }
+  return map;
+}
+
+Result<RobustnessMap> SweepStudyPlans(RunContext* ctx,
+                                      const Executor& executor,
+                                      const std::vector<PlanKind>& plans,
+                                      const ParameterSpace& space,
+                                      const SweepOptions& opts) {
+  std::vector<std::string> labels;
+  labels.reserve(plans.size());
+  for (PlanKind k : plans) labels.push_back(PlanKindLabel(k));
+  int64_t domain = executor.db().domain;
+  return RunSweep(
+      space, labels,
+      [&](size_t plan, double sx, double sy) -> Result<Measurement> {
+        QuerySpec q = MakeStudyQuery(sx, sy, domain);
+        return executor.Run(ctx, plans[plan], q);
+      },
+      opts);
+}
+
+}  // namespace robustmap

@@ -1,0 +1,40 @@
+#ifndef ROBUSTMAP_CORE_SWEEP_H_
+#define ROBUSTMAP_CORE_SWEEP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/robustness_map.h"
+#include "engine/plan.h"
+
+namespace robustmap {
+
+/// Progress/verbosity options for sweeps.
+struct SweepOptions {
+  bool verbose = false;  ///< prints one line per plan to stderr
+};
+
+/// Generic sweep: measures `runner(plan, x, y)` for every plan over every
+/// grid point. `y` is -1 for 1-D spaces. Use this form to map arbitrary
+/// run-time conditions (memory, input size, ...).
+using PointRunner =
+    std::function<Result<Measurement>(size_t plan, double x, double y)>;
+
+Result<RobustnessMap> RunSweep(const ParameterSpace& space,
+                               const std::vector<std::string>& plan_labels,
+                               const PointRunner& runner,
+                               const SweepOptions& opts = {});
+
+/// The paper's standard sweep: axes are predicate selectivities, plans are
+/// `PlanKind`s executed cold by `executor`. For 1-D spaces only pred_a is
+/// active.
+Result<RobustnessMap> SweepStudyPlans(RunContext* ctx, const Executor& executor,
+                                      const std::vector<PlanKind>& plans,
+                                      const ParameterSpace& space,
+                                      const SweepOptions& opts = {});
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_SWEEP_H_

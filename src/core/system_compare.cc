@@ -1,0 +1,122 @@
+#include "core/system_compare.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/format.h"
+
+namespace robustmap {
+
+WorstCaseMap ComputeWorstCase(const RobustnessMap& map) {
+  WorstCaseMap out;
+  out.space = map.space();
+  out.plan_labels = map.plan_labels();
+  size_t points = map.space().num_points();
+  out.worst_seconds.assign(points, 0);
+  out.worst_plan.assign(points, 0);
+  for (size_t pt = 0; pt < points; ++pt) {
+    double worst = map.At(0, pt).seconds;
+    size_t arg = 0;
+    for (size_t pl = 1; pl < map.num_plans(); ++pl) {
+      double s = map.At(pl, pt).seconds;
+      if (s > worst) {
+        worst = s;
+        arg = pl;
+      }
+    }
+    out.worst_seconds[pt] = worst;
+    out.worst_plan[pt] = arg;
+  }
+  out.safety.assign(map.num_plans(), std::vector<double>(points, 1.0));
+  for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+    for (size_t pt = 0; pt < points; ++pt) {
+      double s = map.At(pl, pt).seconds;
+      out.safety[pl][pt] = s > 0 ? out.worst_seconds[pt] / s : 1.0;
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> DangerCells(const WorstCaseMap& map) {
+  std::vector<size_t> danger(map.plan_labels.size(), 0);
+  for (size_t winner : map.worst_plan) ++danger[winner];
+  return danger;
+}
+
+Result<SystemComparison> CompareSystems(
+    const RobustnessMap& map, const std::vector<SystemConfig>& systems) {
+  SystemComparison cmp;
+  cmp.space = map.space();
+  size_t points = map.space().num_points();
+
+  for (const SystemConfig& sys : systems) {
+    SystemProfile profile;
+    profile.name = sys.name;
+    std::vector<size_t> plan_indexes;
+    for (PlanKind kind : sys.plans) {
+      auto idx = map.PlanIndexOf(PlanKindLabel(kind));
+      RM_RETURN_IF_ERROR(idx.status());
+      plan_indexes.push_back(idx.value());
+    }
+    if (plan_indexes.empty()) {
+      return Status::InvalidArgument("system with no plans: " + sys.name);
+    }
+    profile.best_seconds.assign(points, 0);
+    profile.best_plan.assign(points, 0);
+    for (size_t pt = 0; pt < points; ++pt) {
+      double best = map.At(plan_indexes[0], pt).seconds;
+      size_t arg = plan_indexes[0];
+      for (size_t pl : plan_indexes) {
+        double s = map.At(pl, pt).seconds;
+        if (s < best) {
+          best = s;
+          arg = pl;
+        }
+      }
+      profile.best_seconds[pt] = best;
+      profile.best_plan[pt] = arg;
+    }
+    cmp.profiles.push_back(std::move(profile));
+  }
+
+  cmp.quotient.assign(cmp.profiles.size(), std::vector<double>(points, 1.0));
+  cmp.wins.assign(cmp.profiles.size(), 0);
+  cmp.worst_quotient.assign(cmp.profiles.size(), 1.0);
+  for (size_t pt = 0; pt < points; ++pt) {
+    double overall = cmp.profiles[0].best_seconds[pt];
+    for (const auto& p : cmp.profiles) {
+      overall = std::min(overall, p.best_seconds[pt]);
+    }
+    for (size_t s = 0; s < cmp.profiles.size(); ++s) {
+      double q = overall > 0 ? cmp.profiles[s].best_seconds[pt] / overall : 1;
+      cmp.quotient[s][pt] = q;
+      if (q <= 1.0 + 1e-12) ++cmp.wins[s];
+      cmp.worst_quotient[s] = std::max(cmp.worst_quotient[s], q);
+    }
+  }
+  return cmp;
+}
+
+std::string RenderSystemComparison(const SystemComparison& cmp) {
+  TextTable t({"system", "wins (best of all systems)", "worst factor",
+               "geomean factor"});
+  size_t points = cmp.space.num_points();
+  char buf[48];
+  for (size_t s = 0; s < cmp.profiles.size(); ++s) {
+    std::vector<std::string> row;
+    row.push_back(cmp.profiles[s].name);
+    std::snprintf(buf, sizeof(buf), "%zu / %zu", cmp.wins[s], points);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3g", cmp.worst_quotient[s]);
+    row.emplace_back(buf);
+    double log_sum = 0;
+    for (double q : cmp.quotient[s]) log_sum += std::log(q);
+    std::snprintf(buf, sizeof(buf), "%.3g",
+                  std::exp(log_sum / static_cast<double>(points)));
+    row.emplace_back(buf);
+    t.AddRow(std::move(row));
+  }
+  return t.ToString();
+}
+
+}  // namespace robustmap

@@ -1,0 +1,69 @@
+#ifndef ROBUSTMAP_CORE_SYSTEM_COMPARE_H_
+#define ROBUSTMAP_CORE_SYSTEM_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/robustness_map.h"
+#include "engine/system.h"
+
+namespace robustmap {
+
+/// §3.3 names two "opportunities not pursued in this paper". This module
+/// pursues both:
+///
+///  1. worst-performance maps — "particularly dangerous plans and the
+///     relative performance of plans compared to how bad performance could
+///     be";
+///  2. cross-system comparison — "we have not yet compared multiple systems
+///     and their available plans."
+
+/// How close each plan comes to the *worst* plan at each point: the danger
+/// quotient worst/cost (1 = this plan IS the worst choice; large = far from
+/// the worst). A plan whose safety margin ever reaches 1 can be the
+/// catastrophic pick.
+struct WorstCaseMap {
+  ParameterSpace space;
+  std::vector<std::string> plan_labels;
+  std::vector<double> worst_seconds;             ///< per point
+  std::vector<size_t> worst_plan;                ///< argmax per point
+  std::vector<std::vector<double>> safety;       ///< [plan][pt]: worst/cost
+};
+
+WorstCaseMap ComputeWorstCase(const RobustnessMap& map);
+
+/// Per-point danger count: at how many points a plan is the worst choice.
+std::vector<size_t> DangerCells(const WorstCaseMap& map);
+
+/// One system's performance profile when, at every point, it runs the best
+/// plan *it* has (the paper's implicit model: each system picks from its own
+/// plan list).
+struct SystemProfile {
+  std::string name;
+  std::vector<double> best_seconds;  ///< per point, best of the system's plans
+  std::vector<size_t> best_plan;     ///< plan index into the shared map
+};
+
+/// Cross-system comparison over one measured 13-plan map.
+struct SystemComparison {
+  ParameterSpace space;
+  std::vector<SystemProfile> profiles;
+  /// [system][point]: quotient vs. the best plan of ANY system at the point.
+  std::vector<std::vector<double>> quotient;
+  /// Points where the system (one of its plans) is the overall winner.
+  std::vector<size_t> wins;
+  /// Worst quotient per system — the cost of being locked into one vendor.
+  std::vector<double> worst_quotient;
+};
+
+/// `systems` index into the map's plans by label; plans a system lacks are
+/// simply absent from its profile.
+Result<SystemComparison> CompareSystems(const RobustnessMap& map,
+                                        const std::vector<SystemConfig>& systems);
+
+/// Plain-text comparison table.
+std::string RenderSystemComparison(const SystemComparison& cmp);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_SYSTEM_COMPARE_H_

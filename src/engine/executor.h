@@ -1,0 +1,61 @@
+#ifndef ROBUSTMAP_ENGINE_EXECUTOR_H_
+#define ROBUSTMAP_ENGINE_EXECUTOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/plan.h"
+#include "engine/query.h"
+#include "exec/operator.h"
+#include "index/index.h"
+#include "io/io_stats.h"
+#include "storage/table.h"
+
+namespace robustmap {
+
+/// Storage handles for the benchmark database: one two-column table and the
+/// index complement the three systems need. `idx_ab` / `idx_ba` may be null
+/// when studying System A alone.
+struct StudyDb {
+  const Table* table = nullptr;
+  Index* idx_a = nullptr;   ///< single-column on a (column 0)
+  Index* idx_b = nullptr;   ///< single-column on b (column 1)
+  Index* idx_ab = nullptr;  ///< composite (a, b)
+  Index* idx_ba = nullptr;  ///< composite (b, a)
+  int64_t domain = 0;       ///< value domain of both columns
+};
+
+/// One measured plan execution — the datum a robustness map is built from.
+struct Measurement {
+  double seconds = 0;        ///< virtual elapsed time
+  uint64_t output_rows = 0;  ///< result cardinality (correctness anchor)
+  IoStats io;                ///< physical I/O behind the time
+  std::string plan_label;
+};
+
+/// Builds operator trees for the fixed plan kinds and measures their
+/// execution under controlled run-time conditions.
+///
+/// Every `Run` is a *cold* measurement: the virtual clock restarts, the
+/// buffer pool is emptied, and the device head position is forgotten, so
+/// map cells are independent and deterministic.
+class Executor {
+ public:
+  explicit Executor(const StudyDb& db) : db_(db) {}
+
+  /// Constructs the (unopened) operator tree for `kind` under `query`.
+  Result<OperatorPtr> BuildPlan(PlanKind kind, const QuerySpec& query) const;
+
+  /// Cold-runs the plan to completion, counting output rows.
+  Result<Measurement> Run(RunContext* ctx, PlanKind kind,
+                          const QuerySpec& query) const;
+
+  const StudyDb& db() const { return db_; }
+
+ private:
+  StudyDb db_;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_ENGINE_EXECUTOR_H_

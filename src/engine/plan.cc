@@ -1,0 +1,108 @@
+#include "engine/plan.h"
+
+namespace robustmap {
+
+std::string PlanKindLabel(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kTableScan:
+      return "A.tablescan";
+    case PlanKind::kIndexAImproved:
+      return "A.idx_a.improved";
+    case PlanKind::kIndexBImproved:
+      return "A.idx_b.improved";
+    case PlanKind::kMergeJoinAB:
+      return "A.mj(a,b)";
+    case PlanKind::kMergeJoinBA:
+      return "A.mj(b,a)";
+    case PlanKind::kHashJoinAB:
+      return "A.hj(a,b)";
+    case PlanKind::kHashJoinBA:
+      return "A.hj(b,a)";
+    case PlanKind::kCoverABBitmapFetch:
+      return "B.cover(a,b).bitmap";
+    case PlanKind::kCoverBABitmapFetch:
+      return "B.cover(b,a).bitmap";
+    case PlanKind::kBitmapAndFetch:
+      return "B.bitmap_and";
+    case PlanKind::kMdamAB:
+      return "C.mdam(a,b)";
+    case PlanKind::kMdamBA:
+      return "C.mdam(b,a)";
+    case PlanKind::kCoverABScan:
+      return "C.cover(a,b).scan";
+    case PlanKind::kIndexANaive:
+      return "A.idx_a.traditional";
+    case PlanKind::kIndexBNaive:
+      return "A.idx_b.traditional";
+  }
+  return "unknown";
+}
+
+std::string PlanKindDescription(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kTableScan:
+      return "full table scan, predicates evaluated per row";
+    case PlanKind::kIndexAImproved:
+      return "idx(a) range scan; rids sorted; skip-sequential fetch; "
+             "residual predicate on b";
+    case PlanKind::kIndexBImproved:
+      return "idx(b) range scan; rids sorted; skip-sequential fetch; "
+             "residual predicate on a";
+    case PlanKind::kMergeJoinAB:
+      return "covering rid intersection: idx(a) merge-join idx(b)";
+    case PlanKind::kMergeJoinBA:
+      return "covering rid intersection: idx(b) merge-join idx(a)";
+    case PlanKind::kHashJoinAB:
+      return "covering rid intersection: build hash on idx(a), probe idx(b)";
+    case PlanKind::kHashJoinBA:
+      return "covering rid intersection: build hash on idx(b), probe idx(a)";
+    case PlanKind::kCoverABBitmapFetch:
+      return "idx(a,b) scan with in-index b filter; MVCC forces row fetch, "
+             "bitmap-sorted";
+    case PlanKind::kCoverBABitmapFetch:
+      return "idx(b,a) scan with in-index a filter; MVCC forces row fetch, "
+             "bitmap-sorted";
+    case PlanKind::kBitmapAndFetch:
+      return "idx(a) AND idx(b) via bitmaps; bitmap-sorted row fetch";
+    case PlanKind::kMdamAB:
+      return "MDAM skip-scan over idx(a,b); covering, no fetch";
+    case PlanKind::kMdamBA:
+      return "MDAM skip-scan over idx(b,a); covering, no fetch";
+    case PlanKind::kCoverABScan:
+      return "idx(a,b) plain range scan with in-index b filter; covering";
+    case PlanKind::kIndexANaive:
+      return "traditional index scan on idx(a): fetch each rid in key order";
+    case PlanKind::kIndexBNaive:
+      return "traditional index scan on idx(b): fetch each rid in key order";
+  }
+  return "unknown";
+}
+
+char PlanKindSystem(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kCoverABBitmapFetch:
+    case PlanKind::kCoverBABitmapFetch:
+    case PlanKind::kBitmapAndFetch:
+      return 'B';
+    case PlanKind::kMdamAB:
+    case PlanKind::kMdamBA:
+    case PlanKind::kCoverABScan:
+      return 'C';
+    default:
+      return 'A';
+  }
+}
+
+std::vector<PlanKind> AllStudyPlans() {
+  return {
+      PlanKind::kTableScan,          PlanKind::kIndexAImproved,
+      PlanKind::kIndexBImproved,     PlanKind::kMergeJoinAB,
+      PlanKind::kMergeJoinBA,        PlanKind::kHashJoinAB,
+      PlanKind::kHashJoinBA,         PlanKind::kCoverABBitmapFetch,
+      PlanKind::kCoverBABitmapFetch, PlanKind::kBitmapAndFetch,
+      PlanKind::kMdamAB,             PlanKind::kMdamBA,
+      PlanKind::kCoverABScan,
+  };
+}
+
+}  // namespace robustmap

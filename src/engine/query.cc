@@ -1,0 +1,54 @@
+#include "engine/query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace robustmap {
+
+PredicateSpec MakePredicate(double selectivity, int64_t domain) {
+  PredicateSpec p;
+  if (selectivity < 0) return p;
+  int64_t k = static_cast<int64_t>(
+      std::llround(selectivity * static_cast<double>(domain)));
+  k = std::clamp<int64_t>(k, 1, domain);
+  p.active = true;
+  p.lo = 0;
+  p.hi = k - 1;
+  p.selectivity = static_cast<double>(k) / static_cast<double>(domain);
+  return p;
+}
+
+QuerySpec MakeStudyQuery(double sel_a, double sel_b, int64_t domain) {
+  QuerySpec q;
+  q.domain = domain;
+  q.pred_a = MakePredicate(sel_a, domain);
+  q.pred_b = MakePredicate(sel_b, domain);
+  return q;
+}
+
+std::string QuerySpec::ToString() const {
+  char buf[192];
+  if (pred_a.active && pred_b.active) {
+    std::snprintf(buf, sizeof(buf),
+                  "SELECT a,b WHERE a in [%lld,%lld] (s=%.3g) AND b in "
+                  "[%lld,%lld] (s=%.3g)",
+                  static_cast<long long>(pred_a.lo),
+                  static_cast<long long>(pred_a.hi), pred_a.selectivity,
+                  static_cast<long long>(pred_b.lo),
+                  static_cast<long long>(pred_b.hi), pred_b.selectivity);
+  } else if (pred_a.active) {
+    std::snprintf(buf, sizeof(buf), "SELECT a,b WHERE a in [%lld,%lld] (s=%.3g)",
+                  static_cast<long long>(pred_a.lo),
+                  static_cast<long long>(pred_a.hi), pred_a.selectivity);
+  } else if (pred_b.active) {
+    std::snprintf(buf, sizeof(buf), "SELECT a,b WHERE b in [%lld,%lld] (s=%.3g)",
+                  static_cast<long long>(pred_b.lo),
+                  static_cast<long long>(pred_b.hi), pred_b.selectivity);
+  } else {
+    std::snprintf(buf, sizeof(buf), "SELECT a,b (no predicates)");
+  }
+  return buf;
+}
+
+}  // namespace robustmap

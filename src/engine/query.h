@@ -1,0 +1,48 @@
+#ifndef ROBUSTMAP_ENGINE_QUERY_H_
+#define ROBUSTMAP_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace robustmap {
+
+/// One optional range predicate of the benchmark query, with bookkeeping of
+/// the selectivity it was calibrated for.
+struct PredicateSpec {
+  bool active = false;
+  int64_t lo = 0;
+  int64_t hi = 0;  ///< inclusive
+  /// The exact fraction of rows the range selects (for reporting/axes).
+  double selectivity = 1.0;
+};
+
+/// The paper's benchmark query family:
+///
+///   SELECT a, b FROM t WHERE a BETWEEN ?lo_a AND ?hi_a
+///                       [AND b BETWEEN ?lo_b AND ?hi_b]
+///
+/// Figure 1/2 use only `pred_a`; Figures 4–10 use both. Columns a and b are
+/// table columns 0 and 1.
+struct QuerySpec {
+  PredicateSpec pred_a;  ///< on column 0
+  PredicateSpec pred_b;  ///< on column 1
+
+  /// Value domain of both columns ([0, domain)); lets plans widen inactive
+  /// predicates to the full range and informs MDAM's mode choice.
+  int64_t domain = 0;
+
+  std::string ToString() const;
+};
+
+/// Calibrates a range predicate [0, K-1] over [0, domain) selecting as close
+/// to `selectivity` as the integer domain allows (K >= 1); records the exact
+/// fraction. Negative selectivity returns an inactive predicate.
+PredicateSpec MakePredicate(double selectivity, int64_t domain);
+
+/// Benchmark query for target selectivities; pass a negative selectivity to
+/// deactivate that predicate (Figure 1/2 use sel_b < 0).
+QuerySpec MakeStudyQuery(double sel_a, double sel_b, int64_t domain);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_ENGINE_QUERY_H_

@@ -1,0 +1,46 @@
+#include "engine/system.h"
+
+namespace robustmap {
+
+SystemConfig SystemConfig::SystemA() {
+  return SystemConfig{
+      "System A",
+      {
+          PlanKind::kTableScan,
+          PlanKind::kIndexAImproved,
+          PlanKind::kIndexBImproved,
+          PlanKind::kMergeJoinAB,
+          PlanKind::kMergeJoinBA,
+          PlanKind::kHashJoinAB,
+          PlanKind::kHashJoinBA,
+      },
+  };
+}
+
+SystemConfig SystemConfig::SystemB() {
+  return SystemConfig{
+      "System B",
+      {
+          PlanKind::kCoverABBitmapFetch,
+          PlanKind::kCoverBABitmapFetch,
+          PlanKind::kBitmapAndFetch,
+      },
+  };
+}
+
+SystemConfig SystemConfig::SystemC() {
+  return SystemConfig{
+      "System C",
+      {
+          PlanKind::kMdamAB,
+          PlanKind::kMdamBA,
+          PlanKind::kCoverABScan,
+      },
+  };
+}
+
+std::vector<SystemConfig> SystemConfig::AllSystems() {
+  return {SystemA(), SystemB(), SystemC()};
+}
+
+}  // namespace robustmap

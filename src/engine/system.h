@@ -1,0 +1,42 @@
+#ifndef ROBUSTMAP_ENGINE_SYSTEM_H_
+#define ROBUSTMAP_ENGINE_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/plan.h"
+
+namespace robustmap {
+
+/// Configuration of one "database system" under study.
+///
+/// The paper anonymizes three commercial systems; we model each as the set
+/// of plan classes its executor offers plus the executor idiosyncrasies the
+/// paper attributes to it (System B's MVCC-forced fetches, System C's MDAM).
+/// The idiosyncrasies are baked into the plan kinds themselves, so a system
+/// is fully described by its plan list.
+struct SystemConfig {
+  std::string name;
+  std::vector<PlanKind> plans;
+
+  /// System A: single-column non-clustered indexes, improved (sort-fetch)
+  /// index scans, merge/hash index intersections — 7 plans (§3.3).
+  static SystemConfig SystemA();
+
+  /// System B: adds two-column indexes, but multi-version concurrency
+  /// control applies only to main-table rows, so every index plan must
+  /// fetch; rows to be fetched are sorted "very efficiently using a bitmap"
+  /// (Figure 8) — 3 additional plans.
+  static SystemConfig SystemB();
+
+  /// System C: two-column indexes fully exploited with MDAM [LJBY95];
+  /// covering plans never fetch (Figure 9) — 3 additional plans.
+  static SystemConfig SystemC();
+
+  /// All three systems in order.
+  static std::vector<SystemConfig> AllSystems();
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_ENGINE_SYSTEM_H_

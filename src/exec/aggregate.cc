@@ -1,0 +1,69 @@
+#include "exec/aggregate.h"
+
+#include <algorithm>
+
+namespace robustmap {
+
+Status HashAggregateOp::Open(RunContext* ctx) {
+  groups_.clear();
+  pos_ = 0;
+  spill_pages_ = 0;
+
+  RM_RETURN_IF_ERROR(child_->Open(ctx));
+  std::unordered_map<int64_t, uint64_t> counts;
+  Row r;
+  uint64_t input_rows = 0;
+  while (child_->Next(ctx, &r)) {
+    ++input_rows;
+    ctx->ChargeCpuOps(1, ctx->cpu.hash_seconds);
+    if (!r.HasCol(group_column_)) {
+      status_ = Status::InvalidArgument("group column not populated");
+      return status_;
+    }
+    ++counts[r.cols[group_column_]];
+  }
+  RM_RETURN_IF_ERROR(child_->status());
+  child_->Close(ctx);
+
+  constexpr uint64_t kGroupBytes = 16;
+  uint64_t table_bytes = counts.size() * kGroupBytes;
+  if (table_bytes > ctx->hash_memory_bytes && input_rows > 0) {
+    // Partition spill: write the input once, read it back, then aggregate
+    // partition by partition in memory.
+    uint64_t page = ctx->device->model().params().page_size_bytes;
+    constexpr uint64_t kRowBytes = 16;
+    uint64_t pages = (input_rows * kRowBytes + page - 1) / page;
+    uint64_t temp = ctx->device->AllocateExtent(pages);
+    ctx->device->WriteRun(temp, pages);
+    ctx->device->ReadRun(temp, pages);
+    spill_pages_ = pages;
+  }
+
+  groups_.assign(counts.begin(), counts.end());
+  std::sort(groups_.begin(), groups_.end());
+  return Status::OK();
+}
+
+bool HashAggregateOp::Next(RunContext* ctx, Row* out) {
+  (void)ctx;
+  if (pos_ >= groups_.size()) return false;
+  out->rid = kInvalidRid;
+  out->valid_cols = 0;
+  out->SetCol(group_column_, groups_[pos_].first);
+  out->SetCol(kAggResultColumn, static_cast<int64_t>(groups_[pos_].second));
+  ++pos_;
+  return true;
+}
+
+void HashAggregateOp::Close(RunContext* ctx) {
+  (void)ctx;
+  groups_.clear();
+  groups_.shrink_to_fit();
+}
+
+std::string HashAggregateOp::DebugName() const {
+  return "HashAggregate(group by col" + std::to_string(group_column_) +
+         ", count) <- " + child_->DebugName();
+}
+
+}  // namespace robustmap

@@ -1,0 +1,43 @@
+#ifndef ROBUSTMAP_EXEC_AGGREGATE_H_
+#define ROBUSTMAP_EXEC_AGGREGATE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace robustmap {
+
+/// Column ordinal that receives aggregate results in output rows.
+inline constexpr uint32_t kAggResultColumn = kMaxColumns - 1;
+
+/// Hash aggregation: GROUP BY one column, COUNT(*) per group.
+///
+/// Output rows carry the group value in `cols[group_column]` and the count
+/// in `cols[kAggResultColumn]`. When the group table exceeds hash work
+/// memory the operator charges partition-spill I/O (write + re-read of the
+/// input), the standard graceful-degradation strategy for hash aggregation.
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, uint32_t group_column)
+      : child_(std::move(child)), group_column_(group_column) {}
+
+  Status Open(RunContext* ctx) override;
+  bool Next(RunContext* ctx, Row* out) override;
+  void Close(RunContext* ctx) override;
+  std::string DebugName() const override;
+
+  uint64_t spill_pages() const { return spill_pages_; }
+
+ private:
+  OperatorPtr child_;
+  uint32_t group_column_;
+
+  std::vector<std::pair<int64_t, uint64_t>> groups_;  ///< sorted output
+  size_t pos_ = 0;
+  uint64_t spill_pages_ = 0;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_EXEC_AGGREGATE_H_

@@ -1,0 +1,60 @@
+#include "exec/bitmap_ops.h"
+
+namespace robustmap {
+
+Status BitmapAndOp::FillBitmap(RunContext* ctx, Operator* child,
+                               std::vector<uint64_t>* bits) {
+  bits->assign((table_rows_ + 63) / 64, 0);
+  RM_RETURN_IF_ERROR(child->Open(ctx));
+  Row r;
+  uint64_t inserted = 0;
+  while (child->Next(ctx, &r)) {
+    (*bits)[r.rid >> 6] |= uint64_t{1} << (r.rid & 63);
+    ++inserted;
+  }
+  RM_RETURN_IF_ERROR(child->status());
+  child->Close(ctx);
+  ctx->ChargeCpuOps(inserted, ctx->cpu.bitmap_set_seconds);
+  return Status::OK();
+}
+
+Status BitmapAndOp::Open(RunContext* ctx) {
+  scan_pos_ = 0;
+  std::vector<uint64_t> right_bits;
+  RM_RETURN_IF_ERROR(FillBitmap(ctx, left_.get(), &bits_));
+  RM_RETURN_IF_ERROR(FillBitmap(ctx, right_.get(), &right_bits));
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] &= right_bits[i];
+  // Word-wise AND plus the output scan below.
+  ctx->ChargeCpuOps(bits_.size() * 2, ctx->cpu.bitmap_set_seconds);
+  return Status::OK();
+}
+
+bool BitmapAndOp::Next(RunContext* ctx, Row* out) {
+  (void)ctx;
+  while (scan_pos_ < table_rows_) {
+    uint64_t word_idx = scan_pos_ >> 6;
+    uint64_t word = bits_[word_idx] >> (scan_pos_ & 63);
+    if (word == 0) {
+      scan_pos_ = (word_idx + 1) << 6;
+      continue;
+    }
+    scan_pos_ += static_cast<uint64_t>(__builtin_ctzll(word));
+    out->rid = scan_pos_;
+    out->valid_cols = 0;
+    ++scan_pos_;
+    return true;
+  }
+  return false;
+}
+
+void BitmapAndOp::Close(RunContext* ctx) {
+  (void)ctx;
+  bits_.clear();
+  bits_.shrink_to_fit();
+}
+
+std::string BitmapAndOp::DebugName() const {
+  return "BitmapAnd(" + left_->DebugName() + ", " + right_->DebugName() + ")";
+}
+
+}  // namespace robustmap

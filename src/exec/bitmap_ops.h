@@ -1,0 +1,43 @@
+#ifndef ROBUSTMAP_EXEC_BITMAP_OPS_H_
+#define ROBUSTMAP_EXEC_BITMAP_OPS_H_
+
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace robustmap {
+
+/// Bitmap AND of two rid streams (System B's index intersection).
+///
+/// Each child's rids are inserted into a bitmap over [0, table_rows); the
+/// bitmaps are ANDed word-wise and surviving rids stream out in ascending
+/// order — no sort, unlike the merge join, but a full bitmap scan
+/// regardless of result size. Column values are lost (only rids survive);
+/// System B fetches rows afterwards anyway, which is exactly why it can use
+/// this operator where Systems A/C need covering joins.
+class BitmapAndOp : public Operator {
+ public:
+  BitmapAndOp(OperatorPtr left, OperatorPtr right, uint64_t table_rows)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        table_rows_(table_rows) {}
+
+  Status Open(RunContext* ctx) override;
+  bool Next(RunContext* ctx, Row* out) override;
+  void Close(RunContext* ctx) override;
+  std::string DebugName() const override;
+
+ private:
+  Status FillBitmap(RunContext* ctx, Operator* child,
+                    std::vector<uint64_t>* bits);
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  uint64_t table_rows_;
+  std::vector<uint64_t> bits_;
+  uint64_t scan_pos_ = 0;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_EXEC_BITMAP_OPS_H_

@@ -1,0 +1,14 @@
+#include "exec/filter.h"
+
+namespace robustmap {
+
+std::string FilterOp::DebugName() const {
+  std::string name = "Filter(";
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (i > 0) name += " AND ";
+    name += predicates_[i].ToString();
+  }
+  return name + ") <- " + child_->DebugName();
+}
+
+}  // namespace robustmap

@@ -1,0 +1,38 @@
+#ifndef ROBUSTMAP_EXEC_FILTER_H_
+#define ROBUSTMAP_EXEC_FILTER_H_
+
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/predicate.h"
+
+namespace robustmap {
+
+/// Residual predicate evaluation over an input stream.
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, std::vector<RangePredicate> predicates)
+      : child_(std::move(child)), predicates_(std::move(predicates)) {}
+
+  Status Open(RunContext* ctx) override { return child_->Open(ctx); }
+
+  bool Next(RunContext* ctx, Row* out) override {
+    while (child_->Next(ctx, out)) {
+      if (EvalPredicates(ctx, predicates_, *out)) return true;
+    }
+    status_ = child_->status();
+    return false;
+  }
+
+  void Close(RunContext* ctx) override { child_->Close(ctx); }
+
+  std::string DebugName() const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<RangePredicate> predicates_;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_EXEC_FILTER_H_

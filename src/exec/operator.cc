@@ -1,0 +1,15 @@
+#include "exec/operator.h"
+
+namespace robustmap {
+
+Result<uint64_t> DrainCount(RunContext* ctx, Operator* op) {
+  RM_RETURN_IF_ERROR(op->Open(ctx));
+  uint64_t count = 0;
+  Row row;
+  while (op->Next(ctx, &row)) ++count;
+  RM_RETURN_IF_ERROR(op->status());
+  op->Close(ctx);
+  return count;
+}
+
+}  // namespace robustmap

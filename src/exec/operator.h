@@ -1,0 +1,45 @@
+#ifndef ROBUSTMAP_EXEC_OPERATOR_H_
+#define ROBUSTMAP_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "io/run_context.h"
+#include "storage/row.h"
+
+namespace robustmap {
+
+/// Volcano-style physical operator: Open / Next / Close.
+///
+/// `Next` returns true when it produced a row into `*out` and false when the
+/// stream is exhausted *or* an error occurred; callers distinguish the two
+/// via `status()` (RocksDB iterator idiom — keeps the hot path free of
+/// Status copies).
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open(RunContext* ctx) = 0;
+  virtual bool Next(RunContext* ctx, Row* out) = 0;
+  virtual void Close(RunContext* ctx) = 0;
+
+  /// Operator name with key parameters, for plan explanations.
+  virtual std::string DebugName() const = 0;
+
+  /// Non-OK iff Next() stopped because of an error.
+  const Status& status() const { return status_; }
+
+ protected:
+  Status status_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Runs `op` to completion, counting rows. Returns the row count or the
+/// operator's error. Opens and closes the operator.
+Result<uint64_t> DrainCount(RunContext* ctx, Operator* op);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_EXEC_OPERATOR_H_

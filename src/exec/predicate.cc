@@ -1,0 +1,23 @@
+#include "exec/predicate.h"
+
+#include <cstdio>
+
+namespace robustmap {
+
+std::string RangePredicate::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%lld <= col%u <= %lld",
+                static_cast<long long>(lo), column, static_cast<long long>(hi));
+  return buf;
+}
+
+bool EvalPredicates(RunContext* ctx, const std::vector<RangePredicate>& preds,
+                    const Row& row) {
+  ctx->ChargeCpuOps(preds.size(), ctx->cpu.predicate_eval_seconds);
+  for (const auto& p : preds) {
+    if (!row.HasCol(p.column) || !p.Matches(row.cols[p.column])) return false;
+  }
+  return true;
+}
+
+}  // namespace robustmap

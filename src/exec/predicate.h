@@ -1,0 +1,32 @@
+#ifndef ROBUSTMAP_EXEC_PREDICATE_H_
+#define ROBUSTMAP_EXEC_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/run_context.h"
+#include "storage/row.h"
+
+namespace robustmap {
+
+/// Inclusive range predicate `lo <= col <= hi` on one column.
+/// All the paper's experiments use range predicates whose width controls
+/// selectivity; equality is the special case lo == hi.
+struct RangePredicate {
+  uint32_t column = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  bool Matches(int64_t v) const { return v >= lo && v <= hi; }
+  std::string ToString() const;
+};
+
+/// Evaluates all predicates against `row`, charging per-predicate CPU.
+/// Returns true if every predicate matches.
+bool EvalPredicates(RunContext* ctx, const std::vector<RangePredicate>& preds,
+                    const Row& row);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_EXEC_PREDICATE_H_

@@ -1,0 +1,86 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace robustmap {
+
+uint64_t ChargeSortCost(RunContext* ctx, uint64_t n_items, uint64_t item_bytes,
+                        uint64_t memory_bytes, SpillKind kind) {
+  if (n_items == 0) return 0;
+  double n = static_cast<double>(n_items);
+  ctx->ChargeCpuOps(static_cast<uint64_t>(n * std::max(1.0, std::log2(n))),
+                    ctx->cpu.compare_seconds);
+
+  uint64_t bytes = n_items * item_bytes;
+  if (bytes <= memory_bytes) return 0;
+
+  uint64_t page = ctx->device->model().params().page_size_bytes;
+  uint64_t spilled_bytes =
+      kind == SpillKind::kGraceful ? bytes - memory_bytes : bytes;
+  uint64_t spilled_pages = (spilled_bytes + page - 1) / page;
+  if (spilled_pages == 0) return 0;
+
+  // Runs are memory-loads; each merge pass has fan-in = one input buffer
+  // page per run.
+  uint64_t runs = (spilled_bytes + memory_bytes - 1) / memory_bytes;
+  if (kind == SpillKind::kGraceful) ++runs;  // plus the resident run
+  uint64_t fanin = std::max<uint64_t>(2, memory_bytes / page);
+  uint64_t passes = 1;
+  for (uint64_t width = fanin; width < runs; width *= fanin) ++passes;
+
+  uint64_t temp = ctx->device->AllocateExtent(spilled_pages);
+  for (uint64_t p = 0; p < passes; ++p) {
+    ctx->device->WriteRun(temp, spilled_pages);
+    ctx->device->ReadRun(temp, spilled_pages);
+  }
+  return spilled_pages * passes;
+}
+
+Status SortOp::Open(RunContext* ctx) {
+  rows_.clear();
+  pos_ = 0;
+  spilled_pages_ = 0;
+  RM_RETURN_IF_ERROR(child_->Open(ctx));
+  Row r;
+  while (child_->Next(ctx, &r)) rows_.push_back(r);
+  RM_RETURN_IF_ERROR(child_->status());
+  child_->Close(ctx);
+
+  spilled_pages_ = ChargeSortCost(ctx, rows_.size(), item_bytes_,
+                                  ctx->sort_memory_bytes, spill_);
+  if (key_.kind == SortKeySpec::Kind::kRid) {
+    std::sort(rows_.begin(), rows_.end(),
+              [](const Row& a, const Row& b) { return a.rid < b.rid; });
+  } else {
+    uint32_t c = key_.column;
+    std::sort(rows_.begin(), rows_.end(), [c](const Row& a, const Row& b) {
+      if (a.cols[c] != b.cols[c]) return a.cols[c] < b.cols[c];
+      return a.rid < b.rid;
+    });
+  }
+  return Status::OK();
+}
+
+bool SortOp::Next(RunContext* ctx, Row* out) {
+  (void)ctx;
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+void SortOp::Close(RunContext* ctx) {
+  (void)ctx;
+  rows_.clear();
+  rows_.shrink_to_fit();
+}
+
+std::string SortOp::DebugName() const {
+  std::string kind = spill_ == SpillKind::kGraceful ? "graceful" : "naive";
+  std::string key = key_.kind == SortKeySpec::Kind::kRid
+                        ? "rid"
+                        : "col" + std::to_string(key_.column);
+  return "Sort(" + key + ", " + kind + ") <- " + child_->DebugName();
+}
+
+}  // namespace robustmap

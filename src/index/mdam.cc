@@ -1,0 +1,89 @@
+#include "index/mdam.h"
+
+#include <cassert>
+
+namespace robustmap {
+
+std::unique_ptr<MdamCursor> MdamCursor::Create(RunContext* ctx, Index* index,
+                                               const MdamOptions& opts) {
+  assert(index->num_key_columns() == 2);
+  return std::unique_ptr<MdamCursor>(new MdamCursor(ctx, index, opts));
+}
+
+MdamOptions::Mode MdamCursor::ChooseMode(RunContext* ctx, const Index& index,
+                                         const MdamOptions& opts) {
+  if (opts.mode != MdamOptions::Mode::kAuto) return opts.mode;
+  if (opts.k0_domain <= 0 || opts.k1_domain <= 0) {
+    return MdamOptions::Mode::kSkipScan;
+  }
+  // If the k1 range is (nearly) the whole domain, probing per k0 value buys
+  // nothing: every entry in the k0 range qualifies.
+  if (opts.k1_lo <= 0 && opts.k1_hi >= opts.k1_domain - 1) {
+    return MdamOptions::Mode::kRangeScan;
+  }
+  double width0 = static_cast<double>(opts.k0_hi - opts.k0_lo + 1);
+  double frac0 = width0 / static_cast<double>(opts.k0_domain);
+  double entries_in_range =
+      frac0 * static_cast<double>(index.num_entries());
+  const DiskParameters& disk = ctx->device->model().params();
+  double transfer = disk.TransferSeconds();
+  // Skip-scan: one probe per distinct k0 (random leaf read + transfer).
+  double cost_skip = width0 * (disk.random_access_seconds + transfer);
+  // Range scan: every leaf in the k0 range sequentially, plus per-entry CPU
+  // to reject non-matching k1 values.
+  double cost_scan =
+      entries_in_range / index.entries_per_leaf() * transfer +
+      entries_in_range * ctx->cpu.index_entry_seconds;
+  return cost_skip < cost_scan ? MdamOptions::Mode::kSkipScan
+                               : MdamOptions::Mode::kRangeScan;
+}
+
+MdamCursor::MdamCursor(RunContext* ctx, Index* index, const MdamOptions& opts)
+    : index_(index), opts_(opts), mode_(ChooseMode(ctx, *index, opts)) {
+  inner_ = index_->Seek(ctx, opts_.k0_lo, opts_.k1_lo);
+  ++seeks_;
+  Normalize(ctx);
+}
+
+bool MdamCursor::Valid() const { return !done_ && inner_->Valid(); }
+
+const IndexEntry& MdamCursor::entry() const { return inner_->entry(); }
+
+void MdamCursor::Next(RunContext* ctx) {
+  assert(Valid());
+  inner_->Next(ctx);
+  Normalize(ctx);
+}
+
+void MdamCursor::Normalize(RunContext* ctx) {
+  while (inner_->Valid()) {
+    const IndexEntry& e = inner_->entry();
+    if (e.key0 > opts_.k0_hi) {
+      done_ = true;
+      return;
+    }
+    bool k1_ok = e.key1 >= opts_.k1_lo && e.key1 <= opts_.k1_hi;
+    if (k1_ok) return;
+    ++examined_;
+    ctx->ChargeCpuOps(1, ctx->cpu.index_entry_seconds);
+    if (mode_ == MdamOptions::Mode::kRangeScan) {
+      inner_->Next(ctx);
+      continue;
+    }
+    // Skip-scan: jump straight to the next possible qualifying position.
+    if (e.key1 < opts_.k1_lo) {
+      inner_ = index_->Seek(ctx, e.key0, opts_.k1_lo);
+    } else {
+      // e.key1 > k1_hi: no more matches within this k0 group.
+      if (e.key0 == opts_.k0_hi) {
+        done_ = true;
+        return;
+      }
+      inner_ = index_->Seek(ctx, e.key0 + 1, opts_.k1_lo);
+    }
+    ++seeks_;
+  }
+  done_ = true;
+}
+
+}  // namespace robustmap

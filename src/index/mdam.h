@@ -1,0 +1,74 @@
+#ifndef ROBUSTMAP_INDEX_MDAM_H_
+#define ROBUSTMAP_INDEX_MDAM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "index/index.h"
+
+namespace robustmap {
+
+/// Options for a multi-dimensional access method (MDAM) scan over a
+/// two-column index [LJBY95]. Both key ranges are inclusive.
+struct MdamOptions {
+  int64_t k0_lo = 0;
+  int64_t k0_hi = 0;
+  int64_t k1_lo = 0;
+  int64_t k1_hi = 0;
+
+  /// Domain sizes of the key columns ([0, domain)); used by the cost-based
+  /// mode choice. 0 = unknown (forces skip-scan).
+  int64_t k0_domain = 0;
+  int64_t k1_domain = 0;
+
+  enum class Mode {
+    kAuto,      ///< cost-based choice between the two strategies below
+    kSkipScan,  ///< per-distinct-k0 probe to (k0, k1_lo), scan to k1_hi
+    kRangeScan, ///< single scan of the k0 range, filtering k1
+  };
+  Mode mode = Mode::kAuto;
+};
+
+/// MDAM cursor: enumerates exactly the entries with key0 in [k0_lo, k0_hi]
+/// and key1 in [k1_lo, k1_hi], in index order.
+///
+/// This is the "multi-dimensional B-tree access" the paper credits for
+/// System C's robustness (Figure 9): with a small k1 range it skips between
+/// per-k0 runs using B-tree probes; with a wide k1 range it degrades to a
+/// plain range scan instead of probing once per distinct k0 value.
+class MdamCursor : public IndexCursor {
+ public:
+  /// `index` must be a two-column index and must outlive the cursor.
+  static std::unique_ptr<MdamCursor> Create(RunContext* ctx, Index* index,
+                                            const MdamOptions& opts);
+
+  bool Valid() const override;
+  void Next(RunContext* ctx) override;
+  const IndexEntry& entry() const override;
+
+  MdamOptions::Mode chosen_mode() const { return mode_; }
+  uint64_t seeks_performed() const { return seeks_; }
+  uint64_t entries_examined() const { return examined_; }
+
+ private:
+  MdamCursor(RunContext* ctx, Index* index, const MdamOptions& opts);
+
+  /// Decides skip-scan vs. range-scan from estimated costs.
+  static MdamOptions::Mode ChooseMode(RunContext* ctx, const Index& index,
+                                      const MdamOptions& opts);
+
+  /// Advances `inner_` until it rests on a qualifying entry or runs out.
+  void Normalize(RunContext* ctx);
+
+  Index* index_;
+  MdamOptions opts_;
+  MdamOptions::Mode mode_;
+  std::unique_ptr<IndexCursor> inner_;
+  bool done_ = false;
+  uint64_t seeks_ = 0;
+  uint64_t examined_ = 0;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_INDEX_MDAM_H_

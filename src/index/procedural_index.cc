@@ -1,0 +1,139 @@
+#include "index/procedural_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace robustmap {
+
+class ProceduralIndex::Cursor : public IndexCursor {
+ public:
+  Cursor(const ProceduralIndex* index, uint64_t ordinal)
+      : index_(index), ordinal_(ordinal) {
+    if (Valid()) entry_ = index_->EntryAt(ordinal_);
+  }
+
+  bool Valid() const override { return ordinal_ < index_->num_entries(); }
+
+  void Next(RunContext* ctx) override {
+    assert(Valid());
+    ++ordinal_;
+    if (!Valid()) return;
+    if (ordinal_ % index_->entries_per_leaf() == 0) {
+      ctx->ReadPage(index_->LeafPageOf(ordinal_), /*cacheable=*/true);
+    }
+    entry_ = index_->EntryAt(ordinal_);
+  }
+
+  const IndexEntry& entry() const override { return entry_; }
+
+ private:
+  const ProceduralIndex* index_;
+  uint64_t ordinal_;
+  IndexEntry entry_;
+};
+
+Result<std::unique_ptr<ProceduralIndex>> ProceduralIndex::Create(
+    SimDevice* device, const ProceduralTable* table,
+    const ProceduralIndexOptions& opts) {
+  if (opts.key_columns.empty() || opts.key_columns.size() > 2) {
+    return Status::InvalidArgument("index supports 1 or 2 key columns");
+  }
+  for (uint32_t c : opts.key_columns) {
+    if (c >= table->num_columns()) {
+      return Status::InvalidArgument("key column beyond table schema");
+    }
+  }
+  if (opts.entries_per_leaf < 2) {
+    return Status::InvalidArgument("entries_per_leaf too small");
+  }
+  uint64_t leaves =
+      (table->num_rows() + opts.entries_per_leaf - 1) / opts.entries_per_leaf;
+  uint64_t base = device->AllocateExtent(leaves);
+  return std::unique_ptr<ProceduralIndex>(
+      new ProceduralIndex(device, table, opts, base));
+}
+
+ProceduralIndex::ProceduralIndex(SimDevice* device,
+                                 const ProceduralTable* table,
+                                 const ProceduralIndexOptions& opts,
+                                 uint64_t base_page)
+    : device_(device), table_(table), opts_(opts), base_page_(base_page) {
+  (void)device_;
+  num_leaf_pages_ =
+      (table->num_rows() + opts_.entries_per_leaf - 1) / opts_.entries_per_leaf;
+  double n = static_cast<double>(std::max<uint64_t>(1, num_leaf_pages_));
+  height_ = 1 + std::max(1, static_cast<int>(std::ceil(
+                                std::log(n) / std::log(opts_.internal_fanout))));
+}
+
+const std::vector<IndexEntry>& ProceduralIndex::Group(uint64_t g) const {
+  if (cached_group_ == g) return group_entries_;
+  const auto& perm0 = table_->column_permutation(opts_.key_columns[0]);
+  uint64_t rpv = table_->rows_per_value();
+  group_entries_.clear();
+  group_entries_.reserve(rpv);
+  for (uint64_t j = 0; j < rpv; ++j) {
+    Rid rid = perm0.Inverse(g * rpv + j);
+    IndexEntry e;
+    e.key0 = static_cast<int64_t>(g);
+    e.key1 = table_->ValueAt(rid, opts_.key_columns[1]);
+    e.rid = rid;
+    group_entries_.push_back(e);
+  }
+  std::sort(group_entries_.begin(), group_entries_.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              if (a.key1 != b.key1) return a.key1 < b.key1;
+              return a.rid < b.rid;
+            });
+  cached_group_ = g;
+  return group_entries_;
+}
+
+IndexEntry ProceduralIndex::EntryAt(uint64_t k) const {
+  assert(k < num_entries());
+  if (opts_.key_columns.size() == 1) {
+    const auto& perm = table_->column_permutation(opts_.key_columns[0]);
+    IndexEntry e;
+    e.key0 = static_cast<int64_t>(k >> table_->value_shift());
+    e.key1 = 0;
+    e.rid = perm.Inverse(k);
+    return e;
+  }
+  uint64_t rpv = table_->rows_per_value();
+  return Group(k / rpv)[k % rpv];
+}
+
+uint64_t ProceduralIndex::OrdinalLowerBound(int64_t k0, int64_t k1) const {
+  int64_t domain = table_->value_domain();
+  uint64_t n = num_entries();
+  if (k0 < 0) return 0;
+  if (k0 >= domain) return n;
+  uint64_t rpv = table_->rows_per_value();
+  if (opts_.key_columns.size() == 1) {
+    // k1 is ignored; the first entry with key0 >= k0 starts value k0's run.
+    return static_cast<uint64_t>(k0) * rpv;
+  }
+  if (k1 <= 0) return static_cast<uint64_t>(k0) * rpv;
+  if (k1 >= domain) return (static_cast<uint64_t>(k0) + 1) * rpv;
+  const auto& group = Group(static_cast<uint64_t>(k0));
+  auto it = std::lower_bound(group.begin(), group.end(), k1,
+                             [](const IndexEntry& e, int64_t key) {
+                               return e.key1 < key;
+                             });
+  return static_cast<uint64_t>(k0) * rpv +
+         static_cast<uint64_t>(it - group.begin());
+}
+
+std::unique_ptr<IndexCursor> ProceduralIndex::Seek(RunContext* ctx, int64_t k0,
+                                                   int64_t k1) {
+  // Internal levels modeled as cached: CPU per level; then one leaf read.
+  ctx->ChargeCpuOps(static_cast<uint64_t>(height_) * 8, ctx->cpu.compare_seconds);
+  uint64_t ordinal = OrdinalLowerBound(k0, k1);
+  if (ordinal < num_entries()) {
+    ctx->ReadPage(LeafPageOf(ordinal), /*cacheable=*/true);
+  }
+  return std::make_unique<Cursor>(this, ordinal);
+}
+
+}  // namespace robustmap

@@ -1,0 +1,53 @@
+#ifndef ROBUSTMAP_IO_BUFFER_POOL_H_
+#define ROBUSTMAP_IO_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "io/sim_device.h"
+
+namespace robustmap {
+
+/// LRU page cache in front of a `SimDevice`.
+///
+/// Like the device, the pool tracks *residency* rather than bytes: a hit
+/// avoids charging the device; a miss charges one device read and caches the
+/// page. Scans can pass `cacheable = false` to model ring-buffer scan reads
+/// that do not flood the pool (all major systems do this for large scans).
+class BufferPool {
+ public:
+  BufferPool(SimDevice* device, uint64_t capacity_pages)
+      : device_(device), capacity_(capacity_pages) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Logical page read. Returns true if the page was resident (no device
+  /// charge). On a miss, charges the device and, if `cacheable`, admits the
+  /// page (evicting the LRU page when full).
+  bool Access(uint64_t page, bool cacheable = true);
+
+  /// True if `page` is currently resident (no cost, no LRU effect).
+  bool Contains(uint64_t page) const { return map_.count(page) > 0; }
+
+  /// Drops all cached pages (no cost).
+  void Clear();
+
+  uint64_t capacity_pages() const { return capacity_; }
+  uint64_t resident_pages() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  SimDevice* device_;
+  uint64_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<uint64_t> lru_;  ///< front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_IO_BUFFER_POOL_H_

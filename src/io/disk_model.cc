@@ -1,0 +1,39 @@
+#include "io/disk_model.h"
+
+#include <algorithm>
+
+namespace robustmap {
+
+DiskModel::Pattern DiskModel::Classify(int64_t last_page, int64_t page) const {
+  if (last_page < 0) return Pattern::kRandom;
+  int64_t gap = page - (last_page + 1);
+  if (gap == 0) return Pattern::kSequential;
+  if (gap > 0 && gap <= static_cast<int64_t>(params_.max_skip_gap_pages)) {
+    return Pattern::kSkip;
+  }
+  return Pattern::kRandom;
+}
+
+double DiskModel::ReadCostSeconds(int64_t last_page, int64_t page) const {
+  double transfer = params_.TransferSeconds();
+  switch (Classify(last_page, page)) {
+    case Pattern::kSequential:
+      return transfer;
+    case Pattern::kSkip: {
+      int64_t gap = page - (last_page + 1);
+      double seek_over = params_.skip_settle_seconds +
+                         static_cast<double>(gap) * params_.skip_per_page_seconds;
+      // A short forward gap can also be crossed by simply reading through it
+      // (drives/controllers do this below the settle threshold); the device
+      // takes whichever is cheaper, bounded by a full random access.
+      double read_through = static_cast<double>(gap) * transfer;
+      double skip_cost = std::min(seek_over, read_through);
+      return std::min(skip_cost, params_.random_access_seconds) + transfer;
+    }
+    case Pattern::kRandom:
+      return params_.random_access_seconds + transfer;
+  }
+  return transfer;  // unreachable
+}
+
+}  // namespace robustmap

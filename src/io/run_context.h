@@ -1,0 +1,47 @@
+#ifndef ROBUSTMAP_IO_RUN_CONTEXT_H_
+#define ROBUSTMAP_IO_RUN_CONTEXT_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "io/buffer_pool.h"
+#include "io/disk_model.h"
+#include "io/sim_device.h"
+
+namespace robustmap {
+
+/// Everything a storage object or operator needs to execute: the virtual
+/// clock, the device, the buffer pool, CPU cost constants, and the memory
+/// budgets that the paper identifies as key run-time conditions.
+struct RunContext {
+  VirtualClock* clock = nullptr;
+  SimDevice* device = nullptr;
+  BufferPool* pool = nullptr;
+  CpuParameters cpu;
+
+  /// Work memory available to a sort operator, bytes.
+  uint64_t sort_memory_bytes = 64ull << 20;
+
+  /// Work memory available to a hash build side, bytes.
+  uint64_t hash_memory_bytes = 64ull << 20;
+
+  /// Charges `seconds` of CPU work to the virtual clock.
+  void ChargeCpu(double seconds) {
+    clock->Advance(static_cast<int64_t>(seconds * 1e9));
+  }
+
+  /// Charges `count` operations at `per_op_seconds` each.
+  void ChargeCpuOps(uint64_t count, double per_op_seconds) {
+    ChargeCpu(static_cast<double>(count) * per_op_seconds);
+  }
+
+  /// Logical page read through the buffer pool.
+  /// Returns true on a buffer hit.
+  bool ReadPage(uint64_t page, bool cacheable = true) {
+    return pool->Access(page, cacheable);
+  }
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_IO_RUN_CONTEXT_H_

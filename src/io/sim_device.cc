@@ -1,0 +1,47 @@
+#include "io/sim_device.h"
+
+namespace robustmap {
+
+uint64_t SimDevice::AllocateExtent(uint64_t pages) {
+  uint64_t base = next_free_page_;
+  next_free_page_ += pages;
+  return base;
+}
+
+void SimDevice::ReadPage(uint64_t page) {
+  int64_t p = static_cast<int64_t>(page);
+  double cost = model_.ReadCostSeconds(head_, p);
+  switch (model_.Classify(head_, p)) {
+    case DiskModel::Pattern::kSequential:
+      ++stats_.sequential_reads;
+      break;
+    case DiskModel::Pattern::kSkip:
+      ++stats_.skip_reads;
+      break;
+    case DiskModel::Pattern::kRandom:
+      ++stats_.random_reads;
+      break;
+  }
+  stats_.bytes_read += model_.params().page_size_bytes;
+  head_ = p;
+  Charge(cost);
+}
+
+void SimDevice::WritePage(uint64_t page) {
+  int64_t p = static_cast<int64_t>(page);
+  double cost = model_.ReadCostSeconds(head_, p);  // symmetric write model
+  ++stats_.writes;
+  stats_.bytes_written += model_.params().page_size_bytes;
+  head_ = p;
+  Charge(cost);
+}
+
+void SimDevice::ReadRun(uint64_t first, uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) ReadPage(first + i);
+}
+
+void SimDevice::WriteRun(uint64_t first, uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) WritePage(first + i);
+}
+
+}  // namespace robustmap

@@ -1,0 +1,68 @@
+#ifndef ROBUSTMAP_IO_SIM_DEVICE_H_
+#define ROBUSTMAP_IO_SIM_DEVICE_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "io/disk_model.h"
+#include "io/io_stats.h"
+
+namespace robustmap {
+
+/// Simulated block device.
+///
+/// Storage objects (tables, indexes, spill files) allocate extents of pages
+/// in a single linear address space; every page access charges the shared
+/// virtual clock according to the `DiskModel` and the current head position.
+/// The device never stores bytes — in this simulation the "disk contents"
+/// live with the storage objects; the device models *time* and collects
+/// access statistics.
+class SimDevice {
+ public:
+  SimDevice(const DiskParameters& params, VirtualClock* clock)
+      : model_(params), clock_(clock) {}
+
+  SimDevice(const SimDevice&) = delete;
+  SimDevice& operator=(const SimDevice&) = delete;
+
+  /// Reserves `pages` consecutive pages; returns the first global page id.
+  uint64_t AllocateExtent(uint64_t pages);
+
+  /// Charges one page read at `page` (global id).
+  void ReadPage(uint64_t page);
+
+  /// Charges one page write at `page` (global id).
+  void WritePage(uint64_t page);
+
+  /// Charges `count` consecutive page reads starting at `first`.
+  void ReadRun(uint64_t first, uint64_t count);
+
+  /// Charges `count` consecutive page writes starting at `first`.
+  void WriteRun(uint64_t first, uint64_t count);
+
+  /// Buffer pool bookkeeping: a logical read satisfied without device I/O.
+  void NoteBufferHit() { ++stats_.buffer_hits; }
+
+  const IoStats& stats() const { return stats_; }
+  const DiskModel& model() const { return model_; }
+  VirtualClock* clock() { return clock_; }
+  uint64_t allocated_pages() const { return next_free_page_; }
+
+  /// Forgets head position (e.g., after a long pause); next access is random.
+  void ResetHead() { head_ = -1; }
+
+ private:
+  void Charge(double seconds) {
+    clock_->Advance(static_cast<int64_t>(seconds * 1e9 + 0.5));
+  }
+
+  DiskModel model_;
+  VirtualClock* clock_;
+  IoStats stats_;
+  int64_t head_ = -1;  ///< last accessed page, -1 if none
+  uint64_t next_free_page_ = 0;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_IO_SIM_DEVICE_H_

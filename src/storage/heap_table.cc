@@ -1,0 +1,134 @@
+#include "storage/heap_table.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace robustmap {
+
+namespace {
+void StoreI64(uint8_t* p, int64_t v) {
+  std::memcpy(p, &v, sizeof(v));
+}
+int64_t LoadI64(const uint8_t* p) {
+  int64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+}  // namespace
+
+Result<std::unique_ptr<HeapTable>> HeapTable::Create(
+    SimDevice* device, uint64_t max_rows, const HeapTableOptions& opts) {
+  if (opts.num_columns == 0 || opts.num_columns > kMaxColumns) {
+    return Status::InvalidArgument("num_columns must be in [1, 4]");
+  }
+  if (opts.row_size_bytes < 8u * opts.num_columns + 4u) {
+    return Status::InvalidArgument("row_size_bytes too small for columns");
+  }
+  uint32_t page_size = device->model().params().page_size_bytes;
+  uint32_t rpp =
+      (page_size - static_cast<uint32_t>(kPageHeaderBytes)) / opts.row_size_bytes;
+  if (rpp == 0) {
+    return Status::InvalidArgument("row_size_bytes exceeds page capacity");
+  }
+  uint64_t max_pages = (max_rows + rpp - 1) / rpp;
+  if (max_pages == 0) max_pages = 1;
+  uint64_t base = device->AllocateExtent(max_pages);
+  return std::unique_ptr<HeapTable>(
+      new HeapTable(device, max_pages, opts, rpp, base));
+}
+
+HeapTable::HeapTable(SimDevice* device, uint64_t max_pages,
+                     const HeapTableOptions& opts, uint32_t rows_per_page,
+                     uint64_t base_page)
+    : device_(device),
+      opts_(opts),
+      rows_per_page_(rows_per_page),
+      base_page_(base_page),
+      max_pages_(max_pages) {
+  (void)device_;
+}
+
+Status HeapTable::Append(RunContext* ctx,
+                         const std::array<int64_t, kMaxColumns>& cols) {
+  if (finished_) return Status::InvalidArgument("Append after Finish");
+  uint64_t page_no = num_rows_ / rows_per_page_;
+  uint32_t slot = static_cast<uint32_t>(num_rows_ % rows_per_page_);
+  if (page_no >= max_pages_) {
+    return Status::ResourceExhausted("heap table extent full");
+  }
+  if (pages_.size() <= page_no) {
+    pages_.resize(page_no + 1);
+  }
+  auto& page = pages_[page_no];
+  if (page.empty()) {
+    page.assign(ctx->device->model().params().page_size_bytes, 0);
+  }
+  uint8_t* row = page.data() + RowOffset(slot);
+  for (uint32_t c = 0; c < opts_.num_columns; ++c) {
+    StoreI64(row + 8 * c, cols[c]);
+  }
+  // Slot count lives in the page header.
+  StoreI64(page.data(), static_cast<int64_t>(slot) + 1);
+  ++num_rows_;
+  if (slot + 1 == rows_per_page_) {
+    ctx->device->WritePage(base_page_ + page_no);
+  }
+  ctx->ChargeCpuOps(1, ctx->cpu.copy_row_seconds);
+  return Status::OK();
+}
+
+Status HeapTable::Finish(RunContext* ctx) {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  if (num_rows_ % rows_per_page_ != 0) {
+    ctx->device->WritePage(base_page_ + num_rows_ / rows_per_page_);
+  }
+  return Status::OK();
+}
+
+Status HeapTable::ReadPage(RunContext* ctx, uint64_t page_no, bool cacheable,
+                           std::vector<Row>* out) const {
+  if (page_no >= num_pages()) {
+    return Status::OutOfRange("page beyond heap table");
+  }
+  ctx->ReadPage(base_page_ + page_no, cacheable);
+  if (page_no >= pages_.size() || pages_[page_no].empty()) {
+    return Status::Corruption("unwritten heap page");
+  }
+  const auto& page = pages_[page_no];
+  uint32_t slots = static_cast<uint32_t>(LoadI64(page.data()));
+  for (uint32_t s = 0; s < slots; ++s) {
+    Row r;
+    r.rid = page_no * rows_per_page_ + s;
+    const uint8_t* row = page.data() + RowOffset(s);
+    for (uint32_t c = 0; c < opts_.num_columns; ++c) {
+      r.SetCol(c, LoadI64(row + 8 * c));
+    }
+    out->push_back(r);
+  }
+  return Status::OK();
+}
+
+Status HeapTable::FetchRow(RunContext* ctx, Rid rid, Row* out) const {
+  if (rid >= num_rows_) return Status::OutOfRange("rid beyond heap table");
+  uint64_t page_no = rid / rows_per_page_;
+  uint32_t slot = static_cast<uint32_t>(rid % rows_per_page_);
+  ctx->ReadPage(base_page_ + page_no, /*cacheable=*/true);
+  ctx->ChargeCpuOps(1, ctx->cpu.row_fetch_seconds);
+  const auto& page = pages_[page_no];
+  if (page.empty()) return Status::Corruption("unwritten heap page");
+  out->rid = rid;
+  const uint8_t* row = page.data() + RowOffset(slot);
+  for (uint32_t c = 0; c < opts_.num_columns; ++c) {
+    out->SetCol(c, LoadI64(row + 8 * c));
+  }
+  return Status::OK();
+}
+
+int64_t HeapTable::RawValue(Rid rid, uint32_t col) const {
+  uint64_t page_no = rid / rows_per_page_;
+  uint32_t slot = static_cast<uint32_t>(rid % rows_per_page_);
+  return LoadI64(pages_[page_no].data() + RowOffset(slot) + 8 * col);
+}
+
+}  // namespace robustmap

@@ -1,0 +1,75 @@
+#ifndef ROBUSTMAP_STORAGE_HEAP_TABLE_H_
+#define ROBUSTMAP_STORAGE_HEAP_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "io/run_context.h"
+#include "storage/table.h"
+
+namespace robustmap {
+
+/// Options for creating a heap table.
+struct HeapTableOptions {
+  uint32_t num_columns = 2;
+  /// Bytes reserved per row on a page (padding models real-world payload
+  /// width). Must be >= 8 * num_columns + 4 (slot header).
+  uint32_t row_size_bytes = 128;
+};
+
+/// A real heap file: fixed-size rows in slotted 8 KiB pages, with the page
+/// bytes held in process memory standing in for disk contents. Appends and
+/// reads charge the simulated device through the `RunContext`.
+class HeapTable : public Table {
+ public:
+  /// Creates an empty table with capacity for `max_rows` rows (the extent is
+  /// allocated eagerly so page ids are stable).
+  static Result<std::unique_ptr<HeapTable>> Create(SimDevice* device,
+                                                   uint64_t max_rows,
+                                                   const HeapTableOptions& opts);
+
+  /// Appends a row; charges a page write each time a page fills (and on
+  /// `Finish()` for the final partial page).
+  Status Append(RunContext* ctx, const std::array<int64_t, kMaxColumns>& cols);
+
+  /// Flushes the trailing partial page. Call once after the last Append.
+  Status Finish(RunContext* ctx);
+
+  // Table interface.
+  uint64_t num_rows() const override { return num_rows_; }
+  uint32_t num_columns() const override { return opts_.num_columns; }
+  uint32_t rows_per_page() const override { return rows_per_page_; }
+  uint64_t base_page() const override { return base_page_; }
+  Status ReadPage(RunContext* ctx, uint64_t page_no, bool cacheable,
+                  std::vector<Row>* out) const override;
+  Status FetchRow(RunContext* ctx, Rid rid, Row* out) const override;
+
+  /// Direct (cost-free) access for verification in tests.
+  int64_t RawValue(Rid rid, uint32_t col) const;
+
+ private:
+  HeapTable(SimDevice* device, uint64_t max_pages, const HeapTableOptions& opts,
+            uint32_t rows_per_page, uint64_t base_page);
+
+  /// Serialized little-endian column values for one row within a page.
+  size_t RowOffset(uint32_t slot) const {
+    return kPageHeaderBytes + static_cast<size_t>(slot) * opts_.row_size_bytes;
+  }
+
+  static constexpr size_t kPageHeaderBytes = 16;
+
+  SimDevice* device_;
+  HeapTableOptions opts_;
+  uint32_t rows_per_page_;
+  uint64_t base_page_;
+  uint64_t max_pages_;
+  uint64_t num_rows_ = 0;
+  bool finished_ = false;
+  std::vector<std::vector<uint8_t>> pages_;  ///< simulated disk contents
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_STORAGE_HEAP_TABLE_H_

@@ -1,0 +1,40 @@
+#ifndef ROBUSTMAP_STORAGE_ROW_H_
+#define ROBUSTMAP_STORAGE_ROW_H_
+
+#include <array>
+#include <cstdint>
+
+namespace robustmap {
+
+/// Maximum number of columns a table (or the key of an index) may have.
+/// The paper's workloads restrict at most two columns per predicate set plus
+/// payload; four keeps rows POD and cache-friendly.
+inline constexpr uint32_t kMaxColumns = 4;
+
+/// Row identifier: the ordinal of the row within its table. The owning table
+/// maps rids to (page, slot) via its `rows_per_page`.
+using Rid = uint64_t;
+
+inline constexpr Rid kInvalidRid = ~Rid{0};
+
+/// A materialized row (or index-entry projection) flowing between operators.
+///
+/// `cols[i]` holds the value of table column `i`. Operators that produce
+/// rid-only streams (index scans feeding fetch/join operators) leave columns
+/// they do not cover untouched; `valid_cols` is a bitmask of which column
+/// slots are populated.
+struct Row {
+  Rid rid = kInvalidRid;
+  std::array<int64_t, kMaxColumns> cols{};
+  uint32_t valid_cols = 0;  ///< bit i set => cols[i] is populated
+
+  void SetCol(uint32_t i, int64_t v) {
+    cols[i] = v;
+    valid_cols |= (1u << i);
+  }
+  bool HasCol(uint32_t i) const { return (valid_cols & (1u << i)) != 0; }
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_STORAGE_ROW_H_

@@ -1,0 +1,59 @@
+#ifndef ROBUSTMAP_STORAGE_TABLE_H_
+#define ROBUSTMAP_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "io/run_context.h"
+#include "storage/row.h"
+
+namespace robustmap {
+
+/// Abstract row store. Two implementations exist:
+///
+///   * `HeapTable`      — a real slotted-page heap file whose bytes live in
+///                        process memory (the simulated "disk contents");
+///                        used by tests, examples, and small-scale studies.
+///   * `ProceduralTable`— a synthetic table of 2^n rows whose page contents
+///                        are derived on demand from invertible permutations;
+///                        used for paper-scale sweeps.
+///
+/// Both charge identical I/O through the `RunContext`, so operators are
+/// oblivious to which one they run on.
+class Table {
+ public:
+  virtual ~Table() = default;
+
+  virtual uint64_t num_rows() const = 0;
+  virtual uint32_t num_columns() const = 0;
+  virtual uint32_t rows_per_page() const = 0;
+
+  /// First global device page of this table's extent.
+  virtual uint64_t base_page() const = 0;
+
+  uint64_t num_pages() const {
+    uint64_t rpp = rows_per_page();
+    return (num_rows() + rpp - 1) / rpp;
+  }
+
+  /// Global device page holding `rid`.
+  uint64_t PageOfRid(Rid rid) const {
+    return base_page() + rid / rows_per_page();
+  }
+
+  /// Reads table page `page_no` (0-based within the table), appending its
+  /// rows to `out`. Charges one logical page read; `cacheable` selects
+  /// whether the buffer pool admits the page (large scans pass false to
+  /// model ring-buffer scan reads).
+  virtual Status ReadPage(RunContext* ctx, uint64_t page_no, bool cacheable,
+                          std::vector<Row>* out) const = 0;
+
+  /// Random fetch of a single row. Charges one logical (pool-cached) page
+  /// read plus per-row reconstruction CPU.
+  virtual Status FetchRow(RunContext* ctx, Rid rid, Row* out) const = 0;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_STORAGE_TABLE_H_

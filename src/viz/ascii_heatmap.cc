@@ -1,0 +1,150 @@
+#include "viz/ascii_heatmap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "common/format.h"
+
+namespace robustmap {
+
+std::string RenderHeatmap(const ParameterSpace& space,
+                          const std::vector<double>& grid,
+                          const ColorScale& scale, const HeatmapOptions& opts) {
+  assert(grid.size() == space.num_points());
+  std::string out;
+  if (!opts.title.empty()) out += opts.title + "\n";
+
+  size_t xs = space.x_size();
+  size_t ys = space.y_size();
+  // Highest y at the top, like the paper's plots.
+  for (size_t row = ys; row-- > 0;) {
+    std::string line;
+    if (opts.show_axes) {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%8s |",
+                    space.is_2d()
+                        ? FormatSelectivity(space.y().values[row]).c_str()
+                        : "");
+      line += buf;
+    }
+    for (size_t col = 0; col < xs; ++col) {
+      double v = grid[space.IndexOf(col, row)];
+      if (opts.ansi_color) {
+        line += scale.AnsiCellOf(v);
+      } else {
+        char g = scale.GlyphOf(v);
+        line.push_back(g);
+        line.push_back(g);
+      }
+    }
+    out += line + "\n";
+  }
+  if (opts.show_axes) {
+    out += "         +";
+    out.append(2 * xs, '-');
+    out += "\n          ";
+    // Sparse x tick labels, spaced so neighbors cannot collide.
+    std::string ticks(2 * xs, ' ');
+    size_t max_label = 0;
+    for (double v : space.x().values) {
+      max_label = std::max(max_label, FormatSelectivity(v).size());
+    }
+    size_t step = std::max<size_t>(1, (max_label + 2) / 2);
+    for (size_t col = 0; col < xs; col += step) {
+      std::string lab = FormatSelectivity(space.x().values[col]);
+      for (size_t k = 0; k < lab.size() && 2 * col + k < ticks.size(); ++k) {
+        ticks[2 * col + k] = lab[k];
+      }
+    }
+    out += ticks + "\n";
+    out += "          x: " + space.x().name;
+    if (space.is_2d()) out += ", y: " + space.y().name;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderChart(const std::vector<double>& xs,
+                        const std::vector<ChartSeries>& series,
+                        const ChartOptions& opts) {
+  std::string out;
+  if (!opts.title.empty()) out += opts.title + "\n";
+  if (xs.empty() || series.empty()) return out + "(empty chart)\n";
+
+  auto tx = [&](double v) { return opts.log_x ? std::log2(v) : v; };
+  auto ty = [&](double v) { return opts.log_y ? std::log2(v) : v; };
+
+  double xmin = tx(xs.front()), xmax = tx(xs.back());
+  double ymin = 1e300, ymax = -1e300;
+  for (const auto& s : series) {
+    for (double v : s.ys) {
+      if (opts.log_y && v <= 0) continue;
+      ymin = std::min(ymin, ty(v));
+      ymax = std::max(ymax, ty(v));
+    }
+  }
+  if (ymin > ymax) {
+    ymin = 0;
+    ymax = 1;
+  }
+  if (ymax - ymin < 1e-12) ymax = ymin + 1;
+  if (xmax - xmin < 1e-12) xmax = xmin + 1;
+
+  int w = std::max(16, opts.width);
+  int h = std::max(8, opts.height);
+  std::vector<std::string> canvas(static_cast<size_t>(h),
+                                  std::string(static_cast<size_t>(w), ' '));
+  for (size_t si = 0; si < series.size(); ++si) {
+    char glyph = static_cast<char>('a' + (si % 26));
+    const auto& ys = series[si].ys;
+    for (size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+      if (opts.log_y && ys[i] <= 0) continue;
+      int col = static_cast<int>(std::lround(
+          (tx(xs[i]) - xmin) / (xmax - xmin) * (w - 1)));
+      int row = static_cast<int>(std::lround(
+          (ty(ys[i]) - ymin) / (ymax - ymin) * (h - 1)));
+      col = std::clamp(col, 0, w - 1);
+      row = std::clamp(row, 0, h - 1);
+      char& cell = canvas[static_cast<size_t>(h - 1 - row)]
+                         [static_cast<size_t>(col)];
+      cell = cell == ' ' ? glyph : '*';  // '*' marks overlapping series
+    }
+  }
+
+  char buf[64];
+  double y_top = opts.log_y ? std::exp2(ymax) : ymax;
+  double y_bot = opts.log_y ? std::exp2(ymin) : ymin;
+  for (int r = 0; r < h; ++r) {
+    if (r == 0) {
+      std::snprintf(buf, sizeof(buf), "%10s |",
+                    FormatSeconds(y_top).c_str());
+    } else if (r == h - 1) {
+      std::snprintf(buf, sizeof(buf), "%10s |",
+                    FormatSeconds(y_bot).c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf), "%10s |", "");
+    }
+    out += buf + canvas[static_cast<size_t>(r)] + "\n";
+  }
+  out += "           +";
+  out.append(static_cast<size_t>(w), '-');
+  out += "\n            ";
+  out += FormatSelectivity(xs.front());
+  std::string right = FormatSelectivity(xs.back());
+  int pad = w - static_cast<int>(FormatSelectivity(xs.front()).size()) -
+            static_cast<int>(right.size());
+  out.append(static_cast<size_t>(std::max(1, pad)), ' ');
+  out += right + "\n";
+  if (!opts.x_label.empty()) out += "            x: " + opts.x_label + "\n";
+  for (size_t si = 0; si < series.size(); ++si) {
+    out.push_back(' ');
+    out.push_back(' ');
+    out.push_back(static_cast<char>('a' + (si % 26)));
+    out += " = " + series[si].label + "\n";
+  }
+  return out;
+}
+
+}  // namespace robustmap

@@ -1,0 +1,53 @@
+#ifndef ROBUSTMAP_VIZ_ASCII_HEATMAP_H_
+#define ROBUSTMAP_VIZ_ASCII_HEATMAP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/color_scale.h"
+#include "core/parameter_space.h"
+
+namespace robustmap {
+
+/// Rendering options for terminal maps.
+struct HeatmapOptions {
+  bool ansi_color = false;  ///< 24-bit ANSI backgrounds vs. glyph ramp
+  bool show_axes = true;
+  std::string title;
+};
+
+/// Renders a 2-D grid (row-major, y rows of x cells; y grows upward) as a
+/// terminal heat map with the given color scale — the textual equivalent of
+/// the paper's Figures 4/5/7/8/9.
+std::string RenderHeatmap(const ParameterSpace& space,
+                          const std::vector<double>& grid,
+                          const ColorScale& scale,
+                          const HeatmapOptions& opts = {});
+
+/// One labeled series of a 1-D chart.
+struct ChartSeries {
+  std::string label;
+  std::vector<double> ys;
+};
+
+/// Options for log-log curve charts (Figure 1/2 style).
+struct ChartOptions {
+  int width = 72;    ///< plot columns
+  int height = 24;   ///< plot rows
+  bool log_x = true;
+  bool log_y = true;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders multiple curves over a shared x grid as an ASCII chart with
+/// logarithmic axes — the form of the paper's Figure 1. Each series is
+/// drawn with its own glyph ('a' + index, shown in the legend).
+std::string RenderChart(const std::vector<double>& xs,
+                        const std::vector<ChartSeries>& series,
+                        const ChartOptions& opts = {});
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_VIZ_ASCII_HEATMAP_H_

@@ -1,0 +1,33 @@
+#include "viz/csv_export.h"
+
+#include <fstream>
+
+namespace robustmap {
+
+void WriteMapCsv(std::ostream& os, const RobustnessMap& map) {
+  os << "plan,x,y,seconds,output_rows,seq_reads,skip_reads,random_reads,"
+        "writes,buffer_hits\n";
+  const ParameterSpace& space = map.space();
+  for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+    for (size_t pt = 0; pt < space.num_points(); ++pt) {
+      const Measurement& m = map.At(pl, pt);
+      os << map.plan_label(pl) << ',' << space.x_value(pt) << ',';
+      if (space.is_2d()) os << space.y_value(pt);
+      os << ',' << m.seconds << ',' << m.output_rows << ','
+         << m.io.sequential_reads << ',' << m.io.skip_reads << ','
+         << m.io.random_reads << ',' << m.io.writes << ',' << m.io.buffer_hits
+         << '\n';
+    }
+  }
+}
+
+Status WriteMapCsvFile(const std::string& path, const RobustnessMap& map) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  WriteMapCsv(f, map);
+  return Status::OK();
+}
+
+}  // namespace robustmap

@@ -1,0 +1,75 @@
+#include "viz/gnuplot_export.h"
+
+#include <fstream>
+
+namespace robustmap {
+
+Status WriteGnuplot(const std::string& basename, const RobustnessMap& map) {
+  const ParameterSpace& space = map.space();
+  std::ofstream dat(basename + ".dat");
+  if (!dat.is_open()) {
+    return Status::Internal("cannot open " + basename + ".dat");
+  }
+
+  if (!space.is_2d()) {
+    dat << "# x";
+    for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+      dat << " \"" << map.plan_label(pl) << '"';
+    }
+    dat << '\n';
+    for (size_t pt = 0; pt < space.num_points(); ++pt) {
+      dat << space.x_value(pt);
+      for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+        dat << ' ' << map.At(pl, pt).seconds;
+      }
+      dat << '\n';
+    }
+  } else {
+    // pm3d blocks, one per plan, separated by two blank lines.
+    for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+      dat << "# plan " << map.plan_label(pl) << '\n';
+      for (size_t yi = 0; yi < space.y_size(); ++yi) {
+        for (size_t xi = 0; xi < space.x_size(); ++xi) {
+          dat << space.x().values[xi] << ' ' << space.y().values[yi] << ' '
+              << map.AtXY(pl, xi, yi).seconds << '\n';
+        }
+        dat << '\n';
+      }
+      dat << '\n';
+    }
+  }
+
+  std::ofstream plt(basename + ".plt");
+  if (!plt.is_open()) {
+    return Status::Internal("cannot open " + basename + ".plt");
+  }
+  plt << "# gnuplot script regenerating this robustness map\n";
+  plt << "set terminal pngcairo size 1000,700\n";
+  if (!space.is_2d()) {
+    plt << "set output '" << basename << ".png'\n";
+    plt << "set logscale xy\nset xlabel '" << space.x().name
+        << "'\nset ylabel 'execution time [s]'\nset key outside\n";
+    plt << "plot";
+    for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+      if (pl > 0) plt << ',';
+      plt << " '" << basename << ".dat' using 1:" << pl + 2
+          << " with linespoints title \"" << map.plan_label(pl) << '"';
+    }
+    plt << '\n';
+  } else {
+    plt << "set logscale xy\nset logscale cb\nset view map\nset pm3d at b\n";
+    plt << "set xlabel '" << space.x().name << "'\nset ylabel '"
+        << space.y().name << "'\n";
+    plt << "set palette defined (0 'green', 1 'yellow', 2 'orange', 3 'red', "
+           "4 'dark-red', 5 'black')\n";
+    for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+      plt << "set output '" << basename << "_plan" << pl << ".png'\n";
+      plt << "set title \"" << map.plan_label(pl) << "\"\n";
+      plt << "splot '" << basename << ".dat' index " << pl
+          << " using 1:2:3 with pm3d notitle\n";
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace robustmap

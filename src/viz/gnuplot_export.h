@@ -1,0 +1,19 @@
+#ifndef ROBUSTMAP_VIZ_GNUPLOT_EXPORT_H_
+#define ROBUSTMAP_VIZ_GNUPLOT_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/robustness_map.h"
+
+namespace robustmap {
+
+/// Writes `<basename>.dat` and `<basename>.plt` so that
+/// `gnuplot <basename>.plt` regenerates the figure offline:
+///   * 1-D maps -> log-log multi-series line plot (Figure 1/2 style);
+///   * 2-D maps -> one pm3d heat map per plan (Figure 4/5 style).
+Status WriteGnuplot(const std::string& basename, const RobustnessMap& map);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_VIZ_GNUPLOT_EXPORT_H_

@@ -1,0 +1,27 @@
+#include "viz/legend.h"
+
+#include <cstdio>
+
+namespace robustmap {
+
+std::string RenderLegend(const ColorScale& scale, bool ansi_color) {
+  std::string out = scale.title() + ":\n";
+  for (size_t i = 0; i < scale.num_buckets(); ++i) {
+    if (ansi_color) {
+      Rgb c = scale.bucket_color(i);
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "  \x1b[48;2;%u;%u;%um    \x1b[0m ", c.r,
+                    c.g, c.b);
+      out += buf;
+    } else {
+      out += "  [";
+      out.push_back(scale.bucket_glyph(i));
+      out.push_back(scale.bucket_glyph(i));
+      out += "] ";
+    }
+    out += scale.bucket_label(i) + "\n";
+  }
+  return out;
+}
+
+}  // namespace robustmap

@@ -1,0 +1,17 @@
+#ifndef ROBUSTMAP_VIZ_LEGEND_H_
+#define ROBUSTMAP_VIZ_LEGEND_H_
+
+#include <string>
+
+#include "core/color_scale.h"
+
+namespace robustmap {
+
+/// Renders a color scale as terminal text — the reproduction of the paper's
+/// Figure 3 (absolute) and Figure 6 (relative) legends. With `ansi_color`
+/// each bucket shows its actual color swatch; otherwise its glyph.
+std::string RenderLegend(const ColorScale& scale, bool ansi_color = false);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_VIZ_LEGEND_H_

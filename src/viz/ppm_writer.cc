@@ -1,0 +1,67 @@
+#include "viz/ppm_writer.h"
+
+#include <cstdio>
+
+namespace robustmap {
+
+namespace {
+Status WritePixels(const std::string& path, int width, int height,
+                   const std::vector<Rgb>& pixels) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  std::fprintf(f, "P6\n%d %d\n255\n", width, height);
+  for (const Rgb& p : pixels) {
+    uint8_t bytes[3] = {p.r, p.g, p.b};
+    std::fwrite(bytes, 1, 3, f);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+}  // namespace
+
+Status WritePpm(const std::string& path, const ParameterSpace& space,
+                const std::vector<double>& grid, const ColorScale& scale,
+                int cell_pixels) {
+  if (grid.size() != space.num_points()) {
+    return Status::InvalidArgument("grid size does not match space");
+  }
+  if (cell_pixels < 1) cell_pixels = 1;
+  int w = static_cast<int>(space.x_size()) * cell_pixels;
+  int h = static_cast<int>(space.y_size()) * cell_pixels;
+  std::vector<Rgb> pixels(static_cast<size_t>(w) * h);
+  for (size_t yi = 0; yi < space.y_size(); ++yi) {
+    for (size_t xi = 0; xi < space.x_size(); ++xi) {
+      Rgb c = scale.ColorOf(grid[space.IndexOf(xi, yi)]);
+      // Image row 0 is the top: highest y value.
+      size_t top_row = (space.y_size() - 1 - yi) * cell_pixels;
+      for (int py = 0; py < cell_pixels; ++py) {
+        for (int px = 0; px < cell_pixels; ++px) {
+          pixels[(top_row + py) * w + xi * cell_pixels + px] = c;
+        }
+      }
+    }
+  }
+  return WritePixels(path, w, h, pixels);
+}
+
+Status WriteLegendPpm(const std::string& path, const ColorScale& scale,
+                      int cell_pixels) {
+  if (cell_pixels < 1) cell_pixels = 1;
+  int n = static_cast<int>(scale.num_buckets());
+  int w = n * cell_pixels;
+  int h = cell_pixels;
+  std::vector<Rgb> pixels(static_cast<size_t>(w) * h);
+  for (int i = 0; i < n; ++i) {
+    Rgb c = scale.bucket_color(static_cast<size_t>(i));
+    for (int py = 0; py < h; ++py) {
+      for (int px = 0; px < cell_pixels; ++px) {
+        pixels[static_cast<size_t>(py) * w + i * cell_pixels + px] = c;
+      }
+    }
+  }
+  return WritePixels(path, w, h, pixels);
+}
+
+}  // namespace robustmap

@@ -1,0 +1,27 @@
+#ifndef ROBUSTMAP_VIZ_PPM_WRITER_H_
+#define ROBUSTMAP_VIZ_PPM_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/color_scale.h"
+#include "core/parameter_space.h"
+
+namespace robustmap {
+
+/// Writes a 2-D grid as a binary PPM (P6) image using the color scale —
+/// true-color robustness maps without any plotting dependency. Each grid
+/// cell becomes a `cell_pixels` × `cell_pixels` block; y grows upward as in
+/// the paper's figures.
+Status WritePpm(const std::string& path, const ParameterSpace& space,
+                const std::vector<double>& grid, const ColorScale& scale,
+                int cell_pixels = 16);
+
+/// Writes the color-scale legend itself as a PPM strip (Figures 3 and 6).
+Status WriteLegendPpm(const std::string& path, const ColorScale& scale,
+                      int cell_pixels = 24);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_VIZ_PPM_WRITER_H_

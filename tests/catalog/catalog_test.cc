@@ -1,0 +1,83 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "index/procedural_index.h"
+#include "storage/procedural_table.h"
+
+namespace robustmap {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : device_(DiskParameters{}, &clock_) {
+    ProceduralTableOptions opts;
+    opts.row_bits = 8;
+    opts.value_bits = 4;
+    table_ = std::shared_ptr<ProceduralTable>(
+        std::move(ProceduralTable::Create(&device_, opts)).ValueOrDie());
+    ProceduralIndexOptions iopts;
+    iopts.key_columns = {0};
+    index_ = std::shared_ptr<ProceduralIndex>(
+        std::move(ProceduralIndex::Create(&device_, table_.get(), iopts))
+            .ValueOrDie());
+  }
+  VirtualClock clock_;
+  SimDevice device_;
+  std::shared_ptr<ProceduralTable> table_;
+  std::shared_ptr<ProceduralIndex> index_;
+};
+
+TEST_F(CatalogTest, AddAndLookupTable) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.AddTable({"t", table_, Schema({{"a", 16}, {"b", 16}})}).ok());
+  auto info = catalog.GetTable("t");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value()->name, "t");
+  EXPECT_EQ(info.value()->schema.num_columns(), 2u);
+  EXPECT_TRUE(catalog.GetTable("nope").status().IsNotFound());
+}
+
+TEST_F(CatalogTest, AddIndexRequiresTable) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.AddIndex({"i", "missing", index_}).IsNotFound());
+  ASSERT_TRUE(catalog.AddTable({"t", table_, Schema({{"a", 16}})}).ok());
+  EXPECT_TRUE(catalog.AddIndex({"i", "t", index_}).ok());
+  EXPECT_TRUE(catalog.GetIndex("i").ok());
+}
+
+TEST_F(CatalogTest, RejectsDuplicatesAndNulls) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable({"t", table_, Schema({{"a", 16}})}).ok());
+  EXPECT_TRUE(
+      catalog.AddTable({"t", table_, Schema({{"a", 16}})}).IsInvalidArgument());
+  EXPECT_TRUE(
+      catalog.AddTable({"u", nullptr, Schema{}}).IsInvalidArgument());
+  ASSERT_TRUE(catalog.AddIndex({"i", "t", index_}).ok());
+  EXPECT_TRUE(catalog.AddIndex({"i", "t", index_}).IsInvalidArgument());
+  EXPECT_TRUE(catalog.AddIndex({"j", "t", nullptr}).IsInvalidArgument());
+}
+
+TEST_F(CatalogTest, IndexesOnFiltersByTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable({"t", table_, Schema({{"a", 16}})}).ok());
+  ASSERT_TRUE(catalog.AddTable({"u", table_, Schema({{"a", 16}})}).ok());
+  ASSERT_TRUE(catalog.AddIndex({"i1", "t", index_}).ok());
+  ASSERT_TRUE(catalog.AddIndex({"i2", "t", index_}).ok());
+  ASSERT_TRUE(catalog.AddIndex({"i3", "u", index_}).ok());
+  EXPECT_EQ(catalog.IndexesOn("t").size(), 2u);
+  EXPECT_EQ(catalog.IndexesOn("u").size(), 1u);
+  EXPECT_EQ(catalog.IndexesOn("v").size(), 0u);
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema schema({{"a", 10}, {"b", 20}});
+  EXPECT_EQ(schema.ColumnIndex("a").ValueOrDie(), 0u);
+  EXPECT_EQ(schema.ColumnIndex("b").ValueOrDie(), 1u);
+  EXPECT_TRUE(schema.ColumnIndex("c").status().IsNotFound());
+  EXPECT_EQ(schema.column(1).domain, 20);
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,58 @@
+#include "common/format.h"
+
+#include <gtest/gtest.h>
+
+namespace robustmap {
+namespace {
+
+TEST(FormatSecondsTest, Units) {
+  EXPECT_EQ(FormatSeconds(5e-9), "5 ns");
+  EXPECT_EQ(FormatSeconds(5e-6), "5 us");
+  EXPECT_EQ(FormatSeconds(5e-3), "5 ms");
+  EXPECT_EQ(FormatSeconds(5), "5 s");
+  EXPECT_EQ(FormatSeconds(1234), "1234 s");
+}
+
+TEST(FormatBytesTest, Units) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(8192), "8 KiB");
+  EXPECT_EQ(FormatBytes(uint64_t{6} << 30), "6 GiB");
+}
+
+TEST(FormatCountTest, ThousandsSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(61341), "61,341");
+  EXPECT_EQ(FormatCount(1234567890), "1,234,567,890");
+}
+
+TEST(FormatSelectivityTest, PowersOfTwo) {
+  EXPECT_EQ(FormatSelectivity(1.0), "1");
+  EXPECT_EQ(FormatSelectivity(0.5), "2^-1");
+  EXPECT_EQ(FormatSelectivity(0.0078125), "2^-7");
+  EXPECT_EQ(FormatSelectivity(0.0), "0");
+}
+
+TEST(FormatSelectivityTest, NonPowers) {
+  EXPECT_EQ(FormatSelectivity(0.3), "0.3");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name    value"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsMissingCells) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_NE(t.ToString().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,67 @@
+#include "common/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace robustmap {
+namespace {
+
+// Property sweep: bijectivity over the full domain for several sizes.
+class PermutationBijectionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PermutationBijectionTest, IsBijective) {
+  int bits = GetParam();
+  FeistelPermutation perm(bits, 99);
+  uint64_t n = uint64_t{1} << bits;
+  std::vector<bool> seen(n, false);
+  for (uint64_t x = 0; x < n; ++x) {
+    uint64_t y = perm.Permute(x);
+    ASSERT_LT(y, n);
+    ASSERT_FALSE(seen[y]) << "collision at " << x;
+    seen[y] = true;
+  }
+}
+
+TEST_P(PermutationBijectionTest, InverseRoundTrips) {
+  int bits = GetParam();
+  FeistelPermutation perm(bits, 7);
+  uint64_t n = uint64_t{1} << bits;
+  for (uint64_t x = 0; x < n; ++x) {
+    ASSERT_EQ(perm.Inverse(perm.Permute(x)), x);
+    ASSERT_EQ(perm.Permute(perm.Inverse(x)), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationBijectionTest,
+                         ::testing::Values(2, 4, 8, 10, 12, 14));
+
+TEST(PermutationTest, SeedsProduceDifferentPermutations) {
+  FeistelPermutation a(12, 1), b(12, 2);
+  int same = 0;
+  for (uint64_t x = 0; x < 4096; ++x) {
+    if (a.Permute(x) == b.Permute(x)) ++same;
+  }
+  EXPECT_LT(same, 40);  // ~1/4096 expected collisions per point
+}
+
+TEST(PermutationTest, LooksScrambled) {
+  FeistelPermutation perm(16, 5);
+  // No long identity runs.
+  int identity = 0;
+  for (uint64_t x = 0; x < 65536; ++x) {
+    if (perm.Permute(x) == x) ++identity;
+  }
+  EXPECT_LT(identity, 20);
+}
+
+TEST(PermutationTest, LargeDomainRoundTrip) {
+  FeistelPermutation perm(26, 42);
+  for (uint64_t x = 0; x < (1u << 26); x += 104729) {
+    ASSERT_EQ(perm.Inverse(perm.Permute(x)), x);
+  }
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,71 @@
+#include "core/color_scale.h"
+
+#include <gtest/gtest.h>
+
+namespace robustmap {
+namespace {
+
+TEST(ColorScaleTest, AbsoluteBucketsAreDecades) {
+  ColorScale scale = ColorScale::AbsoluteSeconds();
+  EXPECT_EQ(scale.num_buckets(), 8u);
+  EXPECT_EQ(scale.BucketOf(0.0001), 0);
+  EXPECT_EQ(scale.BucketOf(0.005), 1);
+  EXPECT_EQ(scale.BucketOf(0.05), 2);
+  EXPECT_EQ(scale.BucketOf(0.5), 3);
+  EXPECT_EQ(scale.BucketOf(5), 4);
+  EXPECT_EQ(scale.BucketOf(50), 5);
+  EXPECT_EQ(scale.BucketOf(500), 6);
+  EXPECT_EQ(scale.BucketOf(5000), 7);
+}
+
+TEST(ColorScaleTest, BucketBoundariesInclusive) {
+  ColorScale scale = ColorScale::AbsoluteSeconds();
+  EXPECT_EQ(scale.BucketOf(1e-3), 0);   // boundary belongs to lower bucket
+  EXPECT_EQ(scale.BucketOf(1.0001e-3), 1);
+}
+
+TEST(ColorScaleTest, RelativeBuckets) {
+  ColorScale scale = ColorScale::RelativeFactor();
+  EXPECT_EQ(scale.num_buckets(), 7u);
+  EXPECT_EQ(scale.BucketOf(1.0), 0);       // optimal
+  EXPECT_EQ(scale.BucketOf(2.0), 1);
+  EXPECT_EQ(scale.BucketOf(50), 2);
+  EXPECT_EQ(scale.BucketOf(101000), 6);    // the paper's worst factor
+}
+
+TEST(ColorScaleTest, GreenToBlackRamp) {
+  ColorScale scale = ColorScale::AbsoluteSeconds();
+  Rgb first = scale.bucket_color(0);
+  Rgb last = scale.bucket_color(scale.num_buckets() - 1);
+  EXPECT_GT(first.g, first.r);  // green end
+  EXPECT_EQ(last.r, 0);         // black end
+  EXPECT_EQ(last.g, 0);
+}
+
+TEST(ColorScaleTest, LabelsMatchPaperLegend) {
+  ColorScale scale = ColorScale::AbsoluteSeconds();
+  EXPECT_EQ(scale.bucket_label(1), "0.001-0.01 seconds");
+  EXPECT_EQ(scale.bucket_label(6), "100-1000 seconds");
+  ColorScale rel = ColorScale::RelativeFactor();
+  EXPECT_EQ(rel.bucket_label(0), "Factor 1");
+  EXPECT_EQ(rel.bucket_label(5), "Factor 10,000-100,000");
+}
+
+TEST(ColorScaleTest, CountsScale) {
+  ColorScale scale = ColorScale::Counts(5);
+  EXPECT_EQ(scale.num_buckets(), 5u);
+  EXPECT_EQ(scale.BucketOf(1), 0);
+  EXPECT_EQ(scale.BucketOf(3), 2);
+  EXPECT_EQ(scale.BucketOf(99), 4);
+  EXPECT_EQ(scale.GlyphOf(2), '2');
+}
+
+TEST(ColorScaleTest, AnsiCellContainsEscape) {
+  ColorScale scale = ColorScale::AbsoluteSeconds();
+  std::string cell = scale.AnsiCellOf(5.0);
+  EXPECT_NE(cell.find("\x1b[48;2;"), std::string::npos);
+  EXPECT_NE(cell.find("\x1b[0m"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,122 @@
+#include "core/landmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace robustmap {
+namespace {
+
+std::vector<double> Xs(int n) {
+  std::vector<double> xs;
+  for (int i = 0; i < n; ++i) xs.push_back(std::exp2(i - n + 1));
+  return xs;
+}
+
+TEST(LandmarksTest, CleanLinearCurve) {
+  auto xs = Xs(8);
+  std::vector<double> costs;
+  for (double x : xs) costs.push_back(10 * x);
+  auto lm = AnalyzeCurve(xs, costs);
+  EXPECT_TRUE(lm.clean());
+}
+
+TEST(LandmarksTest, DetectsMonotonicityViolation) {
+  auto xs = Xs(5);
+  std::vector<double> costs = {1, 2, 1.5, 4, 8};  // dips at index 1->2
+  auto lm = AnalyzeCurve(xs, costs);
+  ASSERT_EQ(lm.monotonicity_violations.size(), 1u);
+  EXPECT_EQ(lm.monotonicity_violations[0].index, 1u);
+  EXPECT_DOUBLE_EQ(lm.monotonicity_violations[0].cost_from, 2);
+  EXPECT_DOUBLE_EQ(lm.monotonicity_violations[0].cost_to, 1.5);
+}
+
+TEST(LandmarksTest, SlackToleratesNoise) {
+  auto xs = Xs(4);
+  std::vector<double> costs = {1.0, 2.0, 1.99, 4.0};  // 0.5% dip
+  LandmarkOptions opts;
+  opts.monotonicity_slack = 0.02;
+  EXPECT_TRUE(AnalyzeCurve(xs, costs, opts).monotonicity_violations.empty());
+}
+
+TEST(LandmarksTest, DetectsDiscontinuity) {
+  auto xs = Xs(5);
+  std::vector<double> costs = {1, 1.1, 1.2, 50, 55};  // cliff at 2->3
+  auto lm = AnalyzeCurve(xs, costs);
+  ASSERT_EQ(lm.discontinuities.size(), 1u);
+  EXPECT_EQ(lm.discontinuities[0].index, 2u);
+  EXPECT_NEAR(lm.discontinuities[0].ratio, 50 / 1.2, 1e-9);
+}
+
+TEST(LandmarksTest, DetectsSteepening) {
+  // Flat then growing: the marginal cost rises well above its earlier
+  // minimum — the improved index scan's signature (paper §3.1).
+  auto xs = Xs(8);
+  std::vector<double> costs = {5, 5, 5, 5, 5, 5.2, 9, 17};
+  auto lm = AnalyzeCurve(xs, costs);
+  EXPECT_FALSE(lm.steepening_points.empty());
+  EXPECT_GE(lm.steepening_points.front().index, 4u);
+}
+
+TEST(LandmarksTest, FlatteningCurveHasNoSteepening) {
+  // Concave (flattening) cost: marginal cost decreases everywhere.
+  auto xs = Xs(8);
+  std::vector<double> costs;
+  for (double x : xs) costs.push_back(std::sqrt(x) + 0.001);
+  auto lm = AnalyzeCurve(xs, costs);
+  EXPECT_TRUE(lm.steepening_points.empty());
+}
+
+TEST(LandmarksTest, AffineCurveHasNoSteepening) {
+  // Fixed overhead plus constant per-row cost (e.g. a covering merge join):
+  // the marginal cost is constant, so no flattening violation — even though
+  // the log-log slope rises from ~0 to ~1.
+  auto xs = Xs(10);
+  std::vector<double> costs;
+  for (double x : xs) costs.push_back(3.0 + 40.0 * x);
+  auto lm = AnalyzeCurve(xs, costs);
+  EXPECT_TRUE(lm.steepening_points.empty());
+}
+
+TEST(LandmarksTest, ShortCurvesAreClean) {
+  EXPECT_TRUE(AnalyzeCurve({1.0}, {5.0}).clean());
+  EXPECT_TRUE(AnalyzeCurve({}, {}).clean());
+}
+
+TEST(SymmetryTest, SymmetricSurface) {
+  ParameterSpace space = ParameterSpace::TwoD(Axis::Selectivity("a", -3, 0),
+                                              Axis::Selectivity("b", -3, 0));
+  std::vector<double> grid(space.num_points());
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      grid[space.IndexOf(i, j)] = static_cast<double>(1 + i + j);  // symmetric
+    }
+  }
+  SymmetryScore score = ComputeSymmetry(space, grid);
+  EXPECT_DOUBLE_EQ(score.max_abs_log2_ratio, 0);
+  EXPECT_TRUE(score.is_symmetric());
+}
+
+TEST(SymmetryTest, AsymmetricSurface) {
+  ParameterSpace space = ParameterSpace::TwoD(Axis::Selectivity("a", -3, 0),
+                                              Axis::Selectivity("b", -3, 0));
+  std::vector<double> grid(space.num_points());
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      grid[space.IndexOf(i, j)] = std::exp2(static_cast<double>(i));  // x only
+    }
+  }
+  SymmetryScore score = ComputeSymmetry(space, grid);
+  EXPECT_GT(score.max_abs_log2_ratio, 2.9);
+  EXPECT_FALSE(score.is_symmetric());
+}
+
+TEST(SymmetryTest, NonSquareReturnsZero) {
+  ParameterSpace space = ParameterSpace::TwoD(Axis::Selectivity("a", -2, 0),
+                                              Axis::Selectivity("b", -3, 0));
+  std::vector<double> grid(space.num_points(), 1.0);
+  EXPECT_DOUBLE_EQ(ComputeSymmetry(space, grid).max_abs_log2_ratio, 0);
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,57 @@
+#include "core/parameter_space.h"
+
+#include <gtest/gtest.h>
+
+namespace robustmap {
+namespace {
+
+TEST(AxisTest, SelectivityGrid) {
+  Axis axis = Axis::Selectivity("s", -4, 0);
+  EXPECT_EQ(axis.name, "s");
+  ASSERT_EQ(axis.size(), 5u);
+  EXPECT_DOUBLE_EQ(axis.values.front(), 0.0625);
+  EXPECT_DOUBLE_EQ(axis.values.back(), 1.0);
+}
+
+TEST(AxisTest, FineGrid) {
+  Axis axis = Axis::SelectivityFine("s", -2, 0, 4);
+  EXPECT_EQ(axis.size(), 9u);
+}
+
+TEST(ParameterSpaceTest, OneD) {
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("s", -3, 0));
+  EXPECT_FALSE(space.is_2d());
+  EXPECT_EQ(space.num_points(), 4u);
+  EXPECT_EQ(space.y_size(), 1u);
+  EXPECT_DOUBLE_EQ(space.x_value(2), 0.5);
+  EXPECT_DOUBLE_EQ(space.y_value(2), -1.0);
+}
+
+TEST(ParameterSpaceTest, TwoDIndexing) {
+  ParameterSpace space = ParameterSpace::TwoD(
+      Axis::Selectivity("a", -2, 0), Axis::Selectivity("b", -3, 0));
+  EXPECT_TRUE(space.is_2d());
+  EXPECT_EQ(space.x_size(), 3u);
+  EXPECT_EQ(space.y_size(), 4u);
+  EXPECT_EQ(space.num_points(), 12u);
+  for (size_t xi = 0; xi < 3; ++xi) {
+    for (size_t yi = 0; yi < 4; ++yi) {
+      size_t idx = space.IndexOf(xi, yi);
+      ASSERT_LT(idx, 12u);
+      auto [cx, cy] = space.CoordsOf(idx);
+      EXPECT_EQ(cx, xi);
+      EXPECT_EQ(cy, yi);
+    }
+  }
+}
+
+TEST(ParameterSpaceTest, ValuesFollowAxes) {
+  ParameterSpace space = ParameterSpace::TwoD(
+      Axis::Selectivity("a", -2, 0), Axis::Selectivity("b", -3, 0));
+  size_t idx = space.IndexOf(1, 2);
+  EXPECT_DOUBLE_EQ(space.x_value(idx), 0.5);
+  EXPECT_DOUBLE_EQ(space.y_value(idx), 0.5);
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,76 @@
+#include "core/plan_diagram.h"
+
+#include <gtest/gtest.h>
+
+namespace robustmap {
+namespace {
+
+// 3x1 map: plan 0 wins points 0 and 2; plan 1 wins point 1; plan 2 never.
+RobustnessMap MakeMap() {
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("s", -2, 0));
+  RobustnessMap map(space, {"alpha", "beta", "gamma"});
+  double costs[3][3] = {{1, 5, 1}, {2, 1, 3}, {9, 9, 9}};
+  for (size_t pl = 0; pl < 3; ++pl) {
+    for (size_t pt = 0; pt < 3; ++pt) {
+      Measurement m;
+      m.seconds = costs[pl][pt];
+      map.Set(pl, pt, m);
+    }
+  }
+  return map;
+}
+
+TEST(PlanDiagramTest, BestPlanAndCellsWon) {
+  PlanDiagram d = ComputePlanDiagram(MakeMap());
+  EXPECT_EQ(d.best_plan[0], 0u);
+  EXPECT_EQ(d.best_plan[1], 1u);
+  EXPECT_EQ(d.best_plan[2], 0u);
+  EXPECT_EQ(d.cells_won[0], 2u);
+  EXPECT_EQ(d.cells_won[1], 1u);
+  EXPECT_EQ(d.cells_won[2], 0u);
+}
+
+TEST(PlanDiagramTest, WinnersSortedByRegionSize) {
+  PlanDiagram d = ComputePlanDiagram(MakeMap());
+  ASSERT_EQ(d.winners.size(), 2u);
+  EXPECT_EQ(d.winners[0], 0u);
+  EXPECT_EQ(d.winners[1], 1u);
+}
+
+TEST(PlanDiagramTest, WinnerRegionsDetectFragmentation) {
+  PlanDiagram d = ComputePlanDiagram(MakeMap());
+  // alpha wins points 0 and 2, separated by beta: two components.
+  EXPECT_EQ(d.winner_regions[0].num_regions, 2);
+  EXPECT_FALSE(d.winner_regions[0].is_contiguous());
+  EXPECT_EQ(d.winner_regions[1].num_regions, 1);
+}
+
+TEST(PlanDiagramTest, TiesTrackTolerance) {
+  PlanDiagram tight = ComputePlanDiagram(MakeMap(), ToleranceSpec{0.0, 1.0});
+  EXPECT_EQ(tight.ties[0], 1);
+  // Factor 2 tolerance: point 0 has alpha (1) and beta (2) both optimal.
+  PlanDiagram loose = ComputePlanDiagram(MakeMap(), ToleranceSpec{0.0, 2.0});
+  EXPECT_EQ(loose.ties[0], 2);
+}
+
+TEST(PlanDiagramTest, SearchOrderCoversAllPlans) {
+  PlanDiagram d = ComputePlanDiagram(MakeMap());
+  auto order = RegionSizeSearchOrder(d);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0u);  // largest region first
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 2u);  // never-winners last
+}
+
+TEST(PlanDiagramTest, RenderListsWinnersWithGlyphs) {
+  PlanDiagram d = ComputePlanDiagram(MakeMap(), ToleranceSpec{0.0, 2.0});
+  std::string s = RenderPlanDiagram(d);
+  EXPECT_NE(s.find("A = alpha"), std::string::npos);
+  EXPECT_NE(s.find("B = beta"), std::string::npos);
+  EXPECT_EQ(s.find("gamma"), std::string::npos);  // never wins
+  // Tie at point 0 renders lowercase.
+  EXPECT_NE(s.find('a'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,77 @@
+#include "core/regions.h"
+
+#include <gtest/gtest.h>
+
+namespace robustmap {
+namespace {
+
+ParameterSpace Grid4x4() {
+  return ParameterSpace::TwoD(Axis::Selectivity("a", -3, 0),
+                              Axis::Selectivity("b", -3, 0));
+}
+
+TEST(RegionsTest, EmptySet) {
+  ParameterSpace space = Grid4x4();
+  RegionStats stats = AnalyzeRegions(space, std::vector<bool>(16, false));
+  EXPECT_EQ(stats.num_regions, 0);
+  EXPECT_EQ(stats.member_cells, 0u);
+  EXPECT_TRUE(stats.is_contiguous());
+  EXPECT_DOUBLE_EQ(stats.fragmentation, 0);
+}
+
+TEST(RegionsTest, FullSetIsOneRegion) {
+  ParameterSpace space = Grid4x4();
+  RegionStats stats = AnalyzeRegions(space, std::vector<bool>(16, true));
+  EXPECT_EQ(stats.num_regions, 1);
+  EXPECT_EQ(stats.largest_region, 16u);
+  EXPECT_DOUBLE_EQ(stats.fragmentation, 0);
+}
+
+TEST(RegionsTest, TwoDiagonalCellsAreTwoRegions) {
+  ParameterSpace space = Grid4x4();
+  std::vector<bool> member(16, false);
+  member[space.IndexOf(0, 0)] = true;
+  member[space.IndexOf(1, 1)] = true;  // diagonal: not 4-connected
+  RegionStats stats = AnalyzeRegions(space, member);
+  EXPECT_EQ(stats.num_regions, 2);
+  EXPECT_FALSE(stats.is_contiguous());
+  EXPECT_DOUBLE_EQ(stats.fragmentation, 0.5);
+}
+
+TEST(RegionsTest, LShapeIsOneRegion) {
+  ParameterSpace space = Grid4x4();
+  std::vector<bool> member(16, false);
+  member[space.IndexOf(0, 0)] = true;
+  member[space.IndexOf(0, 1)] = true;
+  member[space.IndexOf(1, 1)] = true;
+  RegionStats stats = AnalyzeRegions(space, member);
+  EXPECT_EQ(stats.num_regions, 1);
+  EXPECT_EQ(stats.largest_region, 3u);
+}
+
+TEST(RegionsTest, LabelsIdentifyComponents) {
+  ParameterSpace space = Grid4x4();
+  std::vector<bool> member(16, false);
+  member[space.IndexOf(0, 0)] = true;
+  member[space.IndexOf(3, 3)] = true;
+  RegionStats stats = AnalyzeRegions(space, member);
+  EXPECT_EQ(stats.num_regions, 2);
+  EXPECT_NE(stats.labels[space.IndexOf(0, 0)], -1);
+  EXPECT_NE(stats.labels[space.IndexOf(3, 3)], -1);
+  EXPECT_NE(stats.labels[space.IndexOf(0, 0)],
+            stats.labels[space.IndexOf(3, 3)]);
+  EXPECT_EQ(stats.labels[space.IndexOf(1, 1)], -1);
+}
+
+TEST(RegionsTest, OneDimensionalRuns) {
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("s", -5, 0));
+  // Pattern: X X . X . X  -> 3 runs.
+  std::vector<bool> member = {true, true, false, true, false, true};
+  RegionStats stats = AnalyzeRegions(space, member);
+  EXPECT_EQ(stats.num_regions, 3);
+  EXPECT_EQ(stats.largest_region, 2u);
+  EXPECT_EQ(stats.member_cells, 4u);
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/optimality.h"
+#include "core/relative.h"
+
+namespace robustmap {
+namespace {
+
+// A synthetic 2x2 map with controlled costs:
+//          pt0   pt1   pt2   pt3
+//   fast   1.0   4.0   1.0   9.0
+//   slow   2.0   1.0  100.0  9.05
+RobustnessMap MakeMap() {
+  ParameterSpace space = ParameterSpace::TwoD(Axis::Selectivity("a", -1, 0),
+                                              Axis::Selectivity("b", -1, 0));
+  RobustnessMap map(space, {"fast", "slow"});
+  double fast[] = {1.0, 4.0, 1.0, 9.0};
+  double slow[] = {2.0, 1.0, 100.0, 9.05};
+  for (size_t pt = 0; pt < 4; ++pt) {
+    Measurement mf, ms;
+    mf.seconds = fast[pt];
+    ms.seconds = slow[pt];
+    map.Set(0, pt, mf);
+    map.Set(1, pt, ms);
+  }
+  return map;
+}
+
+TEST(RelativeMapTest, BestAndQuotients) {
+  RelativeMap rel = ComputeRelative(MakeMap());
+  EXPECT_DOUBLE_EQ(rel.best_seconds[0], 1.0);
+  EXPECT_DOUBLE_EQ(rel.best_seconds[1], 1.0);
+  EXPECT_EQ(rel.best_plan[0], 0u);
+  EXPECT_EQ(rel.best_plan[1], 1u);
+  EXPECT_DOUBLE_EQ(rel.quotient[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(rel.quotient[1][0], 2.0);
+  EXPECT_DOUBLE_EQ(rel.quotient[0][1], 4.0);
+  EXPECT_DOUBLE_EQ(rel.quotient[1][2], 100.0);
+}
+
+TEST(RelativeMapTest, QuotientsAtLeastOne) {
+  RelativeMap rel = ComputeRelative(MakeMap());
+  for (const auto& plan : rel.quotient) {
+    for (double q : plan) EXPECT_GE(q, 1.0);
+  }
+}
+
+TEST(RelativeMapTest, WorstQuotient) {
+  RelativeMap rel = ComputeRelative(MakeMap());
+  EXPECT_DOUBLE_EQ(WorstQuotient(rel, 0), 4.0);
+  EXPECT_DOUBLE_EQ(WorstQuotient(rel, 1), 100.0);
+}
+
+TEST(OptimalityTest, AbsoluteToleranceCountsNearTies) {
+  // 0.1 s absolute: at pt3 (9.0 vs 9.05) both plans are optimal.
+  OptimalityMap opt = ComputeOptimality(MakeMap(), ToleranceSpec{0.1, 1.0});
+  EXPECT_EQ(opt.counts[0], 1);
+  EXPECT_EQ(opt.counts[1], 1);
+  EXPECT_EQ(opt.counts[2], 1);
+  EXPECT_EQ(opt.counts[3], 2);
+  EXPECT_EQ(opt.masks[3], 0b11u);
+}
+
+TEST(OptimalityTest, RelativeTolerance) {
+  // Factor 2: pt0 both (2.0 <= 1*2), pt1 only slow... fast is 4x -> no.
+  OptimalityMap opt = ComputeOptimality(MakeMap(), ToleranceSpec{0.0, 2.0});
+  EXPECT_EQ(opt.counts[0], 2);
+  EXPECT_EQ(opt.counts[1], 1);
+  EXPECT_EQ(opt.counts[2], 1);
+}
+
+TEST(OptimalityTest, OptimalRegionOf) {
+  OptimalityMap opt = ComputeOptimality(MakeMap(), ToleranceSpec{0.1, 1.0});
+  auto fast_region = OptimalRegionOf(opt, 0);
+  EXPECT_TRUE(fast_region[0]);
+  EXPECT_FALSE(fast_region[1]);
+  EXPECT_TRUE(fast_region[2]);
+  EXPECT_TRUE(fast_region[3]);
+}
+
+TEST(OptimalityTest, PlansNeverOptimal) {
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("s", -1, 0));
+  RobustnessMap map(space, {"good", "dominated"});
+  for (size_t pt = 0; pt < 2; ++pt) {
+    Measurement g, d;
+    g.seconds = 1.0;
+    d.seconds = 50.0;
+    map.Set(0, pt, g);
+    map.Set(1, pt, d);
+  }
+  OptimalityMap opt = ComputeOptimality(map, ToleranceSpec{0.1, 1.0});
+  auto never = PlansNeverOptimal(opt);
+  ASSERT_EQ(never.size(), 1u);
+  EXPECT_EQ(never[0], 1u);
+}
+
+TEST(OptimalityTest, BestPlanAlwaysWithinTolerance) {
+  OptimalityMap opt = ComputeOptimality(MakeMap(), ToleranceSpec{0.0, 1.0});
+  for (size_t pt = 0; pt < opt.counts.size(); ++pt) {
+    EXPECT_GE(opt.counts[pt], 1);
+    EXPECT_TRUE((opt.masks[pt] >> opt.best_plan[pt]) & 1u);
+  }
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,56 @@
+#include "core/robustness_map.h"
+
+#include <gtest/gtest.h>
+
+namespace robustmap {
+namespace {
+
+RobustnessMap MakeMap() {
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("s", -2, 0));
+  RobustnessMap map(space, {"p0", "p1"});
+  for (size_t pl = 0; pl < 2; ++pl) {
+    for (size_t pt = 0; pt < 3; ++pt) {
+      Measurement m;
+      m.seconds = static_cast<double>((pl + 1) * 10 + pt);
+      m.output_rows = pt;
+      map.Set(pl, pt, m);
+    }
+  }
+  return map;
+}
+
+TEST(RobustnessMapTest, StoresAndRetrieves) {
+  RobustnessMap map = MakeMap();
+  EXPECT_EQ(map.num_plans(), 2u);
+  EXPECT_DOUBLE_EQ(map.At(0, 0).seconds, 10);
+  EXPECT_DOUBLE_EQ(map.At(1, 2).seconds, 22);
+  EXPECT_EQ(map.At(1, 2).output_rows, 2u);
+}
+
+TEST(RobustnessMapTest, SecondsOfPlan) {
+  RobustnessMap map = MakeMap();
+  auto s = map.SecondsOfPlan(1);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[0], 20);
+  EXPECT_DOUBLE_EQ(s[2], 22);
+}
+
+TEST(RobustnessMapTest, PlanIndexOf) {
+  RobustnessMap map = MakeMap();
+  EXPECT_EQ(map.PlanIndexOf("p1").ValueOrDie(), 1u);
+  EXPECT_TRUE(map.PlanIndexOf("nope").status().IsNotFound());
+}
+
+TEST(RobustnessMapTest, TwoDAccess) {
+  ParameterSpace space = ParameterSpace::TwoD(Axis::Selectivity("a", -1, 0),
+                                              Axis::Selectivity("b", -1, 0));
+  RobustnessMap map(space, {"p"});
+  Measurement m;
+  m.seconds = 7;
+  map.Set(0, space.IndexOf(1, 0), m);
+  EXPECT_DOUBLE_EQ(map.AtXY(0, 1, 0).seconds, 7);
+  EXPECT_DOUBLE_EQ(map.AtXY(0, 0, 1).seconds, 0);
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,70 @@
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_env.h"
+
+namespace robustmap {
+namespace {
+
+using ::robustmap::testing::ProcEnv;
+
+TEST(RunSweepTest, FillsEveryCell) {
+  ParameterSpace space = ParameterSpace::TwoD(Axis::Selectivity("a", -2, 0),
+                                              Axis::Selectivity("b", -1, 0));
+  int calls = 0;
+  auto map = RunSweep(space, {"p0", "p1"},
+                      [&](size_t plan, double x, double y) {
+                        ++calls;
+                        Measurement m;
+                        m.seconds = (plan + 1) * x * y;
+                        return Result<Measurement>(m);
+                      })
+                 .ValueOrDie();
+  EXPECT_EQ(calls, 12);
+  EXPECT_DOUBLE_EQ(map.AtXY(1, 2, 1).seconds, 2.0 * 1.0 * 1.0);
+}
+
+TEST(RunSweepTest, PropagatesErrors) {
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("a", -1, 0));
+  auto result = RunSweep(space, {"p"}, [&](size_t, double, double) {
+    return Result<Measurement>(Status::Internal("boom"));
+  });
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+}
+
+TEST(RunSweepTest, OneDPassesNegativeY) {
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("a", -1, 0));
+  auto map = RunSweep(space, {"p"},
+                      [&](size_t, double, double y) {
+                        EXPECT_LT(y, 0);
+                        Measurement m;
+                        m.seconds = 1;
+                        return Result<Measurement>(m);
+                      })
+                 .ValueOrDie();
+  EXPECT_EQ(map.space().num_points(), 2u);
+}
+
+TEST(SweepStudyPlansTest, MeasuresRealPlans) {
+  ProcEnv env;
+  Executor executor(env.db());
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("a", -4, 0));
+  auto map = SweepStudyPlans(env.ctx(), executor,
+                             {PlanKind::kTableScan, PlanKind::kIndexAImproved},
+                             space)
+                 .ValueOrDie();
+  EXPECT_EQ(map.num_plans(), 2u);
+  EXPECT_EQ(map.plan_label(0), "A.tablescan");
+  for (size_t pt = 0; pt < space.num_points(); ++pt) {
+    EXPECT_GT(map.At(0, pt).seconds, 0);
+    // Both plans returned identical cardinalities.
+    EXPECT_EQ(map.At(0, pt).output_rows, map.At(1, pt).output_rows);
+  }
+  // Output cardinality follows the axis.
+  EXPECT_LT(map.At(0, 0).output_rows, map.At(0, 4).output_rows);
+}
+
+}  // namespace
+}  // namespace robustmap

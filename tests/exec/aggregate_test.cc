@@ -1,0 +1,89 @@
+#include "exec/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/index_scan.h"
+#include "testing/test_env.h"
+
+namespace robustmap {
+namespace {
+
+using ::robustmap::testing::ProcEnv;
+
+OperatorPtr ScanA(ProcEnv* env, int64_t lo, int64_t hi) {
+  IndexScanOptions opts;
+  opts.k0_lo = lo;
+  opts.k0_hi = hi;
+  return std::make_unique<IndexScanOp>(env->idx_a(), opts);
+}
+
+TEST(HashAggregateTest, CountsMatchBruteForce) {
+  ProcEnv env;
+  HashAggregateOp agg(ScanA(&env, 0, 63), /*group_column=*/0);
+  ASSERT_TRUE(agg.Open(env.ctx()).ok());
+  std::map<int64_t, uint64_t> got;
+  Row r;
+  while (agg.Next(env.ctx(), &r)) {
+    got[r.cols[0]] = static_cast<uint64_t>(r.cols[kAggResultColumn]);
+  }
+  agg.Close(env.ctx());
+  // Uniform procedural column: 64 values x 64 rows each.
+  ASSERT_EQ(got.size(), 64u);
+  for (const auto& [value, count] : got) {
+    EXPECT_EQ(count, 64u) << "group " << value;
+  }
+}
+
+TEST(HashAggregateTest, GroupsEmittedInOrder) {
+  ProcEnv env;
+  HashAggregateOp agg(ScanA(&env, 10, 20), 0);
+  ASSERT_TRUE(agg.Open(env.ctx()).ok());
+  Row r;
+  int64_t prev = INT64_MIN;
+  size_t groups = 0;
+  while (agg.Next(env.ctx(), &r)) {
+    ASSERT_GT(r.cols[0], prev);
+    prev = r.cols[0];
+    ++groups;
+  }
+  agg.Close(env.ctx());
+  EXPECT_EQ(groups, 11u);
+}
+
+TEST(HashAggregateTest, SpillChargedWhenGroupsExceedMemory) {
+  ProcEnv env;
+  env.ctx()->hash_memory_bytes = 64;  // room for 4 groups only
+  HashAggregateOp agg(ScanA(&env, 0, 63), 0);
+  ASSERT_TRUE(agg.Open(env.ctx()).ok());
+  EXPECT_GT(agg.spill_pages(), 0u);
+  agg.Close(env.ctx());
+}
+
+TEST(HashAggregateTest, NoSpillWhenGroupsFit) {
+  ProcEnv env;
+  HashAggregateOp agg(ScanA(&env, 0, 63), 0);
+  ASSERT_TRUE(agg.Open(env.ctx()).ok());
+  EXPECT_EQ(agg.spill_pages(), 0u);
+  agg.Close(env.ctx());
+}
+
+TEST(HashAggregateTest, EmptyInputYieldsNoGroups) {
+  ProcEnv env;
+  HashAggregateOp agg(ScanA(&env, 64, 99), 0);
+  ASSERT_TRUE(agg.Open(env.ctx()).ok());
+  Row r;
+  EXPECT_FALSE(agg.Next(env.ctx(), &r));
+  agg.Close(env.ctx());
+}
+
+TEST(HashAggregateTest, MissingGroupColumnIsError) {
+  ProcEnv env;
+  // idx_a covers column 0 only; grouping by column 1 must fail cleanly.
+  HashAggregateOp agg(ScanA(&env, 0, 63), 1);
+  EXPECT_FALSE(agg.Open(env.ctx()).ok());
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,78 @@
+#include "exec/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/index_scan.h"
+#include "testing/test_env.h"
+
+namespace robustmap {
+namespace {
+
+using ::robustmap::testing::CollectRids;
+using ::robustmap::testing::ProcEnv;
+
+OperatorPtr CoverScan(ProcEnv* env, int64_t lo, int64_t hi) {
+  IndexScanOptions opts;
+  opts.k0_lo = lo;
+  opts.k0_hi = hi;
+  return std::make_unique<IndexScanOp>(env->idx_ab(), opts);
+}
+
+TEST(FilterTest, NoPredicatesPassesEverything) {
+  ProcEnv env;
+  FilterOp filter(CoverScan(&env, 0, 63), {});
+  EXPECT_EQ(CollectRids(env.ctx(), &filter).size(), env.table().num_rows());
+}
+
+TEST(FilterTest, FiltersOnCoveredColumn) {
+  ProcEnv env;
+  // Covering scan provides both columns; filter the second in-flight.
+  FilterOp filter(CoverScan(&env, 0, 31), {{1, 10, 20}});
+  EXPECT_EQ(CollectRids(env.ctx(), &filter), env.MatchingRids(0, 31, 10, 20));
+}
+
+TEST(FilterTest, ConjunctionOfPredicates) {
+  ProcEnv env;
+  FilterOp filter(CoverScan(&env, 0, 63), {{0, 5, 25}, {1, 30, 50}});
+  EXPECT_EQ(CollectRids(env.ctx(), &filter), env.MatchingRids(5, 25, 30, 50));
+}
+
+TEST(FilterTest, UnpopulatedColumnRejectsRow) {
+  ProcEnv env;
+  // idx_a covers only column 0; filtering column 1 has nothing to test
+  // against and must reject (predicates never pass on missing data).
+  IndexScanOptions opts;
+  opts.k0_lo = 0;
+  opts.k0_hi = 63;
+  auto scan = std::make_unique<IndexScanOp>(env.idx_a(), opts);
+  FilterOp filter(std::move(scan), {{1, 0, 63}});
+  EXPECT_TRUE(CollectRids(env.ctx(), &filter).empty());
+}
+
+TEST(FilterTest, ChargesPredicateCpu) {
+  ProcEnv env;
+  env.ctx()->clock->Reset();
+  env.ctx()->pool->Clear();
+  FilterOp plain(CoverScan(&env, 0, 63), {});
+  (void)DrainCount(env.ctx(), &plain);
+  int64_t t_plain = env.ctx()->clock->now_ns();
+
+  env.ctx()->clock->Reset();
+  env.ctx()->pool->Clear();
+  FilterOp filtered(CoverScan(&env, 0, 63), {{0, 0, 63}, {1, 0, 63}});
+  (void)DrainCount(env.ctx(), &filtered);
+  int64_t t_filtered = env.ctx()->clock->now_ns();
+  EXPECT_GT(t_filtered, t_plain);
+}
+
+TEST(FilterTest, DebugNameShowsPredicateAndChild) {
+  ProcEnv env;
+  FilterOp filter(CoverScan(&env, 0, 7), {{1, 2, 3}});
+  std::string name = filter.DebugName();
+  EXPECT_NE(name.find("Filter"), std::string::npos);
+  EXPECT_NE(name.find("col1"), std::string::npos);
+  EXPECT_NE(name.find("IndexScan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,147 @@
+#include "exec/index_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_env.h"
+
+namespace robustmap {
+namespace {
+
+using ::robustmap::testing::CollectRids;
+using ::robustmap::testing::ProcEnv;
+
+TEST(IndexScanTest, RangeMatchesBruteForce) {
+  ProcEnv env;
+  IndexScanOptions opts;
+  opts.k0_lo = 12;
+  opts.k0_hi = 30;
+  IndexScanOp scan(env.idx_a(), opts);
+  EXPECT_EQ(CollectRids(env.ctx(), &scan),
+            env.MatchingRids(12, 30, INT64_MIN, INT64_MAX));
+}
+
+TEST(IndexScanTest, SecondColumnRange) {
+  ProcEnv env;
+  IndexScanOptions opts;
+  opts.k0_lo = 40;
+  opts.k0_hi = 63;
+  IndexScanOp scan(env.idx_b(), opts);
+  EXPECT_EQ(CollectRids(env.ctx(), &scan),
+            env.MatchingRids(INT64_MIN, INT64_MAX, 40, 63));
+}
+
+TEST(IndexScanTest, CompositeWithK1Filter) {
+  ProcEnv env;
+  IndexScanOptions opts;
+  opts.k0_lo = 0;
+  opts.k0_hi = 31;
+  opts.filter_k1 = true;
+  opts.k1_lo = 10;
+  opts.k1_hi = 12;
+  IndexScanOp scan(env.idx_ab(), opts);
+  EXPECT_EQ(CollectRids(env.ctx(), &scan), env.MatchingRids(0, 31, 10, 12));
+}
+
+TEST(IndexScanTest, MdamMatchesFilterScan) {
+  ProcEnv env;
+  IndexScanOptions opts;
+  opts.k0_lo = 5;
+  opts.k0_hi = 50;
+  opts.filter_k1 = true;
+  opts.k1_lo = 7;
+  opts.k1_hi = 9;
+  opts.k0_domain = env.domain();
+  opts.k1_domain = env.domain();
+
+  IndexScanOp filter_scan(env.idx_ab(), opts);
+  auto expected = CollectRids(env.ctx(), &filter_scan);
+
+  opts.use_mdam = true;
+  IndexScanOp mdam_scan(env.idx_ab(), opts);
+  EXPECT_EQ(CollectRids(env.ctx(), &mdam_scan), expected);
+}
+
+TEST(IndexScanTest, MdamCheaperThanFilterScanForNarrowK1) {
+  ProcEnv env;
+  IndexScanOptions opts;
+  opts.k0_lo = 0;
+  opts.k0_hi = 63;
+  opts.filter_k1 = true;
+  opts.k1_lo = 3;
+  opts.k1_hi = 3;
+  opts.k0_domain = env.domain();
+  opts.k1_domain = env.domain();
+
+  env.ctx()->clock->Reset();
+  env.ctx()->pool->Clear();
+  IndexScanOp filter_scan(env.idx_ab(), opts);
+  (void)DrainCount(env.ctx(), &filter_scan);
+  int64_t t_filter = env.ctx()->clock->now_ns();
+
+  // The filter scan examined every entry in the k0 range.
+  EXPECT_EQ(filter_scan.entries_examined(), env.table().num_rows());
+
+  opts.use_mdam = true;
+  env.ctx()->clock->Reset();
+  env.ctx()->pool->Clear();
+  IndexScanOp mdam_scan(env.idx_ab(), opts);
+  (void)DrainCount(env.ctx(), &mdam_scan);
+  int64_t t_mdam = env.ctx()->clock->now_ns();
+
+  EXPECT_LT(mdam_scan.entries_examined(), filter_scan.entries_examined());
+  EXPECT_LT(t_mdam, t_filter);
+}
+
+TEST(IndexScanTest, CoversKeyColumns) {
+  ProcEnv env;
+  IndexScanOptions opts;
+  opts.k0_lo = 0;
+  opts.k0_hi = 63;
+  IndexScanOp scan(env.idx_ab(), opts);
+  ASSERT_TRUE(scan.Open(env.ctx()).ok());
+  Row r;
+  ASSERT_TRUE(scan.Next(env.ctx(), &r));
+  EXPECT_TRUE(r.HasCol(0));
+  EXPECT_TRUE(r.HasCol(1));
+  EXPECT_EQ(r.cols[0], env.table().ValueAt(r.rid, 0));
+  EXPECT_EQ(r.cols[1], env.table().ValueAt(r.rid, 1));
+  scan.Close(env.ctx());
+}
+
+TEST(IndexScanTest, K1FilterOnSingleColumnIndexIsError) {
+  ProcEnv env;
+  IndexScanOptions opts;
+  opts.filter_k1 = true;
+  IndexScanOp scan(env.idx_a(), opts);
+  EXPECT_TRUE(scan.Open(env.ctx()).IsInvalidArgument());
+}
+
+TEST(IndexScanTest, EmptyRange) {
+  ProcEnv env;
+  IndexScanOptions opts;
+  opts.k0_lo = 64;  // past the domain
+  opts.k0_hi = 99;
+  IndexScanOp scan(env.idx_a(), opts);
+  EXPECT_TRUE(CollectRids(env.ctx(), &scan).empty());
+}
+
+TEST(IndexScanTest, LeafIoProportionalToRange) {
+  ProcEnv env;
+  auto measure = [&](int64_t hi) {
+    env.ctx()->pool->Clear();
+    env.ctx()->device->ResetHead();
+    uint64_t before = env.ctx()->device->stats().total_reads();
+    IndexScanOptions opts;
+    opts.k0_lo = 0;
+    opts.k0_hi = hi;
+    IndexScanOp scan(env.idx_a(), opts);
+    (void)DrainCount(env.ctx(), &scan);
+    return env.ctx()->device->stats().total_reads() - before;
+  };
+  uint64_t reads_small = measure(0);   // 64 entries: one leaf
+  uint64_t reads_large = measure(63);  // 4096 entries: 64 leaves
+  EXPECT_GE(reads_large, reads_small * 32);
+}
+
+}  // namespace
+}  // namespace robustmap

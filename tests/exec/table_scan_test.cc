@@ -1,0 +1,83 @@
+#include "exec/table_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_env.h"
+
+namespace robustmap {
+namespace {
+
+using ::robustmap::testing::CollectRids;
+using ::robustmap::testing::ProcEnv;
+
+TEST(TableScanTest, NoPredicatesReturnsEverything) {
+  ProcEnv env;
+  TableScanOp scan(&env.table(), {});
+  auto rids = CollectRids(env.ctx(), &scan);
+  EXPECT_EQ(rids.size(), env.table().num_rows());
+}
+
+TEST(TableScanTest, SinglePredicateMatchesBruteForce) {
+  ProcEnv env;
+  TableScanOp scan(&env.table(), {{0, 10, 20}});
+  EXPECT_EQ(CollectRids(env.ctx(), &scan),
+            env.MatchingRids(10, 20, INT64_MIN, INT64_MAX));
+}
+
+TEST(TableScanTest, ConjunctionMatchesBruteForce) {
+  ProcEnv env;
+  TableScanOp scan(&env.table(), {{0, 0, 15}, {1, 32, 63}});
+  EXPECT_EQ(CollectRids(env.ctx(), &scan), env.MatchingRids(0, 15, 32, 63));
+}
+
+TEST(TableScanTest, EmptyRangeYieldsNothing) {
+  ProcEnv env;
+  TableScanOp scan(&env.table(), {{0, 100, 200}});  // beyond domain
+  EXPECT_TRUE(CollectRids(env.ctx(), &scan).empty());
+}
+
+TEST(TableScanTest, CostIndependentOfSelectivity) {
+  ProcEnv env;
+  TableScanOp narrow(&env.table(), {{0, 0, 0}});
+  TableScanOp wide(&env.table(), {{0, 0, 63}});
+
+  env.ctx()->clock->Reset();
+  (void)DrainCount(env.ctx(), &narrow);
+  int64_t t_narrow = env.ctx()->clock->now_ns();
+  env.ctx()->clock->Reset();
+  env.ctx()->pool->Clear();
+  (void)DrainCount(env.ctx(), &wide);
+  int64_t t_wide = env.ctx()->clock->now_ns();
+  // "Its performance is constant across the entire range of selectivities."
+  EXPECT_NEAR(static_cast<double>(t_wide) / t_narrow, 1.0, 0.05);
+}
+
+TEST(TableScanTest, ReadsEveryPageOnce) {
+  ProcEnv env;
+  TableScanOp scan(&env.table(), {});
+  (void)DrainCount(env.ctx(), &scan);
+  EXPECT_EQ(env.ctx()->device->stats().total_reads(),
+            env.table().num_pages());
+}
+
+TEST(TableScanTest, RowsCarryBothColumns) {
+  ProcEnv env;
+  TableScanOp scan(&env.table(), {{0, 5, 5}});
+  ASSERT_TRUE(scan.Open(env.ctx()).ok());
+  Row r;
+  ASSERT_TRUE(scan.Next(env.ctx(), &r));
+  EXPECT_TRUE(r.HasCol(0));
+  EXPECT_TRUE(r.HasCol(1));
+  EXPECT_EQ(r.cols[0], 5);
+  scan.Close(env.ctx());
+}
+
+TEST(TableScanTest, DebugNameMentionsPredicates) {
+  ProcEnv env;
+  TableScanOp scan(&env.table(), {{0, 1, 2}});
+  EXPECT_NE(scan.DebugName().find("TableScan"), std::string::npos);
+  EXPECT_NE(scan.DebugName().find("col0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,79 @@
+#include "io/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace robustmap {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : device_(DiskParameters{}, &clock_) {
+    device_.AllocateExtent(1000);
+  }
+  VirtualClock clock_;
+  SimDevice device_;
+};
+
+TEST_F(BufferPoolTest, MissThenHit) {
+  BufferPool pool(&device_, 10);
+  EXPECT_FALSE(pool.Access(5));
+  EXPECT_TRUE(pool.Access(5));
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(device_.stats().buffer_hits, 1u);
+}
+
+TEST_F(BufferPoolTest, HitChargesNoDeviceTime) {
+  BufferPool pool(&device_, 10);
+  pool.Access(5);
+  int64_t t = clock_.now_ns();
+  pool.Access(5);
+  EXPECT_EQ(clock_.now_ns(), t);
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(&device_, 3);
+  pool.Access(1);
+  pool.Access(2);
+  pool.Access(3);
+  pool.Access(1);      // 1 most recent; LRU order now 2,3,1
+  pool.Access(4);      // evicts 2
+  EXPECT_FALSE(pool.Contains(2));
+  EXPECT_TRUE(pool.Contains(1));
+  EXPECT_TRUE(pool.Contains(3));
+  EXPECT_TRUE(pool.Contains(4));
+}
+
+TEST_F(BufferPoolTest, NonCacheableDoesNotPollute) {
+  BufferPool pool(&device_, 3);
+  pool.Access(1);
+  pool.Access(2, /*cacheable=*/false);
+  EXPECT_TRUE(pool.Contains(1));
+  EXPECT_FALSE(pool.Contains(2));
+  EXPECT_EQ(pool.resident_pages(), 1u);
+}
+
+TEST_F(BufferPoolTest, ClearDropsEverything) {
+  BufferPool pool(&device_, 5);
+  pool.Access(1);
+  pool.Access(2);
+  pool.Clear();
+  EXPECT_EQ(pool.resident_pages(), 0u);
+  EXPECT_FALSE(pool.Access(1));  // miss again
+}
+
+TEST_F(BufferPoolTest, ZeroCapacityNeverCaches) {
+  BufferPool pool(&device_, 0);
+  EXPECT_FALSE(pool.Access(1));
+  EXPECT_FALSE(pool.Access(1));
+  EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST_F(BufferPoolTest, CapacityRespected) {
+  BufferPool pool(&device_, 4);
+  for (uint64_t p = 0; p < 100; ++p) pool.Access(p);
+  EXPECT_EQ(pool.resident_pages(), 4u);
+}
+
+}  // namespace
+}  // namespace robustmap

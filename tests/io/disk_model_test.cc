@@ -1,0 +1,68 @@
+#include "io/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace robustmap {
+namespace {
+
+TEST(DiskModelTest, ClassifiesPatterns) {
+  DiskModel model{DiskParameters{}};
+  EXPECT_EQ(model.Classify(-1, 0), DiskModel::Pattern::kRandom);
+  EXPECT_EQ(model.Classify(9, 10), DiskModel::Pattern::kSequential);
+  EXPECT_EQ(model.Classify(9, 12), DiskModel::Pattern::kSkip);
+  EXPECT_EQ(model.Classify(9, 9 + 1 + 4096), DiskModel::Pattern::kSkip);
+  EXPECT_EQ(model.Classify(9, 9 + 2 + 4096), DiskModel::Pattern::kRandom);
+  // Backwards movement is a random access.
+  EXPECT_EQ(model.Classify(9, 3), DiskModel::Pattern::kRandom);
+}
+
+TEST(DiskModelTest, SequentialIsTransferOnly) {
+  DiskParameters p;
+  DiskModel model{p};
+  EXPECT_DOUBLE_EQ(model.ReadCostSeconds(4, 5), p.TransferSeconds());
+}
+
+TEST(DiskModelTest, RandomIncludesSeek) {
+  DiskParameters p;
+  DiskModel model{p};
+  EXPECT_DOUBLE_EQ(model.ReadCostSeconds(-1, 100),
+                   p.random_access_seconds + p.TransferSeconds());
+}
+
+TEST(DiskModelTest, SkipNeverExceedsRandom) {
+  DiskParameters p;
+  DiskModel model{p};
+  double random = model.ReadCostSeconds(-1, 0);
+  for (int64_t gap = 1; gap <= 4096; gap *= 2) {
+    EXPECT_LE(model.ReadCostSeconds(0, 1 + gap), random);
+  }
+}
+
+TEST(DiskModelTest, SmallGapsUseReadThrough) {
+  DiskParameters p;
+  DiskModel model{p};
+  // Gap 1: read-through (1 extra transfer) is cheaper than a settle.
+  double cost = model.ReadCostSeconds(0, 2);
+  EXPECT_DOUBLE_EQ(cost, 2 * p.TransferSeconds());
+}
+
+TEST(DiskModelTest, SkipCostMonotoneInGap) {
+  DiskParameters p;
+  DiskModel model{p};
+  double prev = 0;
+  for (int64_t gap = 0; gap <= 4096; ++gap) {
+    double cost = model.ReadCostSeconds(0, 1 + gap);
+    ASSERT_GE(cost, prev - 1e-15) << "gap " << gap;
+    prev = cost;
+  }
+}
+
+TEST(DiskModelTest, TransferMatchesBandwidth) {
+  DiskParameters p;
+  p.page_size_bytes = 8192;
+  p.sequential_bandwidth_bytes_per_sec = 8192.0 * 1000;  // 1000 pages/s
+  EXPECT_NEAR(p.TransferSeconds(), 1e-3, 1e-12);
+}
+
+}  // namespace
+}  // namespace robustmap
