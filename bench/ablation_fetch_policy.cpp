@@ -21,9 +21,8 @@ using namespace robustmap::bench;
 
 namespace {
 
-Result<Measurement> RunFetchPlan(StudyEnvironment* env, double sel,
-                                 FetchPolicy policy) {
-  RunContext* ctx = env->ctx();
+Result<Measurement> RunFetchPlan(RunContext* ctx, const StudyEnvironment* env,
+                                 double sel, FetchPolicy policy) {
   QuerySpec q = env->MakeQuery(sel, -1);
   IndexScanOptions so;
   so.k0_lo = q.pred_a.lo;
@@ -31,9 +30,7 @@ Result<Measurement> RunFetchPlan(StudyEnvironment* env, double sel,
   auto scan = std::make_unique<IndexScanOp>(env->db().idx_a, so);
   FetchOp fetch(std::move(scan), env->db().table, policy, {});
 
-  ctx->clock->Reset();
-  ctx->pool->Clear();
-  ctx->device->ResetHead();
+  ctx->ColdStart();
   VirtualStopwatch watch(ctx->clock);
   auto rows = DrainCount(ctx, &fetch);
   RM_RETURN_IF_ERROR(rows.status());
@@ -57,14 +54,17 @@ int main() {
 
   ParameterSpace space = ParameterSpace::OneD(
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0));
+  RunContextFactory factory(*env->ctx());
   auto map =
-      RunSweep(space, {"fetch.naive", "fetch.sorted", "fetch.bitmap"},
-               [&](size_t plan, double x, double) {
-                 FetchPolicy p = plan == 0   ? FetchPolicy::kNaive
-                                 : plan == 1 ? FetchPolicy::kSorted
-                                             : FetchPolicy::kBitmap;
-                 return RunFetchPlan(env.get(), x, p);
-               })
+      ParallelRunSweep(space, {"fetch.naive", "fetch.sorted", "fetch.bitmap"},
+                       factory,
+                       [&](RunContext* ctx, size_t plan, double x, double) {
+                         FetchPolicy p = plan == 0   ? FetchPolicy::kNaive
+                                         : plan == 1 ? FetchPolicy::kSorted
+                                                     : FetchPolicy::kBitmap;
+                         return RunFetchPlan(ctx, env.get(), x, p);
+                       },
+                       SweepOpts(scale))
           .ValueOrDie();
   PrintCurveTable(map);
 
@@ -89,9 +89,9 @@ int main() {
                "sorted (small pool)"});
   for (int lg = scale.grid_min_log2; lg <= 0; lg += 4) {
     double s = std::exp2(lg);
-    auto small_naive = RunFetchPlan(env.get(), s, FetchPolicy::kNaive);
-    auto large_naive = RunFetchPlan(env_big.get(), s, FetchPolicy::kNaive);
-    auto small_sorted = RunFetchPlan(env.get(), s, FetchPolicy::kSorted);
+    auto small_naive = RunFetchPlan(env->ctx(), env.get(), s, FetchPolicy::kNaive);
+    auto large_naive = RunFetchPlan(env_big->ctx(), env_big.get(), s, FetchPolicy::kNaive);
+    auto small_sorted = RunFetchPlan(env->ctx(), env.get(), s, FetchPolicy::kSorted);
     t.AddRow({FormatSelectivity(s),
               FormatSeconds(small_naive.ValueOrDie().seconds),
               FormatSeconds(large_naive.ValueOrDie().seconds),

@@ -33,7 +33,7 @@ int main() {
                  env->ctx(), env->executor(),
                  {PlanKind::kMergeJoinAB, PlanKind::kHashJoinAB,
                   PlanKind::kHashJoinBA},
-                 space)
+                 space, SweepOpts(scale))
                  .ValueOrDie();
 
   SymmetryScore mj = ComputeSymmetry(space, map.SecondsOfPlan(0));

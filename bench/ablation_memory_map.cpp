@@ -37,17 +37,20 @@ int main() {
   }
   ParameterSpace space = ParameterSpace::TwoD(sel, memory);
 
-  RunContext* ctx = env->ctx();
-  uint64_t saved = ctx->hash_memory_bytes;
+  // Each worker varies the memory budget on its *own* machine, so the
+  // memory axis parallelizes without cross-cell interference.
+  RunContextFactory factory(*env->ctx());
   auto map =
-      RunSweep(space, {"A.hj(a,b) s_b=1"},
-               [&](size_t, double s, double mem) -> Result<Measurement> {
-                 ctx->hash_memory_bytes = static_cast<uint64_t>(mem);
-                 QuerySpec q = env->MakeQuery(s, 1.0);
-                 return env->executor().Run(ctx, PlanKind::kHashJoinAB, q);
-               })
+      ParallelRunSweep(space, {"A.hj(a,b) s_b=1"}, factory,
+                       [&](RunContext* ctx, size_t, double s,
+                           double mem) -> Result<Measurement> {
+                         ctx->hash_memory_bytes = static_cast<uint64_t>(mem);
+                         QuerySpec q = env->MakeQuery(s, 1.0);
+                         return env->executor().Run(ctx, PlanKind::kHashJoinAB,
+                                                    q);
+                       },
+                       SweepOpts(scale))
           .ValueOrDie();
-  ctx->hash_memory_bytes = saved;
 
   ColorScale cs = ColorScale::AbsoluteSeconds();
   HeatmapOptions hopts;

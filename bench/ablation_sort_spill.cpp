@@ -54,18 +54,15 @@ class RowGeneratorOp : public Operator {
 };
 
 // Cold-runs a generated input of `rows` rows into a sort on col 0.
-Result<Measurement> RunSortRows(StudyEnvironment* env, uint64_t rows,
+Result<Measurement> RunSortRows(RunContext* ctx, uint64_t rows,
                                 SpillKind kind) {
-  RunContext* ctx = env->ctx();
   auto source = std::make_unique<RowGeneratorOp>(rows);
   SortKeySpec key;
   key.kind = SortKeySpec::Kind::kColumn;
   key.column = 0;
   SortOp sort(std::move(source), key, kind);
 
-  ctx->clock->Reset();
-  ctx->pool->Clear();
-  ctx->device->ResetHead();
+  ctx->ColdStart();
   IoStats before = ctx->device->stats();
   VirtualStopwatch watch(ctx->clock);
   auto drained = DrainCount(ctx, &sort);
@@ -99,14 +96,18 @@ int main() {
   uint64_t table_rows = env->table().num_rows();
   ParameterSpace space = ParameterSpace::OneD(Axis::SelectivityFine(
       "input fraction of table", scale.grid_min_log2, 0, 2));
-  auto map = RunSweep(space, {"sort.graceful", "sort.naive"},
-                      [&](size_t plan, double x, double) {
-                        uint64_t rows = static_cast<uint64_t>(
-                            x * static_cast<double>(table_rows));
-                        return RunSortRows(env.get(), rows,
-                                           plan == 0 ? SpillKind::kGraceful
-                                                     : SpillKind::kNaive);
-                      })
+  RunContextFactory factory(*env->ctx());
+  auto map = ParallelRunSweep(space, {"sort.graceful", "sort.naive"}, factory,
+                              [&](RunContext* ctx, size_t plan, double x,
+                                  double) {
+                                uint64_t rows = static_cast<uint64_t>(
+                                    x * static_cast<double>(table_rows));
+                                return RunSortRows(
+                                    ctx, rows,
+                                    plan == 0 ? SpillKind::kGraceful
+                                              : SpillKind::kNaive);
+                              },
+                              SweepOpts(scale))
                  .ValueOrDie();
 
   PrintCurveTable(map);
@@ -140,16 +141,16 @@ int main() {
   // The paper's literal claim: "spill their entire input to disk if the
   // input size exceeds the memory size by merely a single record."
   uint64_t boundary = mem / 16;
-  double g_at = RunSortRows(env.get(), boundary, SpillKind::kGraceful)
+  double g_at = RunSortRows(env->ctx(), boundary, SpillKind::kGraceful)
                     .ValueOrDie()
                     .seconds;
-  double g_over = RunSortRows(env.get(), boundary + 1, SpillKind::kGraceful)
+  double g_over = RunSortRows(env->ctx(), boundary + 1, SpillKind::kGraceful)
                       .ValueOrDie()
                       .seconds;
-  double n_at = RunSortRows(env.get(), boundary, SpillKind::kNaive)
+  double n_at = RunSortRows(env->ctx(), boundary, SpillKind::kNaive)
                     .ValueOrDie()
                     .seconds;
-  double n_over = RunSortRows(env.get(), boundary + 1, SpillKind::kNaive)
+  double n_over = RunSortRows(env->ctx(), boundary + 1, SpillKind::kNaive)
                       .ValueOrDie()
                       .seconds;
   std::printf("\ncost of ONE extra input record at the memory boundary "

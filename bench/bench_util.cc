@@ -31,7 +31,17 @@ BenchScale ResolveScale(int default_row_bits, int default_min_log2) {
   // row count.
   s.value_bits = std::min(16, s.row_bits - 2);
   if (s.grid_min_log2 < -s.value_bits) s.grid_min_log2 = -s.value_bits;
+  if (const char* th = std::getenv("REPRO_THREADS"); th != nullptr) {
+    int v = std::atoi(th);
+    if (v >= 0 && v <= 256) s.num_threads = static_cast<unsigned>(v);
+  }
   return s;
+}
+
+SweepOptions SweepOpts(const BenchScale& scale) {
+  SweepOptions opts;
+  opts.num_threads = scale.num_threads;
+  return opts;
 }
 
 std::unique_ptr<StudyEnvironment> MakeEnvironment(const BenchScale& scale) {

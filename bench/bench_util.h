@@ -16,10 +16,13 @@ namespace robustmap::bench {
 ///   REPRO_ROW_BITS  — override log2(row count) (default per bench; 26
 ///                     approximates the paper's 60M-row lineitem).
 ///   REPRO_FAST=1    — shrink to a quick smoke configuration.
+///   REPRO_THREADS   — sweep worker threads (default 0 = one per hardware
+///                     thread; maps are bit-identical at any setting).
 struct BenchScale {
   int row_bits;
   int value_bits;
   int grid_min_log2;  ///< selectivity grid lower bound (e.g. -16)
+  unsigned num_threads = 0;
 };
 
 /// Resolves the scale for a bench with the given defaults.
@@ -27,6 +30,10 @@ BenchScale ResolveScale(int default_row_bits, int default_min_log2 = -16);
 
 /// Creates the standard study environment at the given scale.
 std::unique_ptr<StudyEnvironment> MakeEnvironment(const BenchScale& scale);
+
+/// Sweep options for a bench at this scale (worker threads from
+/// REPRO_THREADS via ResolveScale).
+SweepOptions SweepOpts(const BenchScale& scale);
 
 /// Output directory for CSV/PPM/gnuplot artifacts (created on demand).
 std::string OutDir();

@@ -30,7 +30,8 @@ int main() {
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
       Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
   auto map =
-      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), space)
+      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), space,
+                      SweepOpts(scale))
           .ValueOrDie();
 
   // --- Plan diagram (regions of optimality, §3.4) ---

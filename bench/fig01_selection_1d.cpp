@@ -29,7 +29,8 @@ int main() {
                                  PlanKind::kIndexAImproved};
   ParameterSpace space = ParameterSpace::OneD(
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0));
-  auto map = SweepStudyPlans(env->ctx(), env->executor(), plans, space)
+  auto map = SweepStudyPlans(env->ctx(), env->executor(), plans, space,
+                             SweepOpts(scale))
                  .ValueOrDie();
 
   PrintCurveTable(map);

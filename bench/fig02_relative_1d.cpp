@@ -33,7 +33,8 @@ int main() {
   };
   ParameterSpace space = ParameterSpace::OneD(
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0));
-  auto map = SweepStudyPlans(env->ctx(), env->executor(), plans, space)
+  auto map = SweepStudyPlans(env->ctx(), env->executor(), plans, space,
+                             SweepOpts(scale))
                  .ValueOrDie();
   RelativeMap rel = ComputeRelative(map);
 

@@ -31,7 +31,8 @@ int main() {
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
       Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
   auto map = SweepStudyPlans(env->ctx(), env->executor(),
-                             {PlanKind::kIndexAImproved}, space)
+                             {PlanKind::kIndexAImproved}, space,
+                             SweepOpts(scale))
                  .ValueOrDie();
 
   ColorScale cs = ColorScale::AbsoluteSeconds();

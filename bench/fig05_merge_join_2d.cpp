@@ -28,7 +28,7 @@ int main() {
       Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
   auto map = SweepStudyPlans(env->ctx(), env->executor(),
                              {PlanKind::kMergeJoinAB, PlanKind::kHashJoinAB},
-                             space)
+                             space, SweepOpts(scale))
                  .ValueOrDie();
 
   ColorScale cs = ColorScale::AbsoluteSeconds();

@@ -45,7 +45,8 @@ int main() {
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
       Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
   auto map =
-      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), space)
+      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), space,
+                      SweepOpts(scale))
           .ValueOrDie();
 
   // The paper's 0.1 s tolerance was measured against ~10^2..10^3-second

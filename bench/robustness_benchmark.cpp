@@ -8,7 +8,10 @@
 // criterion prints PASS/FAIL with its measured value, and the process exits
 // non-zero if any criterion regresses — ready for a nightly CI job.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.h"
 #include "core/landmarks.h"
@@ -32,6 +35,66 @@ void Check(bool ok, const char* name, double value, const char* detail) {
   if (!ok) ++g_failures;
 }
 
+double WallSecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool MapsBitIdentical(const RobustnessMap& a, const RobustnessMap& b) {
+  if (a.num_plans() != b.num_plans() ||
+      a.space().num_points() != b.space().num_points()) {
+    return false;
+  }
+  for (size_t plan = 0; plan < a.num_plans(); ++plan) {
+    for (size_t pt = 0; pt < a.space().num_points(); ++pt) {
+      const Measurement& ma = a.At(plan, pt);
+      const Measurement& mb = b.At(plan, pt);
+      if (ma.seconds != mb.seconds || ma.output_rows != mb.output_rows ||
+          ma.io.total_reads() != mb.io.total_reads() ||
+          ma.io.writes != mb.io.writes) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// The perf-trajectory artifact consumed by CI: wall-clock cost of the full
+/// 2-D study sweep, serial vs. parallel, on this machine.
+void WriteBenchJson(const BenchScale& scale, size_t plans, size_t cells,
+                    unsigned threads, double serial_wall, double parallel_wall,
+                    bool bit_identical) {
+  std::FILE* f = std::fopen("BENCH_robustness.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_robustness.json\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"robustness_sweep_2d\",\n"
+               "  \"row_bits\": %d,\n"
+               "  \"plans\": %zu,\n"
+               "  \"cells\": %zu,\n"
+               "  \"threads\": %u,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"serial_wall_seconds\": %.6f,\n"
+               "  \"parallel_wall_seconds\": %.6f,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"bit_identical\": %s,\n"
+               "  \"criterion_failures\": %d\n"
+               "}\n",
+               scale.row_bits, plans, cells, threads,
+               std::thread::hardware_concurrency(), serial_wall, parallel_wall,
+               parallel_wall > 0 ? serial_wall / parallel_wall : 0.0,
+               bit_identical ? "true" : "false", g_failures);
+  std::fclose(f);
+  std::printf("\n[artifacts] BENCH_robustness.json written (speedup %.2fx on "
+              "%u threads, %u hardware)\n",
+              parallel_wall > 0 ? serial_wall / parallel_wall : 0.0, threads,
+              std::thread::hardware_concurrency());
+}
+
 }  // namespace
 
 int main() {
@@ -48,7 +111,7 @@ int main() {
   auto curves = SweepStudyPlans(env->ctx(), env->executor(),
                                 {PlanKind::kTableScan, PlanKind::kIndexANaive,
                                  PlanKind::kIndexAImproved},
-                                line)
+                                line, SweepOpts(scale))
                     .ValueOrDie();
 
   std::printf("\n1-D criteria (Figure 1 family):\n");
@@ -72,9 +135,39 @@ int main() {
   ParameterSpace grid = ParameterSpace::TwoD(
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
       Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
-  auto map =
-      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), grid)
+  // The 13-plan 2-D sweep is the benchmark's dominant cost — thousands of
+  // independent cells. Run it serially, then on a thread pool, timing both:
+  // the parallel map must reproduce the serial map bit for bit, and the
+  // wall-clock ratio is the headline number of BENCH_robustness.json.
+  SweepOptions serial_opts = SweepOpts(scale);
+  serial_opts.num_threads = 1;
+  auto serial_start = std::chrono::steady_clock::now();
+  auto serial_map =
+      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), grid,
+                      serial_opts)
           .ValueOrDie();
+  double serial_wall = WallSecondsSince(serial_start);
+
+  // An explicit REPRO_THREADS is honored as-is; only the default (0 =
+  // auto) is widened to at least 8 so the speedup leg exercises a real
+  // thread pool even on small machines.
+  SweepOptions parallel_opts = SweepOpts(scale);
+  if (parallel_opts.num_threads == 0) {
+    parallel_opts.num_threads =
+        std::max(8u, std::thread::hardware_concurrency());
+  }
+  auto parallel_start = std::chrono::steady_clock::now();
+  auto map = SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(),
+                             grid, parallel_opts)
+                 .ValueOrDie();
+  double parallel_wall = WallSecondsSince(parallel_start);
+
+  bool bit_identical = MapsBitIdentical(serial_map, map);
+  std::printf("\n2-D sweep wall clock: serial %.2fs, %u threads %.2fs "
+              "(%.2fx)\n",
+              serial_wall, parallel_opts.num_threads, parallel_wall,
+              parallel_wall > 0 ? serial_wall / parallel_wall : 0.0);
+
   RelativeMap rel = ComputeRelative(map);
 
   std::printf("\n2-D criteria (Figures 4-10 family):\n");
@@ -111,6 +204,15 @@ int main() {
   }
   Check(frag < 0.5, "optimality regions not shattered", frag,
         "max fragmentation (irregular regions = idiosyncrasies, §3.4)");
+
+  std::printf("\nSweep-engine criteria:\n");
+  Check(bit_identical, "parallel sweep bit-identical to serial",
+        bit_identical ? 1 : 0, "every cell equal (determinism contract)");
+
+  WriteBenchJson(scale, map.num_plans(),
+                 map.num_plans() * grid.num_points(),
+                 parallel_opts.num_threads, serial_wall, parallel_wall,
+                 bit_identical);
 
   std::printf("\n%s: %d criterion failure(s)\n",
               g_failures == 0 ? "ROBUSTNESS BENCHMARK PASSED"

@@ -1,10 +1,24 @@
 #include "core/sweep.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "engine/query.h"
 
 namespace robustmap {
+
+namespace {
+
+unsigned ResolveThreads(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
 
 Result<RobustnessMap> RunSweep(const ParameterSpace& space,
                                const std::vector<std::string>& plan_labels,
@@ -25,6 +39,70 @@ Result<RobustnessMap> RunSweep(const ParameterSpace& space,
   return map;
 }
 
+Result<RobustnessMap> ParallelRunSweep(
+    const ParameterSpace& space, const std::vector<std::string>& plan_labels,
+    const RunContextFactory& factory, const ContextPointRunner& runner,
+    const SweepOptions& opts) {
+  const unsigned num_threads = ResolveThreads(opts.num_threads);
+  const size_t points = space.num_points();
+  const size_t cells = plan_labels.size() * points;
+  RobustnessMap map(space, plan_labels);
+  if (opts.verbose) {
+    std::fprintf(stderr, "  sweep: %zu cells (%zu plans) on %u thread(s)\n",
+                 cells, plan_labels.size(), num_threads);
+  }
+
+  // Cells are dispatched in serial (plan-major) order. On failure, workers
+  // skip cells above the lowest failing cell seen so far; every cell below
+  // it was dispatched earlier and runs to completion, so the error we
+  // return is exactly the one a serial sweep would have hit first.
+  std::atomic<size_t> next_cell{0};
+  std::atomic<size_t> first_failed_cell{cells};
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+
+  auto record_error = [&](size_t cell, const Status& s) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    size_t prev = first_failed_cell.load(std::memory_order_relaxed);
+    if (cell < prev) {
+      first_failed_cell.store(cell, std::memory_order_relaxed);
+      first_error = s;
+    }
+  };
+
+  auto work = [&]() {
+    std::unique_ptr<OwnedRunContext> machine = factory.Create();
+    for (;;) {
+      const size_t cell = next_cell.fetch_add(1, std::memory_order_relaxed);
+      if (cell >= cells) break;
+      if (cell > first_failed_cell.load(std::memory_order_relaxed)) continue;
+      const size_t plan = cell / points;
+      const size_t point = cell % points;
+      auto m = runner(machine->ctx(), plan, space.x_value(point),
+                      space.y_value(point));
+      if (!m.ok()) {
+        record_error(cell, m.status());
+        continue;
+      }
+      map.Set(plan, point, std::move(m).value());
+    }
+  };
+
+  if (num_threads <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) workers.emplace_back(work);
+    for (std::thread& t : workers) t.join();
+  }
+
+  if (first_failed_cell.load(std::memory_order_relaxed) < cells) {
+    return first_error;
+  }
+  return map;
+}
+
 Result<RobustnessMap> SweepStudyPlans(RunContext* ctx,
                                       const Executor& executor,
                                       const std::vector<PlanKind>& plans,
@@ -34,11 +112,22 @@ Result<RobustnessMap> SweepStudyPlans(RunContext* ctx,
   labels.reserve(plans.size());
   for (PlanKind k : plans) labels.push_back(PlanKindLabel(k));
   int64_t domain = executor.db().domain;
-  return RunSweep(
-      space, labels,
-      [&](size_t plan, double sx, double sy) -> Result<Measurement> {
+  if (ResolveThreads(opts.num_threads) <= 1) {
+    return RunSweep(
+        space, labels,
+        [&](size_t plan, double sx, double sy) -> Result<Measurement> {
+          QuerySpec q = MakeStudyQuery(sx, sy, domain);
+          return executor.Run(ctx, plans[plan], q);
+        },
+        opts);
+  }
+  RunContextFactory factory(*ctx);
+  return ParallelRunSweep(
+      space, labels, factory,
+      [&](RunContext* worker_ctx, size_t plan, double sx,
+          double sy) -> Result<Measurement> {
         QuerySpec q = MakeStudyQuery(sx, sy, domain);
-        return executor.Run(ctx, plans[plan], q);
+        return executor.Run(worker_ctx, plans[plan], q);
       },
       opts);
 }

@@ -8,12 +8,20 @@
 #include "common/status.h"
 #include "core/robustness_map.h"
 #include "engine/plan.h"
+#include "io/run_context.h"
 
 namespace robustmap {
 
-/// Progress/verbosity options for sweeps.
+/// Progress/parallelism options for sweeps.
 struct SweepOptions {
-  bool verbose = false;  ///< prints one line per plan to stderr
+  bool verbose = false;  ///< prints progress to stderr
+
+  /// Worker threads for parallel sweeps: 0 = one per hardware thread,
+  /// 1 = serial in the caller's thread. Any setting produces bit-identical
+  /// maps: every cell is a cold measurement on an isolated simulated
+  /// machine, so only wall-clock time changes. (`RunSweep` is inherently
+  /// serial and ignores this field.)
+  unsigned num_threads = 0;
 };
 
 /// Generic sweep: measures `runner(plan, x, y)` for every plan over every
@@ -27,9 +35,29 @@ Result<RobustnessMap> RunSweep(const ParameterSpace& space,
                                const PointRunner& runner,
                                const SweepOptions& opts = {});
 
+/// Runner form for parallel sweeps: the worker's private machine is passed
+/// in, so per-cell run-time conditions (memory budgets, CPU constants) can
+/// be varied without racing other workers. The runner is invoked
+/// concurrently and must only touch shared state that is safe for
+/// concurrent reads (all storage objects' read paths are).
+using ContextPointRunner = std::function<Result<Measurement>(
+    RunContext* ctx, size_t plan, double x, double y)>;
+
+/// Thread-pool sweep over `opts.num_threads` workers, each measuring on its
+/// own simulated machine built by `factory`. Cells are claimed from a
+/// shared queue and written into the map by (plan, point) index, so the
+/// resulting map is bit-identical to a serial sweep regardless of thread
+/// count or scheduling. On error, the Status of the first failing cell (in
+/// serial plan-major order) is returned, deterministically.
+Result<RobustnessMap> ParallelRunSweep(
+    const ParameterSpace& space, const std::vector<std::string>& plan_labels,
+    const RunContextFactory& factory, const ContextPointRunner& runner,
+    const SweepOptions& opts = {});
+
 /// The paper's standard sweep: axes are predicate selectivities, plans are
 /// `PlanKind`s executed cold by `executor`. For 1-D spaces only pred_a is
-/// active.
+/// active. With `opts.num_threads != 1`, runs as a `ParallelRunSweep` with
+/// `ctx` as the machine prototype.
 Result<RobustnessMap> SweepStudyPlans(RunContext* ctx, const Executor& executor,
                                       const std::vector<PlanKind>& plans,
                                       const ParameterSpace& space,

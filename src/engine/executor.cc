@@ -185,9 +185,7 @@ Result<Measurement> Executor::Run(RunContext* ctx, PlanKind kind,
   RM_RETURN_IF_ERROR(plan.status());
 
   // Cold start: independent, reproducible map cells.
-  ctx->clock->Reset();
-  ctx->pool->Clear();
-  ctx->device->ResetHead();
+  ctx->ColdStart();
   IoStats before = ctx->device->stats();
   VirtualStopwatch watch(ctx->clock);
 

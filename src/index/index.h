@@ -9,6 +9,21 @@
 #include "io/run_context.h"
 #include "storage/row.h"
 
+// The defaulted friend operator== on IndexEntry below is a C++20 feature;
+// under -std=c++17 it fails with a confusing cascade of template errors
+// far from the cause. Fail fast with a readable message instead. (MSVC
+// keeps __cplusplus at 199711L unless /Zc:__cplusplus is passed, so check
+// its _MSVC_LANG too.)
+#if defined(_MSVC_LANG)
+static_assert(_MSVC_LANG >= 202002L,
+              "robustmap requires C++20: build with /std:c++20 (IndexEntry "
+              "uses a defaulted friend operator==)");
+#else
+static_assert(__cplusplus >= 202002L,
+              "robustmap requires C++20: build with -std=c++20 (IndexEntry "
+              "uses a defaulted friend operator==)");
+#endif
+
 namespace robustmap {
 
 /// One index entry: up to two key columns plus the row id.

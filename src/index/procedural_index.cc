@@ -1,10 +1,53 @@
 #include "index/procedural_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <deque>
 
 namespace robustmap {
+
+namespace {
+
+// Composite-group materializations are cached per (thread, index) so that
+// concurrent sweep workers sharing one index never contend or race. Slots
+// are found by linear scan: a thread touches few distinct indexes at a
+// time, and the unique id guards against a destroyed index's slot being
+// picked up by a new instance at the same address. A deque keeps slot
+// addresses stable while new slots are added (Group() hands out references
+// into a slot), and the slot count is bounded: once full, the oldest slot
+// is recycled round-robin — an eviction only costs re-materializing one
+// group, never correctness (and no simulated cost either way).
+struct GroupCacheSlot {
+  uint64_t index_id = 0;
+  uint64_t group = ~uint64_t{0};
+  std::vector<IndexEntry> entries;
+};
+
+constexpr size_t kMaxGroupCacheSlots = 16;
+
+std::atomic<uint64_t> g_next_index_id{1};
+thread_local std::deque<GroupCacheSlot> t_group_cache;
+thread_local size_t t_group_cache_evict = 0;
+
+GroupCacheSlot& GroupCacheFor(uint64_t index_id) {
+  for (GroupCacheSlot& slot : t_group_cache) {
+    if (slot.index_id == index_id) return slot;
+  }
+  if (t_group_cache.size() < kMaxGroupCacheSlots) {
+    t_group_cache.emplace_back();
+    t_group_cache.back().index_id = index_id;
+    return t_group_cache.back();
+  }
+  GroupCacheSlot& slot = t_group_cache[t_group_cache_evict];
+  t_group_cache_evict = (t_group_cache_evict + 1) % kMaxGroupCacheSlots;
+  slot.index_id = index_id;
+  slot.group = ~uint64_t{0};
+  return slot;
+}
+
+}  // namespace
 
 class ProceduralIndex::Cursor : public IndexCursor {
  public:
@@ -58,7 +101,11 @@ ProceduralIndex::ProceduralIndex(SimDevice* device,
                                  const ProceduralTable* table,
                                  const ProceduralIndexOptions& opts,
                                  uint64_t base_page)
-    : device_(device), table_(table), opts_(opts), base_page_(base_page) {
+    : device_(device),
+      table_(table),
+      opts_(opts),
+      base_page_(base_page),
+      cache_id_(g_next_index_id.fetch_add(1, std::memory_order_relaxed)) {
   (void)device_;
   num_leaf_pages_ =
       (table->num_rows() + opts_.entries_per_leaf - 1) / opts_.entries_per_leaf;
@@ -68,26 +115,27 @@ ProceduralIndex::ProceduralIndex(SimDevice* device,
 }
 
 const std::vector<IndexEntry>& ProceduralIndex::Group(uint64_t g) const {
-  if (cached_group_ == g) return group_entries_;
+  GroupCacheSlot& cache = GroupCacheFor(cache_id_);
+  if (cache.group == g) return cache.entries;
   const auto& perm0 = table_->column_permutation(opts_.key_columns[0]);
   uint64_t rpv = table_->rows_per_value();
-  group_entries_.clear();
-  group_entries_.reserve(rpv);
+  cache.entries.clear();
+  cache.entries.reserve(rpv);
   for (uint64_t j = 0; j < rpv; ++j) {
     Rid rid = perm0.Inverse(g * rpv + j);
     IndexEntry e;
     e.key0 = static_cast<int64_t>(g);
     e.key1 = table_->ValueAt(rid, opts_.key_columns[1]);
     e.rid = rid;
-    group_entries_.push_back(e);
+    cache.entries.push_back(e);
   }
-  std::sort(group_entries_.begin(), group_entries_.end(),
+  std::sort(cache.entries.begin(), cache.entries.end(),
             [](const IndexEntry& a, const IndexEntry& b) {
               if (a.key1 != b.key1) return a.key1 < b.key1;
               return a.rid < b.rid;
             });
-  cached_group_ = g;
-  return group_entries_;
+  cache.group = g;
+  return cache.entries;
 }
 
 IndexEntry ProceduralIndex::EntryAt(uint64_t k) const {

@@ -80,8 +80,11 @@ class ProceduralIndex : public Index {
   uint64_t num_leaf_pages_;
   int height_;
 
-  mutable uint64_t cached_group_ = ~uint64_t{0};
-  mutable std::vector<IndexEntry> group_entries_;
+  /// Key for this instance's per-thread group cache (see Group): parallel
+  /// sweep workers share the index object, so an instance-level mutable
+  /// cache would race. Ids are never reused, so a destroyed index's cached
+  /// slot can only go stale, never be misread.
+  uint64_t cache_id_;
 };
 
 }  // namespace robustmap

@@ -1,7 +1,9 @@
 #ifndef ROBUSTMAP_IO_RUN_CONTEXT_H_
 #define ROBUSTMAP_IO_RUN_CONTEXT_H_
 
+#include <cmath>
 #include <cstdint>
+#include <memory>
 
 #include "common/clock.h"
 #include "io/buffer_pool.h"
@@ -25,10 +27,11 @@ struct RunContext {
   /// Work memory available to a hash build side, bytes.
   uint64_t hash_memory_bytes = 64ull << 20;
 
-  /// Charges `seconds` of CPU work to the virtual clock.
-  void ChargeCpu(double seconds) {
-    clock->Advance(static_cast<int64_t>(seconds * 1e9));
-  }
+  /// Charges `seconds` of CPU work to the virtual clock. Rounds to the
+  /// nearest nanosecond: truncation would silently drop sub-nanosecond
+  /// charges (e.g. single key comparisons at 8 ns resolution accumulate,
+  /// but a lone 0.9 ns charge must not vanish).
+  void ChargeCpu(double seconds) { clock->Advance(std::llround(seconds * 1e9)); }
 
   /// Charges `count` operations at `per_op_seconds` each.
   void ChargeCpuOps(uint64_t count, double per_op_seconds) {
@@ -40,6 +43,82 @@ struct RunContext {
   bool ReadPage(uint64_t page, bool cacheable = true) {
     return pool->Access(page, cacheable);
   }
+
+  /// Resets the machine for an independent, reproducible measurement:
+  /// clock to zero, buffer pool emptied, head position forgotten, and temp
+  /// (spill) extents released so their placement — and its seek costs —
+  /// never depends on what ran before. Every measurement path must use
+  /// this rather than hand-rolling the reset sequence.
+  void ColdStart() {
+    clock->Reset();
+    pool->Clear();
+    device->ResetHead();
+    device->ReleaseTempExtents();
+  }
+};
+
+/// A self-contained simulated machine — clock, device, buffer pool — with a
+/// `RunContext` wired to them. Produced by `RunContextFactory` so parallel
+/// sweep workers each measure on a private machine.
+class OwnedRunContext {
+ public:
+  OwnedRunContext(const DiskParameters& disk, const CpuParameters& cpu,
+                  uint64_t pool_pages, uint64_t data_pages,
+                  uint64_t sort_memory_bytes, uint64_t hash_memory_bytes)
+      : device_(disk, &clock_), pool_(&device_, pool_pages) {
+    // Mirror the prototype device's data extents so shared storage objects
+    // (tables, indexes) keep their page addresses on this machine, and
+    // spill extents land at the same pages as on the prototype.
+    device_.AllocateExtent(data_pages);
+    device_.SealDataExtents();
+    ctx_.clock = &clock_;
+    ctx_.device = &device_;
+    ctx_.pool = &pool_;
+    ctx_.cpu = cpu;
+    ctx_.sort_memory_bytes = sort_memory_bytes;
+    ctx_.hash_memory_bytes = hash_memory_bytes;
+  }
+
+  OwnedRunContext(const OwnedRunContext&) = delete;
+  OwnedRunContext& operator=(const OwnedRunContext&) = delete;
+
+  RunContext* ctx() { return &ctx_; }
+
+ private:
+  VirtualClock clock_;
+  SimDevice device_;
+  BufferPool pool_;
+  RunContext ctx_;
+};
+
+/// Builds independent, identically-configured simulated machines from a
+/// prototype context: same disk and CPU parameters, pool capacity, memory
+/// budgets, and data-extent layout. Cold measurements taken on a machine
+/// from `Create()` are bit-identical to cold measurements on the prototype,
+/// which is what lets a parallel sweep reproduce a serial sweep exactly.
+class RunContextFactory {
+ public:
+  explicit RunContextFactory(const RunContext& prototype)
+      : disk_(prototype.device->model().params()),
+        cpu_(prototype.cpu),
+        pool_pages_(prototype.pool->capacity_pages()),
+        data_pages_(prototype.device->data_watermark()),
+        sort_memory_bytes_(prototype.sort_memory_bytes),
+        hash_memory_bytes_(prototype.hash_memory_bytes) {}
+
+  std::unique_ptr<OwnedRunContext> Create() const {
+    return std::make_unique<OwnedRunContext>(disk_, cpu_, pool_pages_,
+                                             data_pages_, sort_memory_bytes_,
+                                             hash_memory_bytes_);
+  }
+
+ private:
+  DiskParameters disk_;
+  CpuParameters cpu_;
+  uint64_t pool_pages_;
+  uint64_t data_pages_;
+  uint64_t sort_memory_bytes_;
+  uint64_t hash_memory_bytes_;
 };
 
 }  // namespace robustmap

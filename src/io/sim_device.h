@@ -51,6 +51,41 @@ class SimDevice {
   /// Forgets head position (e.g., after a long pause); next access is random.
   void ResetHead() { head_ = -1; }
 
+  /// Marks the current allocation frontier as the end of the permanent data
+  /// extents (tables, indexes); `ReleaseTempExtents` rewinds to this point.
+  void SealDataExtents() {
+    data_watermark_ = next_free_page_;
+    sealed_ = true;
+  }
+
+  /// Frees every extent allocated after `SealDataExtents` (sort spills, hash
+  /// partitions, run files) and rewinds allocation to the start of the temp
+  /// region. The first call seals implicitly, treating everything allocated
+  /// so far as data. Called at each cold start so a measurement's temp-file
+  /// placement — and therefore its seek costs — is independent of what ran
+  /// before it.
+  ///
+  /// The temp region begins one full skip gap past the data extents,
+  /// modeling a dedicated scratch area: reaching a spill file from anywhere
+  /// in the data is always a full seek. Placing temp pages adjacent to the
+  /// data instead would make the cost of a spill depend on which data
+  /// extent happened to be scanned last — exactly the placement-accident
+  /// idiosyncrasy the paper's maps are meant to expose, not contain.
+  void ReleaseTempExtents() {
+    if (!sealed_) SealDataExtents();
+    next_free_page_ = TempRegionStart();
+  }
+
+  /// First page of the scratch region used for post-seal allocations.
+  uint64_t TempRegionStart() const {
+    return data_watermark_ + model_.params().max_skip_gap_pages + 1;
+  }
+
+  /// End of the permanent data extents (== allocated_pages() until sealed).
+  uint64_t data_watermark() const {
+    return sealed_ ? data_watermark_ : next_free_page_;
+  }
+
  private:
   void Charge(double seconds) {
     clock_->Advance(static_cast<int64_t>(seconds * 1e9 + 0.5));
@@ -61,6 +96,8 @@ class SimDevice {
   IoStats stats_;
   int64_t head_ = -1;  ///< last accessed page, -1 if none
   uint64_t next_free_page_ = 0;
+  uint64_t data_watermark_ = 0;  ///< see SealDataExtents
+  bool sealed_ = false;
 };
 
 }  // namespace robustmap

@@ -1,0 +1,168 @@
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testing/test_env.h"
+
+namespace robustmap {
+namespace {
+
+using ::robustmap::testing::ProcEnv;
+
+// Plans chosen to cover every concurrency hazard: composite-index group
+// synthesis (mdam, cover), spill-extent allocation (hash join at tiny
+// memory), sorted fetch, and plain scans.
+std::vector<PlanKind> StressPlans() {
+  return {PlanKind::kTableScan,   PlanKind::kIndexAImproved,
+          PlanKind::kMergeJoinAB, PlanKind::kHashJoinAB,
+          PlanKind::kMdamAB,      PlanKind::kCoverABBitmapFetch};
+}
+
+ParameterSpace StressSpace() {
+  return ParameterSpace::TwoD(Axis::Selectivity("a", -6, 0),
+                              Axis::Selectivity("b", -6, 0));
+}
+
+void ExpectMapsBitIdentical(const RobustnessMap& a, const RobustnessMap& b) {
+  ASSERT_EQ(a.num_plans(), b.num_plans());
+  ASSERT_EQ(a.space().num_points(), b.space().num_points());
+  for (size_t plan = 0; plan < a.num_plans(); ++plan) {
+    EXPECT_EQ(a.plan_label(plan), b.plan_label(plan));
+    for (size_t pt = 0; pt < a.space().num_points(); ++pt) {
+      const Measurement& ma = a.At(plan, pt);
+      const Measurement& mb = b.At(plan, pt);
+      // Exact equality, not near-equality: the parallel sweep must
+      // reproduce the serial map bit for bit.
+      EXPECT_EQ(ma.seconds, mb.seconds)
+          << a.plan_label(plan) << " point " << pt;
+      EXPECT_EQ(ma.output_rows, mb.output_rows)
+          << a.plan_label(plan) << " point " << pt;
+      EXPECT_EQ(ma.io.sequential_reads, mb.io.sequential_reads);
+      EXPECT_EQ(ma.io.skip_reads, mb.io.skip_reads);
+      EXPECT_EQ(ma.io.random_reads, mb.io.random_reads);
+      EXPECT_EQ(ma.io.writes, mb.io.writes);
+      EXPECT_EQ(ma.io.buffer_hits, mb.io.buffer_hits);
+      EXPECT_EQ(ma.plan_label, mb.plan_label);
+    }
+  }
+}
+
+TEST(ParallelRunSweepTest, StudySweepBitIdenticalAcrossThreadCounts) {
+  ProcEnv env;
+  Executor executor(env.db());
+  // Tiny budgets force hash builds to spill, exercising mid-run temp-extent
+  // allocation on each worker's private device.
+  env.ctx()->sort_memory_bytes = 4096;
+  env.ctx()->hash_memory_bytes = 4096;
+  ParameterSpace space = StressSpace();
+
+  SweepOptions serial;
+  serial.num_threads = 1;
+  auto reference =
+      SweepStudyPlans(env.ctx(), executor, StressPlans(), space, serial)
+          .ValueOrDie();
+
+  for (unsigned threads : {1u, 4u, 8u}) {
+    SweepOptions opts;
+    opts.num_threads = threads;
+    RunContextFactory factory(*env.ctx());
+    int64_t domain = executor.db().domain;
+    auto parallel =
+        ParallelRunSweep(
+            space, reference.plan_labels(), factory,
+            [&](RunContext* ctx, size_t plan, double sx, double sy) {
+              QuerySpec q = MakeStudyQuery(sx, sy, domain);
+              return executor.Run(ctx, StressPlans()[plan], q);
+            },
+            opts)
+            .ValueOrDie();
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    ExpectMapsBitIdentical(reference, parallel);
+  }
+}
+
+TEST(ParallelRunSweepTest, SweepStudyPlansParallelPathMatchesSerial) {
+  ProcEnv env;
+  Executor executor(env.db());
+  ParameterSpace space = StressSpace();
+
+  SweepOptions serial;
+  serial.num_threads = 1;
+  auto reference =
+      SweepStudyPlans(env.ctx(), executor, StressPlans(), space, serial)
+          .ValueOrDie();
+
+  SweepOptions parallel;
+  parallel.num_threads = 8;
+  auto map =
+      SweepStudyPlans(env.ctx(), executor, StressPlans(), space, parallel)
+          .ValueOrDie();
+  ExpectMapsBitIdentical(reference, map);
+}
+
+TEST(ParallelRunSweepTest, ReportsFirstErrorInSerialOrder) {
+  ProcEnv env;
+  ParameterSpace space = StressSpace();
+  RunContextFactory factory(*env.ctx());
+
+  // Plans 0 and 1 succeed everywhere; plans 2 and 3 fail everywhere with
+  // distinct messages. Whatever the scheduling, the reported error must be
+  // the one a serial plan-major sweep would hit first: plan 2's.
+  SweepOptions opts;
+  opts.num_threads = 8;
+  auto result = ParallelRunSweep(
+      space, {"p0", "p1", "p2", "p3"}, factory,
+      [&](RunContext*, size_t plan, double, double) -> Result<Measurement> {
+        if (plan >= 2) {
+          return Status::Internal("boom in plan " + std::to_string(plan));
+        }
+        Measurement m;
+        m.seconds = static_cast<double>(plan + 1);
+        return m;
+      },
+      opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+  EXPECT_EQ(result.status().message(), "boom in plan 2");
+}
+
+TEST(ParallelRunSweepTest, PropagatesMissingIndexError) {
+  ProcEnv env;
+  StudyDb db = env.db();
+  db.idx_ab = nullptr;  // kMdamAB requires idx(a,b)
+  Executor executor(db);
+  ParameterSpace space = StressSpace();
+
+  SweepOptions opts;
+  opts.num_threads = 4;
+  auto result = SweepStudyPlans(env.ctx(), executor,
+                                {PlanKind::kTableScan, PlanKind::kMdamAB},
+                                space, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(ParallelRunSweepTest, OneDSpacePassesNegativeY) {
+  ProcEnv env;
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("a", -3, 0));
+  RunContextFactory factory(*env.ctx());
+  SweepOptions opts;
+  opts.num_threads = 2;
+  auto map = ParallelRunSweep(
+                 space, {"p"}, factory,
+                 [&](RunContext*, size_t, double, double y) {
+                   EXPECT_EQ(y, -1.0);
+                   Measurement m;
+                   m.seconds = 1.0;
+                   return Result<Measurement>(m);
+                 },
+                 opts)
+                 .ValueOrDie();
+  EXPECT_EQ(map.space().num_points(), 4u);
+}
+
+}  // namespace
+}  // namespace robustmap

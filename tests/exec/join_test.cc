@@ -129,7 +129,9 @@ TEST(BitmapAndTest, EmitsRidsInAscendingOrder) {
   Rid prev = 0;
   bool first = true;
   while (join.Next(env.ctx(), &r)) {
-    if (!first) ASSERT_GT(r.rid, prev);
+    if (!first) {
+      ASSERT_GT(r.rid, prev);
+    }
     prev = r.rid;
     first = false;
   }

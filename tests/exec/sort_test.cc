@@ -27,7 +27,9 @@ TEST(SortOpTest, SortsByRid) {
   bool first = true;
   size_t n = 0;
   while (sort.Next(env.ctx(), &r)) {
-    if (!first) ASSERT_GT(r.rid, prev);
+    if (!first) {
+      ASSERT_GT(r.rid, prev);
+    }
     prev = r.rid;
     first = false;
     ++n;

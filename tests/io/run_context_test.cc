@@ -1,0 +1,109 @@
+#include "io/run_context.h"
+
+#include <gtest/gtest.h>
+
+namespace robustmap {
+namespace {
+
+class RunContextTest : public ::testing::Test {
+ protected:
+  RunContextTest() : device_(DiskParameters{}, &clock_), pool_(&device_, 64) {
+    ctx_.clock = &clock_;
+    ctx_.device = &device_;
+    ctx_.pool = &pool_;
+  }
+
+  VirtualClock clock_;
+  SimDevice device_;
+  BufferPool pool_;
+  RunContext ctx_;
+};
+
+TEST_F(RunContextTest, ChargeCpuRoundsToNearestNanosecond) {
+  ctx_.ChargeCpu(0.9e-9);
+  EXPECT_EQ(clock_.now_ns(), 1);  // truncation would drop this to 0
+  ctx_.ChargeCpu(0.4e-9);
+  EXPECT_EQ(clock_.now_ns(), 1);
+  ctx_.ChargeCpu(2.5e-9);
+  EXPECT_EQ(clock_.now_ns(), 4);
+}
+
+// Regression for the truncation bug: seconds * 1e9 routinely lands a hair
+// below the integer (8e-9 * 1e9 != 8.0 exactly), so static_cast<int64_t>
+// under-charged whole nanoseconds, and genuinely sub-nanosecond charges
+// vanished entirely.
+TEST_F(RunContextTest, ManyTinyChargesAccumulate) {
+  for (int i = 0; i < 1000; ++i) ctx_.ChargeCpu(0.6e-9);
+  EXPECT_EQ(clock_.now_ns(), 1000);  // each 0.6 ns rounds to 1; trunc gave 0
+
+  clock_.Reset();
+  CpuParameters cpu;
+  for (int i = 0; i < 1000; ++i) ctx_.ChargeCpu(cpu.compare_seconds);
+  EXPECT_EQ(clock_.now_ns(), 8000);  // exactly 8 ns per comparison
+}
+
+TEST_F(RunContextTest, ChargeCpuOpsChargesProductOnce) {
+  ctx_.ChargeCpuOps(1000, 0.6e-9);
+  EXPECT_EQ(clock_.now_ns(), 600);
+}
+
+TEST_F(RunContextTest, SimDeviceSealAndReleaseTempExtents) {
+  const uint64_t gap = DiskParameters{}.max_skip_gap_pages;
+  EXPECT_EQ(device_.AllocateExtent(10), 0u);
+  device_.SealDataExtents();
+  EXPECT_EQ(device_.data_watermark(), 10u);
+  // The scratch region sits one full skip gap past the data, so a spill is
+  // always a full seek away from any data page.
+  EXPECT_EQ(device_.TempRegionStart(), 10u + gap + 1);
+  device_.ReleaseTempExtents();
+  EXPECT_EQ(device_.AllocateExtent(5), 10u + gap + 1);
+  device_.ReleaseTempExtents();
+  EXPECT_EQ(device_.AllocateExtent(5), 10u + gap + 1);  // reproducible
+}
+
+TEST_F(RunContextTest, ReleaseTempExtentsSealsImplicitly) {
+  const uint64_t gap = DiskParameters{}.max_skip_gap_pages;
+  device_.AllocateExtent(7);
+  device_.ReleaseTempExtents();  // first call treats current frontier as data
+  EXPECT_EQ(device_.data_watermark(), 7u);
+  EXPECT_EQ(device_.AllocateExtent(3), 7u + gap + 1);
+  device_.ReleaseTempExtents();
+  EXPECT_EQ(device_.AllocateExtent(3), 7u + gap + 1);
+}
+
+TEST_F(RunContextTest, FactoryClonesMachineConfiguration) {
+  device_.AllocateExtent(100);
+  device_.SealDataExtents();
+  ctx_.sort_memory_bytes = 1234;
+  ctx_.hash_memory_bytes = 5678;
+  ctx_.cpu.compare_seconds = 99e-9;
+
+  RunContextFactory factory(ctx_);
+  auto machine = factory.Create();
+  RunContext* worker = machine->ctx();
+
+  ASSERT_NE(worker->clock, nullptr);
+  ASSERT_NE(worker->device, nullptr);
+  ASSERT_NE(worker->pool, nullptr);
+  EXPECT_NE(worker->device, ctx_.device);  // a private machine, not a view
+  EXPECT_EQ(worker->pool->capacity_pages(), 64u);
+  EXPECT_EQ(worker->sort_memory_bytes, 1234u);
+  EXPECT_EQ(worker->hash_memory_bytes, 5678u);
+  EXPECT_EQ(worker->cpu.compare_seconds, 99e-9);
+
+  // Data extents mirrored: the next (temp) allocation lands exactly where
+  // it would on the prototype after a cold start.
+  EXPECT_EQ(worker->device->data_watermark(), 100u);
+  EXPECT_EQ(worker->device->TempRegionStart(), ctx_.device->TempRegionStart());
+  worker->device->ReleaseTempExtents();
+  EXPECT_EQ(worker->device->AllocateExtent(5),
+            worker->device->TempRegionStart());
+
+  // Clocks are independent.
+  worker->ChargeCpu(5e-9);
+  EXPECT_EQ(worker->clock->now_ns(), 5);
+  EXPECT_EQ(clock_.now_ns(), 0);
+}
+
+}  // namespace
+}  // namespace robustmap
