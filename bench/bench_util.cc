@@ -35,12 +35,17 @@ BenchScale ResolveScale(int default_row_bits, int default_min_log2) {
     int v = std::atoi(th);
     if (v >= 0 && v <= 256) s.num_threads = static_cast<unsigned>(v);
   }
+  if (const char* vb = std::getenv("REPRO_VERBOSE");
+      vb != nullptr && vb[0] == '1') {
+    s.verbose = true;
+  }
   return s;
 }
 
 SweepOptions SweepOpts(const BenchScale& scale) {
   SweepOptions opts;
   opts.num_threads = scale.num_threads;
+  opts.verbose = scale.verbose;
   return opts;
 }
 
@@ -72,6 +77,25 @@ void ExportMap(const std::string& figure_name, const RobustnessMap& map,
   }
   std::printf("[artifacts] %s.csv, %s.plt written\n", base.c_str(),
               base.c_str());
+}
+
+void ExportWarmColdMaps(const std::string& figure_name,
+                        const WarmColdMaps& maps) {
+  ExportMap(figure_name + "_cold", maps.cold);
+  ExportMap(figure_name + "_warm", maps.warm);
+  std::string base = OutDir() + "/" + figure_name;
+  if (maps.delta.space().is_2d()) {
+    ColorScale diverging = ColorScale::DivergingSeconds();
+    for (size_t pl = 0; pl < maps.delta.num_plans(); ++pl) {
+      std::string path = base + "_delta_plan" + std::to_string(pl) + ".ppm";
+      (void)WritePpm(path, maps.delta.space(), maps.delta.SecondsOfPlan(pl),
+                     diverging);
+    }
+    (void)WriteLegendPpm(base + "_delta_legend.ppm", diverging);
+  }
+  (void)WriteWarmColdCsvFile(base + "_warmcold.csv", maps.cold, maps.warm);
+  std::printf("[artifacts] %s_warmcold.csv%s written\n", base.c_str(),
+              maps.delta.space().is_2d() ? ", *_delta_plan*.ppm" : "");
 }
 
 void PrintCurveTable(const RobustnessMap& map) {

@@ -18,11 +18,13 @@ namespace robustmap::bench {
 ///   REPRO_FAST=1    — shrink to a quick smoke configuration.
 ///   REPRO_THREADS   — sweep worker threads (default 0 = one per hardware
 ///                     thread; maps are bit-identical at any setting).
+///   REPRO_VERBOSE=1 — per-plan / percent sweep progress on stderr.
 struct BenchScale {
   int row_bits;
   int value_bits;
   int grid_min_log2;  ///< selectivity grid lower bound (e.g. -16)
   unsigned num_threads = 0;
+  bool verbose = false;
 };
 
 /// Resolves the scale for a bench with the given defaults.
@@ -41,6 +43,13 @@ std::string OutDir();
 /// Writes csv, gnuplot and (2-D) per-plan PPM artifacts for a map.
 void ExportMap(const std::string& figure_name, const RobustnessMap& map,
                bool relative = false);
+
+/// Writes the full artifact set of a paired cold/warm study:
+/// `<figure>_cold.*` and `<figure>_warm.*` via ExportMap, per-plan delta
+/// PPMs on the diverging scale, the combined warm/cold CSV, and the
+/// diverging-legend strip.
+void ExportWarmColdMaps(const std::string& figure_name,
+                        const WarmColdMaps& maps);
 
 /// Prints a 1-D map as a fixed-width table of seconds (plans as columns).
 void PrintCurveTable(const RobustnessMap& map);

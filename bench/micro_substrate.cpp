@@ -68,7 +68,7 @@ void BM_BTreeSeek(benchmark::State& state) {
   }
   VirtualClock clock;
   SimDevice device(DiskParameters{}, &clock);
-  BufferPool pool(&device, 4096);
+  LruBufferPool pool(&device, 4096);
   RunContext ctx;
   ctx.clock = &clock;
   ctx.device = &device;
@@ -106,7 +106,7 @@ void BM_BufferPoolAccess(benchmark::State& state) {
   VirtualClock clock;
   SimDevice device(DiskParameters{}, &clock);
   device.AllocateExtent(1 << 20);
-  BufferPool pool(&device, 8192);
+  LruBufferPool pool(&device, 8192);
   Rng rng(11);
   for (auto _ : state) {
     benchmark::DoNotOptimize(pool.Access(rng.NextBounded(16384)));

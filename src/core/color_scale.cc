@@ -83,6 +83,30 @@ ColorScale ColorScale::Counts(int max_count) {
                     std::move(colors), std::move(labels), std::move(glyphs));
 }
 
+ColorScale ColorScale::DivergingSeconds() {
+  return ColorScale(
+      "Warm minus cold execution time",
+      {-1e2, -1e1, -1e0, -1e-1, -1e-2, 1e-2, 1e-1, 1e0, 1e1, 1e2},
+      {{8, 29, 88},      // deep blue
+       {34, 94, 168},    // blue
+       {29, 145, 192},   // medium blue
+       {65, 182, 196},   // light blue
+       {161, 218, 180},  // pale blue-green
+       {247, 247, 247},  // white: no change
+       {253, 219, 199},  // pale red
+       {244, 165, 130},  // light red
+       {214, 96, 77},    // red
+       {178, 24, 43},    // dark red
+       {103, 0, 31}},    // deep red
+      {"warm faster by > 100 s", "warm faster by 10-100 s",
+       "warm faster by 1-10 s", "warm faster by 0.1-1 s",
+       "warm faster by 0.01-0.1 s", "within 0.01 s",
+       "warm slower by 0.01-0.1 s", "warm slower by 0.1-1 s",
+       "warm slower by 1-10 s", "warm slower by 10-100 s",
+       "warm slower by > 100 s"},
+      "@%*=- .:+xX");
+}
+
 int ColorScale::BucketOf(double v) const {
   int i = 0;
   while (i < static_cast<int>(upper_bounds_.size()) && v > upper_bounds_[i]) {

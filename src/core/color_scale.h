@@ -29,6 +29,13 @@ class ColorScale {
   /// Figure 10 companion: small-integer counts (number of optimal plans).
   static ColorScale Counts(int max_count);
 
+  /// Warm-minus-cold delta maps: a diverging scale, blue where the warm
+  /// cache helps (negative delta) through white (|delta| ≤ 10 ms, no
+  /// change) to red where warmth hurts (e.g. a hit that parks the head and
+  /// turns the next read into a full seek). One bucket per order of
+  /// magnitude on each side, mirroring the absolute scale's resolution.
+  static ColorScale DivergingSeconds();
+
   /// Bucket index of a value (clamped into range).
   int BucketOf(double v) const;
   Rgb ColorOf(double v) const { return colors_[BucketOf(v)]; }

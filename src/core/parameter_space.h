@@ -25,6 +25,8 @@ struct Axis {
                               int max_log2, int steps_per_octave);
 
   size_t size() const { return values.size(); }
+
+  bool operator==(const Axis&) const = default;
 };
 
 /// A 1-D or 2-D parameter space — "the human limit to three-dimensional
@@ -56,6 +58,10 @@ class ParameterSpace {
   double y_value(size_t index) const {
     return is_2d_ ? y_.values[CoordsOf(index).second] : -1.0;
   }
+
+  /// Same dimensionality, axis names, and grid values — the precondition
+  /// for comparing two maps cell by cell (delta maps, warm/cold CSVs).
+  bool operator==(const ParameterSpace&) const = default;
 
  private:
   bool is_2d_ = false;

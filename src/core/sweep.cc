@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -18,6 +19,57 @@ unsigned ResolveThreads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
+/// The verbose-mode progress printer: one stderr line per completed plan
+/// and per 10% step — readable for both quick smokes and hour-long studies.
+SweepProgressFn MakeDefaultPrinter() {
+  auto last_decile = std::make_shared<int>(-1);
+  auto last_plans = std::make_shared<size_t>(0);
+  return [last_decile, last_plans](const SweepProgress& p) {
+    const int decile = static_cast<int>(p.percent() / 10.0);
+    const bool plan_step = p.plans_done != *last_plans;
+    if (decile == *last_decile && !plan_step && p.cells_done != p.cells_total) {
+      return;
+    }
+    *last_decile = decile;
+    *last_plans = p.plans_done;
+    std::fprintf(stderr, "  sweep: %5.1f%% (%zu/%zu cells, %zu/%zu plans)\n",
+                 p.percent(), p.cells_done, p.cells_total, p.plans_done,
+                 p.num_plans);
+  };
+}
+
+/// Serializes progress callbacks and maintains the cumulative counts for
+/// both the serial and the parallel sweep. All updates happen under one
+/// mutex, so the callback observes cells_done = 1, 2, ..., total in order.
+class ProgressTracker {
+ public:
+  ProgressTracker(const SweepOptions& opts, size_t num_plans, size_t points)
+      : points_(points), per_plan_done_(num_plans, 0) {
+    progress_.num_plans = num_plans;
+    progress_.cells_total = num_plans * points;
+    if (opts.progress) {
+      fn_ = opts.progress;
+    } else if (opts.verbose) {
+      fn_ = MakeDefaultPrinter();
+    }
+  }
+
+  void CellDone(size_t plan) {
+    if (!fn_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++progress_.cells_done;
+    if (++per_plan_done_[plan] == points_) ++progress_.plans_done;
+    fn_(progress_);
+  }
+
+ private:
+  const size_t points_;
+  std::mutex mu_;
+  SweepProgress progress_;
+  std::vector<size_t> per_plan_done_;
+  SweepProgressFn fn_;
+};
+
 }  // namespace
 
 Result<RobustnessMap> RunSweep(const ParameterSpace& space,
@@ -25,15 +77,13 @@ Result<RobustnessMap> RunSweep(const ParameterSpace& space,
                                const PointRunner& runner,
                                const SweepOptions& opts) {
   RobustnessMap map(space, plan_labels);
+  ProgressTracker tracker(opts, plan_labels.size(), space.num_points());
   for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
-    if (opts.verbose) {
-      std::fprintf(stderr, "  sweep: plan %zu/%zu (%s)\n", plan + 1,
-                   plan_labels.size(), plan_labels[plan].c_str());
-    }
     for (size_t point = 0; point < space.num_points(); ++point) {
       auto m = runner(plan, space.x_value(point), space.y_value(point));
       RM_RETURN_IF_ERROR(m.status());
       map.Set(plan, point, std::move(m).value());
+      tracker.CellDone(plan);
     }
   }
   return map;
@@ -47,6 +97,7 @@ Result<RobustnessMap> ParallelRunSweep(
   const size_t points = space.num_points();
   const size_t cells = plan_labels.size() * points;
   RobustnessMap map(space, plan_labels);
+  ProgressTracker tracker(opts, plan_labels.size(), points);
   if (opts.verbose) {
     std::fprintf(stderr, "  sweep: %zu cells (%zu plans) on %u thread(s)\n",
                  cells, plan_labels.size(), num_threads);
@@ -85,6 +136,7 @@ Result<RobustnessMap> ParallelRunSweep(
         continue;
       }
       map.Set(plan, point, std::move(m).value());
+      tracker.CellDone(plan);
     }
   };
 
@@ -112,7 +164,10 @@ Result<RobustnessMap> SweepStudyPlans(RunContext* ctx,
   labels.reserve(plans.size());
   for (PlanKind k : plans) labels.push_back(PlanKindLabel(k));
   int64_t domain = executor.db().domain;
-  if (ResolveThreads(opts.num_threads) <= 1) {
+  // The serial path measures on `ctx` itself; a shared pool needs the
+  // factory to attach worker views, so it always takes the parallel path
+  // (which degrades to in-caller-thread execution at one worker).
+  if (ResolveThreads(opts.num_threads) <= 1 && opts.shared_pool == nullptr) {
     return RunSweep(
         space, labels,
         [&](size_t plan, double sx, double sy) -> Result<Measurement> {
@@ -122,6 +177,7 @@ Result<RobustnessMap> SweepStudyPlans(RunContext* ctx,
         opts);
   }
   RunContextFactory factory(*ctx);
+  if (opts.shared_pool != nullptr) factory.ShareBufferPool(opts.shared_pool);
   return ParallelRunSweep(
       space, labels, factory,
       [&](RunContext* worker_ctx, size_t plan, double sx,
@@ -130,6 +186,87 @@ Result<RobustnessMap> SweepStudyPlans(RunContext* ctx,
         return executor.Run(worker_ctx, plans[plan], q);
       },
       opts);
+}
+
+Result<RobustnessMap> DiffMaps(const RobustnessMap& warm,
+                               const RobustnessMap& cold) {
+  if (warm.num_plans() != cold.num_plans() ||
+      !(warm.space() == cold.space())) {
+    return Status::InvalidArgument(
+        "warm and cold maps cover different plans or spaces");
+  }
+  RobustnessMap delta(warm.space(), warm.plan_labels());
+  for (size_t plan = 0; plan < warm.num_plans(); ++plan) {
+    if (warm.plan_label(plan) != cold.plan_label(plan)) {
+      return Status::InvalidArgument("warm/cold plan labels disagree at " +
+                                     std::to_string(plan));
+    }
+    for (size_t pt = 0; pt < warm.space().num_points(); ++pt) {
+      const Measurement& w = warm.At(plan, pt);
+      const Measurement& c = cold.At(plan, pt);
+      if (w.output_rows != c.output_rows) {
+        return Status::Internal(
+            "warm run changed the result cardinality of " +
+            warm.plan_label(plan) + " at point " + std::to_string(pt) +
+            " — caching must never change results");
+      }
+      Measurement m;
+      m.seconds = w.seconds - c.seconds;
+      m.plan_label = w.plan_label;
+      delta.Set(plan, pt, std::move(m));
+    }
+  }
+  return delta;
+}
+
+Result<WarmColdMaps> RunWarmColdSweep(RunContext* ctx,
+                                      const Executor& executor,
+                                      const std::vector<PlanKind>& plans,
+                                      const ParameterSpace& space,
+                                      const WarmupPolicy& warm_policy,
+                                      const SweepOptions& opts) {
+  const WarmupPolicy saved = ctx->warmup;
+
+  // Cold half: warmup off, private per-worker pools — the classic map,
+  // bit-identical at any thread count.
+  ctx->warmup = WarmupPolicy::Cold();
+  SweepOptions cold_opts = opts;
+  cold_opts.shared_pool = nullptr;
+  auto cold = SweepStudyPlans(ctx, executor, plans, space, cold_opts);
+  if (!cold.ok()) {
+    ctx->warmup = saved;
+    return cold.status();
+  }
+
+  // Warm half under the requested policy. Two situations make warmth a
+  // product of execution order, and both run serially so that order — and
+  // with it the warm map — is the same on every invocation: prior-run
+  // cells inherit their predecessor's cache, and a shared pool is mutated
+  // by every cell's ColdStart (parallel workers would clear and re-warm
+  // the one cache out from under each other's in-flight measurements).
+  // Page-set policies on private per-worker pools are order-independent
+  // and stay parallel.
+  ctx->warmup = warm_policy;
+  SweepOptions warm_opts = opts;
+  if (warm_policy.mode == WarmupPolicy::Mode::kPriorRun ||
+      warm_opts.shared_pool != nullptr) {
+    warm_opts.num_threads = 1;
+  }
+  if (warm_policy.mode == WarmupPolicy::Mode::kPriorRun) {
+    // Prior-run cells inherit pool state, so pin the sweep's starting
+    // state: the first cell runs cold, every later cell inherits from its
+    // predecessor — the same history on every invocation.
+    ctx->pool->Clear();
+    if (warm_opts.shared_pool != nullptr) warm_opts.shared_pool->Clear();
+  }
+  auto warm = SweepStudyPlans(ctx, executor, plans, space, warm_opts);
+  ctx->warmup = saved;
+  if (!warm.ok()) return warm.status();
+
+  auto delta = DiffMaps(warm.value(), cold.value());
+  RM_RETURN_IF_ERROR(delta.status());
+  return WarmColdMaps{std::move(cold).value(), std::move(warm).value(),
+                      std::move(delta).value()};
 }
 
 }  // namespace robustmap

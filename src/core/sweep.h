@@ -12,9 +12,29 @@
 
 namespace robustmap {
 
+/// Cumulative progress of a running sweep, passed to
+/// `SweepOptions::progress` after every measured cell.
+struct SweepProgress {
+  size_t cells_done = 0;
+  size_t cells_total = 0;
+  size_t plans_done = 0;  ///< plans whose every cell has been measured
+  size_t num_plans = 0;
+
+  double percent() const {
+    return cells_total == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(cells_done) /
+                     static_cast<double>(cells_total);
+  }
+};
+
+using SweepProgressFn = std::function<void(const SweepProgress&)>;
+
 /// Progress/parallelism options for sweeps.
 struct SweepOptions {
-  bool verbose = false;  ///< prints progress to stderr
+  /// Prints per-plan / percent progress to stderr (via the default
+  /// `progress` callback when none is given).
+  bool verbose = false;
 
   /// Worker threads for parallel sweeps: 0 = one per hardware thread,
   /// 1 = serial in the caller's thread. Any setting produces bit-identical
@@ -22,6 +42,22 @@ struct SweepOptions {
   /// machine, so only wall-clock time changes. (`RunSweep` is inherently
   /// serial and ignores this field.)
   unsigned num_threads = 0;
+
+  /// Called after every measured cell, from both `RunSweep` and
+  /// `ParallelRunSweep`. Invocations are serialized (cells_done increases by
+  /// one per call), so the callback needs no locking of its own — but it
+  /// runs under the sweep's progress lock, so keep it cheap.
+  SweepProgressFn progress;
+
+  /// When set, sweep workers attach to this cache instead of private
+  /// per-worker pools, modeling concurrent queries sharing one server's
+  /// memory. Results are deterministic only with `num_threads == 1` (the
+  /// serial fallback); a parallel schedule makes residency — intentionally —
+  /// scheduling-dependent. Honored by `SweepStudyPlans` and
+  /// `RunWarmColdSweep`; combine with `WarmupPolicy::PriorRun()` on the
+  /// prototype context for cross-query reuse, since the default cold policy
+  /// clears the shared cache at every measurement.
+  SharedBufferPool* shared_pool = nullptr;
 };
 
 /// Generic sweep: measures `runner(plan, x, y)` for every plan over every
@@ -55,12 +91,44 @@ Result<RobustnessMap> ParallelRunSweep(
     const SweepOptions& opts = {});
 
 /// The paper's standard sweep: axes are predicate selectivities, plans are
-/// `PlanKind`s executed cold by `executor`. For 1-D spaces only pred_a is
-/// active. With `opts.num_threads != 1`, runs as a `ParallelRunSweep` with
-/// `ctx` as the machine prototype.
+/// `PlanKind`s executed by `executor` under `ctx`'s warmup policy (cold by
+/// default). For 1-D spaces only pred_a is active. With
+/// `opts.num_threads != 1` or `opts.shared_pool` set, runs as a
+/// `ParallelRunSweep` with `ctx` as the machine prototype.
 Result<RobustnessMap> SweepStudyPlans(RunContext* ctx, const Executor& executor,
                                       const std::vector<PlanKind>& plans,
                                       const ParameterSpace& space,
+                                      const SweepOptions& opts = {});
+
+/// A paired cold/warm study of the same plans over the same space.
+struct WarmColdMaps {
+  RobustnessMap cold;
+  RobustnessMap warm;
+  /// Per-cell warm − cold: `seconds` is the signed time delta (negative
+  /// where the warm cache helps). `output_rows` and `io` are zero — the
+  /// counters are unsigned; consult the paired maps for absolute I/O.
+  RobustnessMap delta;
+};
+
+/// warm − cold, cell by cell. The maps must have identical shapes and plan
+/// labels, and each cell pair must agree on `output_rows` (caching must
+/// never change a result) — anything else is an error.
+Result<RobustnessMap> DiffMaps(const RobustnessMap& warm,
+                               const RobustnessMap& cold);
+
+/// Measures the same plans twice — once cold, once under `warm_policy` —
+/// and returns both maps plus their delta. The cold sweep always uses
+/// private per-worker pools (cold cells must be independent); the warm
+/// sweep honors `opts.shared_pool`. The warm half is forced serial when
+/// cache state is execution-order-dependent — a `kPriorRun` policy, or any
+/// policy over a shared pool (each cell's ColdStart mutates the one shared
+/// cache) — so the warm map is reproducible run-to-run for every policy.
+/// `ctx->warmup` is restored on return.
+Result<WarmColdMaps> RunWarmColdSweep(RunContext* ctx,
+                                      const Executor& executor,
+                                      const std::vector<PlanKind>& plans,
+                                      const ParameterSpace& space,
+                                      const WarmupPolicy& warm_policy,
                                       const SweepOptions& opts = {});
 
 }  // namespace robustmap

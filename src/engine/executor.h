@@ -36,9 +36,13 @@ struct Measurement {
 /// Builds operator trees for the fixed plan kinds and measures their
 /// execution under controlled run-time conditions.
 ///
-/// Every `Run` is a *cold* measurement: the virtual clock restarts, the
-/// buffer pool is emptied, and the device head position is forgotten, so
-/// map cells are independent and deterministic.
+/// Every `Run` starts from `RunContext::ColdStart()`: the virtual clock
+/// restarts, the device head position is forgotten, and the buffer pool is
+/// set to whatever the context's `WarmupPolicy` prescribes — emptied by
+/// default (the classic cold measurement), or preloaded / carried over for
+/// warm-cache maps. Cells stay independent and deterministic for every
+/// policy except `kPriorRun`, whose whole point is that cells inherit
+/// their predecessor's cache.
 class Executor {
  public:
   explicit Executor(const StudyDb& db) : db_(db) {}

@@ -2,31 +2,16 @@
 
 namespace robustmap {
 
-bool BufferPool::Access(uint64_t page, bool cacheable) {
-  auto it = map_.find(page);
-  if (it != map_.end()) {
+bool LruBufferPool::Access(uint64_t page, bool cacheable) {
+  if (pages_.Touch(page)) {
     ++hits_;
     device_->NoteBufferHit();
-    lru_.splice(lru_.begin(), lru_, it->second);
     return true;
   }
   ++misses_;
   device_->ReadPage(page);
-  if (cacheable && capacity_ > 0) {
-    if (map_.size() >= capacity_) {
-      uint64_t victim = lru_.back();
-      lru_.pop_back();
-      map_.erase(victim);
-    }
-    lru_.push_front(page);
-    map_[page] = lru_.begin();
-  }
+  if (cacheable) pages_.Admit(page);
   return false;
-}
-
-void BufferPool::Clear() {
-  lru_.clear();
-  map_.clear();
 }
 
 }  // namespace robustmap

@@ -9,16 +9,70 @@
 
 namespace robustmap {
 
-/// LRU page cache in front of a `SimDevice`.
+/// The unsynchronized LRU residency core shared by `LruBufferPool` (used
+/// directly) and `SharedBufferPool` (behind its mutex): which pages are
+/// resident and in what recency order — no cost model, no statistics, no
+/// opinion on who pays for a miss.
+class LruPageSet {
+ public:
+  explicit LruPageSet(uint64_t capacity_pages) : capacity_(capacity_pages) {}
+
+  /// Marks `page` most recently used if resident; returns whether it was.
+  bool Touch(uint64_t page) {
+    auto it = map_.find(page);
+    if (it == map_.end()) return false;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+
+  /// Admits `page` as MRU, evicting the LRU page when full. A no-op at
+  /// capacity 0. Must not be called for a resident page (use Touch/Warm).
+  void Admit(uint64_t page) {
+    if (capacity_ == 0) return;
+    if (map_.size() >= capacity_) {
+      uint64_t victim = lru_.back();
+      lru_.pop_back();
+      map_.erase(victim);
+    }
+    lru_.push_front(page);
+    map_[page] = lru_.begin();
+  }
+
+  /// Touch-or-admit: the warm-preload primitive.
+  void Warm(uint64_t page) {
+    if (!Touch(page)) Admit(page);
+  }
+
+  bool Contains(uint64_t page) const { return map_.count(page) > 0; }
+
+  void Clear() {
+    lru_.clear();
+    map_.clear();
+  }
+
+  uint64_t size() const { return map_.size(); }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  uint64_t capacity_;
+  std::list<uint64_t> lru_;  ///< front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+};
+
+/// The buffer-pool interface a `RunContext` executes against.
 ///
-/// Like the device, the pool tracks *residency* rather than bytes: a hit
-/// avoids charging the device; a miss charges one device read and caches the
-/// page. Scans can pass `cacheable = false` to model ring-buffer scan reads
-/// that do not flood the pool (all major systems do this for large scans).
+/// The pool tracks *residency* rather than bytes: a hit avoids charging the
+/// device; a miss charges one device read and caches the page. Scans can
+/// pass `cacheable = false` to model ring-buffer scan reads that do not
+/// flood the pool (all major systems do this for large scans).
+///
+/// Implementations: `LruBufferPool` (a machine's private cache) and
+/// `SharedBufferPoolView` (a per-machine facade over one cache shared by
+/// several machines, see io/shared_buffer_pool.h). Only the hit/miss
+/// counters live in the base — they are per-machine in both cases.
 class BufferPool {
  public:
-  BufferPool(SimDevice* device, uint64_t capacity_pages)
-      : device_(device), capacity_(capacity_pages) {}
+  virtual ~BufferPool() = default;
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -26,26 +80,59 @@ class BufferPool {
   /// Logical page read. Returns true if the page was resident (no device
   /// charge). On a miss, charges the device and, if `cacheable`, admits the
   /// page (evicting the LRU page when full).
-  bool Access(uint64_t page, bool cacheable = true);
+  virtual bool Access(uint64_t page, bool cacheable = true) = 0;
 
   /// True if `page` is currently resident (no cost, no LRU effect).
-  bool Contains(uint64_t page) const { return map_.count(page) > 0; }
+  virtual bool Contains(uint64_t page) const = 0;
 
-  /// Drops all cached pages (no cost).
-  void Clear();
+  /// Admits `page` as resident — most recently used — without charging the
+  /// device or touching the hit/miss counters. Warm-start preloading (see
+  /// `WarmupPolicy`); a no-op pool-state edit, never a measured access.
+  virtual void Warm(uint64_t page) = 0;
 
-  uint64_t capacity_pages() const { return capacity_; }
-  uint64_t resident_pages() const { return map_.size(); }
+  /// Drops all cached pages (no cost). The hit/miss counters survive so a
+  /// caller can clear residency mid-measurement; per-measurement statistics
+  /// are zeroed separately by `ResetStats()` (ColdStart does both).
+  virtual void Clear() = 0;
+
+  virtual uint64_t capacity_pages() const = 0;
+  virtual uint64_t resident_pages() const = 0;
+
+  /// Zeroes the hit/miss counters. Kept separate from `Clear()` so a warm
+  /// start can leave pages resident while still measuring each run's hit
+  /// rate from zero.
+  void ResetStats() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
 
- private:
-  SimDevice* device_;
-  uint64_t capacity_;
+ protected:
+  BufferPool() = default;
+
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
-  std::list<uint64_t> lru_;  ///< front = most recent
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+};
+
+/// A simulated machine's private LRU page cache in front of its
+/// `SimDevice`.
+class LruBufferPool : public BufferPool {
+ public:
+  LruBufferPool(SimDevice* device, uint64_t capacity_pages)
+      : device_(device), pages_(capacity_pages) {}
+
+  bool Access(uint64_t page, bool cacheable = true) override;
+  bool Contains(uint64_t page) const override { return pages_.Contains(page); }
+  void Warm(uint64_t page) override { pages_.Warm(page); }
+  void Clear() override { pages_.Clear(); }
+  uint64_t capacity_pages() const override { return pages_.capacity(); }
+  uint64_t resident_pages() const override { return pages_.size(); }
+
+ private:
+  SimDevice* device_;
+  LruPageSet pages_;
 };
 
 }  // namespace robustmap

@@ -1,0 +1,45 @@
+#include "io/run_context.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace robustmap {
+
+void RunContext::ColdStart() {
+  clock->Reset();
+  cpu_carry_ns = 0.0;
+  switch (warmup.mode) {
+    case WarmupPolicy::Mode::kCold:
+      pool->Clear();
+      break;
+    case WarmupPolicy::Mode::kPriorRun:
+      // Keep whatever the previous run left resident.
+      break;
+    case WarmupPolicy::Mode::kExplicitPages:
+      pool->Clear();
+      for (uint64_t page : warmup.pages) pool->Warm(page);
+      break;
+    case WarmupPolicy::Mode::kFractionResident: {
+      pool->Clear();
+      // Touch the leading `fraction` of the data region in ascending page
+      // order; the pool retains the most recent `capacity` of those pages,
+      // exactly as if a sequential pass over that prefix had just finished.
+      // (Warming only the retained suffix directly skips the pointless
+      // admissions and evictions.)
+      const uint64_t data_pages = device->data_watermark();
+      const uint64_t touched = static_cast<uint64_t>(
+          std::ceil(warmup.fraction * static_cast<double>(data_pages)));
+      const uint64_t kept =
+          std::min({touched, data_pages, pool->capacity_pages()});
+      for (uint64_t page = touched - kept; page < touched; ++page) {
+        pool->Warm(page);
+      }
+      break;
+    }
+  }
+  pool->ResetStats();
+  device->ResetHead();
+  device->ReleaseTempExtents();
+}
+
+}  // namespace robustmap

@@ -1,14 +1,15 @@
 #ifndef ROBUSTMAP_IO_RUN_CONTEXT_H_
 #define ROBUSTMAP_IO_RUN_CONTEXT_H_
 
-#include <cmath>
 #include <cstdint>
 #include <memory>
 
 #include "common/clock.h"
 #include "io/buffer_pool.h"
 #include "io/disk_model.h"
+#include "io/shared_buffer_pool.h"
 #include "io/sim_device.h"
+#include "io/warmup_policy.h"
 
 namespace robustmap {
 
@@ -27,11 +28,26 @@ struct RunContext {
   /// Work memory available to a hash build side, bytes.
   uint64_t hash_memory_bytes = 64ull << 20;
 
-  /// Charges `seconds` of CPU work to the virtual clock. Rounds to the
-  /// nearest nanosecond: truncation would silently drop sub-nanosecond
-  /// charges (e.g. single key comparisons at 8 ns resolution accumulate,
-  /// but a lone 0.9 ns charge must not vanish).
-  void ChargeCpu(double seconds) { clock->Advance(std::llround(seconds * 1e9)); }
+  /// Buffer-pool contents at the start of each measurement (§3.2 run-time
+  /// conditions); applied by `ColdStart`. Default: the classic cold map.
+  WarmupPolicy warmup;
+
+  /// Fractional-nanosecond remainder of CPU charges not yet applied to the
+  /// clock (see `ChargeCpu`); always in [0, 1). Reset by `ColdStart`.
+  double cpu_carry_ns = 0.0;
+
+  /// Charges `seconds` of CPU work to the virtual clock. Whole nanoseconds
+  /// advance the clock immediately; the sub-nanosecond remainder carries
+  /// into the next charge, so a measurement's accumulated CPU time is exact
+  /// to < 1 ns however finely the work is charged. (Per-call rounding —
+  /// `llround` — biased every charge by up to half a nanosecond, which
+  /// compounds over the millions of calls behind one map cell.)
+  void ChargeCpu(double seconds) {
+    double nanos = seconds * 1e9 + cpu_carry_ns;
+    const int64_t whole = static_cast<int64_t>(nanos);
+    cpu_carry_ns = nanos - static_cast<double>(whole);
+    clock->Advance(whole);
+  }
 
   /// Charges `count` operations at `per_op_seconds` each.
   void ChargeCpuOps(uint64_t count, double per_op_seconds) {
@@ -45,38 +61,45 @@ struct RunContext {
   }
 
   /// Resets the machine for an independent, reproducible measurement:
-  /// clock to zero, buffer pool emptied, head position forgotten, and temp
-  /// (spill) extents released so their placement — and its seek costs —
-  /// never depends on what ran before. Every measurement path must use
-  /// this rather than hand-rolling the reset sequence.
-  void ColdStart() {
-    clock->Reset();
-    pool->Clear();
-    device->ResetHead();
-    device->ReleaseTempExtents();
-  }
+  /// clock to zero (with the CPU carry), buffer pool set to whatever state
+  /// `warmup` prescribes (emptied by default), pool statistics zeroed, head
+  /// position forgotten, and temp (spill) extents released so their
+  /// placement — and its seek costs — never depends on what ran before.
+  /// Every measurement path must use this rather than hand-rolling the
+  /// reset sequence.
+  void ColdStart();
 };
 
 /// A self-contained simulated machine — clock, device, buffer pool — with a
 /// `RunContext` wired to them. Produced by `RunContextFactory` so parallel
-/// sweep workers each measure on a private machine.
+/// sweep workers each measure on a private machine. When `shared_pool` is
+/// given, the machine attaches a `SharedBufferPoolView` instead of a
+/// private pool: time stays private, cache residency is shared.
 class OwnedRunContext {
  public:
   OwnedRunContext(const DiskParameters& disk, const CpuParameters& cpu,
                   uint64_t pool_pages, uint64_t data_pages,
-                  uint64_t sort_memory_bytes, uint64_t hash_memory_bytes)
-      : device_(disk, &clock_), pool_(&device_, pool_pages) {
+                  uint64_t sort_memory_bytes, uint64_t hash_memory_bytes,
+                  const WarmupPolicy& warmup = {},
+                  SharedBufferPool* shared_pool = nullptr)
+      : device_(disk, &clock_) {
     // Mirror the prototype device's data extents so shared storage objects
     // (tables, indexes) keep their page addresses on this machine, and
     // spill extents land at the same pages as on the prototype.
     device_.AllocateExtent(data_pages);
     device_.SealDataExtents();
+    if (shared_pool != nullptr) {
+      pool_ = std::make_unique<SharedBufferPoolView>(&device_, shared_pool);
+    } else {
+      pool_ = std::make_unique<LruBufferPool>(&device_, pool_pages);
+    }
     ctx_.clock = &clock_;
     ctx_.device = &device_;
-    ctx_.pool = &pool_;
+    ctx_.pool = pool_.get();
     ctx_.cpu = cpu;
     ctx_.sort_memory_bytes = sort_memory_bytes;
     ctx_.hash_memory_bytes = hash_memory_bytes;
+    ctx_.warmup = warmup;
   }
 
   OwnedRunContext(const OwnedRunContext&) = delete;
@@ -87,15 +110,16 @@ class OwnedRunContext {
  private:
   VirtualClock clock_;
   SimDevice device_;
-  BufferPool pool_;
+  std::unique_ptr<BufferPool> pool_;
   RunContext ctx_;
 };
 
 /// Builds independent, identically-configured simulated machines from a
 /// prototype context: same disk and CPU parameters, pool capacity, memory
-/// budgets, and data-extent layout. Cold measurements taken on a machine
-/// from `Create()` are bit-identical to cold measurements on the prototype,
-/// which is what lets a parallel sweep reproduce a serial sweep exactly.
+/// budgets, warmup policy, and data-extent layout. Cold measurements taken
+/// on a machine from `Create()` are bit-identical to cold measurements on
+/// the prototype, which is what lets a parallel sweep reproduce a serial
+/// sweep exactly.
 class RunContextFactory {
  public:
   explicit RunContextFactory(const RunContext& prototype)
@@ -104,12 +128,22 @@ class RunContextFactory {
         pool_pages_(prototype.pool->capacity_pages()),
         data_pages_(prototype.device->data_watermark()),
         sort_memory_bytes_(prototype.sort_memory_bytes),
-        hash_memory_bytes_(prototype.hash_memory_bytes) {}
+        hash_memory_bytes_(prototype.hash_memory_bytes),
+        warmup_(prototype.warmup) {}
+
+  /// Every machine from `Create()` attaches to `pool` — one cache shared
+  /// across workers — instead of receiving a private pool. See
+  /// `SharedBufferPool` for the determinism contract.
+  void ShareBufferPool(SharedBufferPool* pool) { shared_pool_ = pool; }
+
+  /// Overrides the warmup policy the machines start with.
+  void set_warmup(const WarmupPolicy& warmup) { warmup_ = warmup; }
+  const WarmupPolicy& warmup() const { return warmup_; }
 
   std::unique_ptr<OwnedRunContext> Create() const {
-    return std::make_unique<OwnedRunContext>(disk_, cpu_, pool_pages_,
-                                             data_pages_, sort_memory_bytes_,
-                                             hash_memory_bytes_);
+    return std::make_unique<OwnedRunContext>(
+        disk_, cpu_, pool_pages_, data_pages_, sort_memory_bytes_,
+        hash_memory_bytes_, warmup_, shared_pool_);
   }
 
  private:
@@ -119,6 +153,8 @@ class RunContextFactory {
   uint64_t data_pages_;
   uint64_t sort_memory_bytes_;
   uint64_t hash_memory_bytes_;
+  WarmupPolicy warmup_;
+  SharedBufferPool* shared_pool_ = nullptr;
 };
 
 }  // namespace robustmap

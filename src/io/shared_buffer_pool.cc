@@ -1,0 +1,65 @@
+#include "io/shared_buffer_pool.h"
+
+namespace robustmap {
+
+bool SharedBufferPool::Access(SimDevice* device, uint64_t page,
+                              bool cacheable) {
+  bool hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hit = pages_.Touch(page);
+    if (hit) {
+      ++hits_;
+    } else {
+      ++misses_;
+      if (cacheable) pages_.Admit(page);
+    }
+  }
+  // Charge outside the lock: the device — and the virtual clock behind it —
+  // belongs to the calling machine alone, so this never races another
+  // worker, and the lock stays out of the (simulated) I/O path.
+  if (hit) {
+    device->NoteBufferHit();
+  } else {
+    device->ReadPage(page);
+  }
+  return hit;
+}
+
+bool SharedBufferPool::Contains(uint64_t page) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.Contains(page);
+}
+
+void SharedBufferPool::Warm(uint64_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pages_.Warm(page);
+}
+
+void SharedBufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pages_.Clear();
+}
+
+void SharedBufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+uint64_t SharedBufferPool::resident_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+uint64_t SharedBufferPool::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t SharedBufferPool::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace robustmap

@@ -1,0 +1,111 @@
+#ifndef ROBUSTMAP_IO_SHARED_BUFFER_POOL_H_
+#define ROBUSTMAP_IO_SHARED_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "io/buffer_pool.h"
+#include "io/sim_device.h"
+
+namespace robustmap {
+
+/// One LRU cache shared by several simulated machines.
+///
+/// Parallel sweep workers normally get private pools — cold map cells must
+/// be independent. A shared pool instead models a server whose concurrent
+/// queries compete for, and reuse, a single cache (§3.2 "buffer contents" as
+/// a run-time condition). All residency state sits behind one mutex; the
+/// device charge for a miss goes to the *calling* machine's device, so each
+/// worker's virtual clock advances only for its own I/O.
+///
+/// Determinism: under a parallel schedule the residency history each access
+/// sees is scheduling-dependent — by design; that nondeterminism is the
+/// phenomenon being modeled. With a single worker (the serial fallback) the
+/// access order is fixed and maps are reproducible run-to-run.
+class SharedBufferPool {
+ public:
+  explicit SharedBufferPool(uint64_t capacity_pages)
+      : pages_(capacity_pages) {}
+
+  SharedBufferPool(const SharedBufferPool&) = delete;
+  SharedBufferPool& operator=(const SharedBufferPool&) = delete;
+
+  /// Logical page read on behalf of `device`'s machine. Returns true on a
+  /// hit (buffer-hit noted on `device`); on a miss charges one read to
+  /// `device` and, if `cacheable`, admits the page.
+  bool Access(SimDevice* device, uint64_t page, bool cacheable = true);
+
+  bool Contains(uint64_t page) const;
+
+  /// Admits `page` as MRU without any device charge or statistics.
+  void Warm(uint64_t page);
+
+  /// Drops all cached pages for every attached machine (no cost).
+  void Clear();
+
+  /// Zeroes the pool-wide hit/miss totals (per-machine counters live on the
+  /// attached `SharedBufferPoolView`s).
+  void ResetStats();
+
+  uint64_t capacity_pages() const { return pages_.capacity(); }
+  uint64_t resident_pages() const;
+
+  /// Pool-wide totals across all attached machines.
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  LruPageSet pages_;  ///< the same LRU core BufferPool uses, mutex-guarded
+};
+
+/// A per-machine `BufferPool` facade over a `SharedBufferPool`: residency
+/// and eviction are shared across machines, misses charge *this* machine's
+/// device, and the hit/miss counters inherited from `BufferPool` stay
+/// per-machine so per-measurement hit rates remain meaningful.
+///
+/// `Clear()` clears the shared cache for everyone — with a shared pool that
+/// is what a cold start means machine-wide. Warm sweeps that want reuse run
+/// with `WarmupPolicy::PriorRun()`, which skips the clear.
+class SharedBufferPoolView : public BufferPool {
+ public:
+  SharedBufferPoolView(SimDevice* device, SharedBufferPool* shared)
+      : device_(device), shared_(shared) {}
+
+  bool Access(uint64_t page, bool cacheable = true) override {
+    bool hit = shared_->Access(device_, page, cacheable);
+    if (hit) {
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+    return hit;
+  }
+
+  bool Contains(uint64_t page) const override {
+    return shared_->Contains(page);
+  }
+
+  void Warm(uint64_t page) override { shared_->Warm(page); }
+
+  void Clear() override { shared_->Clear(); }
+
+  uint64_t capacity_pages() const override {
+    return shared_->capacity_pages();
+  }
+  uint64_t resident_pages() const override {
+    return shared_->resident_pages();
+  }
+
+ private:
+  SimDevice* device_;
+  SharedBufferPool* shared_;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_IO_SHARED_BUFFER_POOL_H_

@@ -1,0 +1,81 @@
+#ifndef ROBUSTMAP_IO_WARMUP_POLICY_H_
+#define ROBUSTMAP_IO_WARMUP_POLICY_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace robustmap {
+
+/// What the buffer pool contains when a measurement starts — the §3.2
+/// run-time condition ("buffer contents") that cold-only maps miss.
+///
+/// Every map cell is still measured through `RunContext::ColdStart()`; the
+/// policy decides what "start" means for the pool:
+///
+///   kCold             — pool emptied: the classic cold map (default).
+///   kPriorRun         — pool kept exactly as the previous run left it,
+///                       modeling back-to-back execution and cross-query
+///                       reuse. Only reproducible when cells run in a fixed
+///                       serial order; a parallel schedule changes each
+///                       cell's history.
+///   kExplicitPages    — pool emptied, then the given pages admitted in
+///                       order, free of charge. Deterministic at any sweep
+///                       thread count.
+///   kFractionResident — pool emptied, then the leading `fraction` of the
+///                       data region touched in ascending page order, so
+///                       the pool retains the most recent `capacity` of
+///                       those pages. Deterministic at any thread count.
+struct WarmupPolicy {
+  enum class Mode { kCold, kPriorRun, kExplicitPages, kFractionResident };
+
+  Mode mode = Mode::kCold;
+  std::vector<uint64_t> pages;  ///< kExplicitPages: pages to admit, in order
+  double fraction = 0.0;        ///< kFractionResident: share of data pages
+
+  static WarmupPolicy Cold() { return {}; }
+
+  static WarmupPolicy PriorRun() {
+    WarmupPolicy p;
+    p.mode = Mode::kPriorRun;
+    return p;
+  }
+
+  static WarmupPolicy ExplicitPages(std::vector<uint64_t> warm_pages) {
+    WarmupPolicy p;
+    p.mode = Mode::kExplicitPages;
+    p.pages = std::move(warm_pages);
+    return p;
+  }
+
+  static WarmupPolicy FractionResident(double fraction) {
+    WarmupPolicy p;
+    p.mode = Mode::kFractionResident;
+    p.fraction = fraction < 0.0 ? 0.0 : (fraction > 1.0 ? 1.0 : fraction);
+    return p;
+  }
+
+  bool is_cold() const { return mode == Mode::kCold; }
+
+  /// Human-readable tag for figure titles and file names.
+  std::string label() const {
+    switch (mode) {
+      case Mode::kCold:
+        return "cold";
+      case Mode::kPriorRun:
+        return "prior-run";
+      case Mode::kExplicitPages:
+        return "explicit(" + std::to_string(pages.size()) + " pages)";
+      case Mode::kFractionResident:
+        return "resident(" + std::to_string(std::lround(fraction * 100)) +
+               "%)";
+    }
+    return "?";
+  }
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_IO_WARMUP_POLICY_H_

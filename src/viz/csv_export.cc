@@ -2,7 +2,27 @@
 
 #include <fstream>
 
+#include "core/sweep.h"
+
 namespace robustmap {
+
+namespace {
+
+// RFC 4180 quoting for the one free-text column: plan labels like
+// "B.cover(a,b).bitmap" contain commas and would otherwise shift every
+// column after them.
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string quoted = "\"";
+  for (char c : s) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
 
 void WriteMapCsv(std::ostream& os, const RobustnessMap& map) {
   os << "plan,x,y,seconds,output_rows,seq_reads,skip_reads,random_reads,"
@@ -11,7 +31,7 @@ void WriteMapCsv(std::ostream& os, const RobustnessMap& map) {
   for (size_t pl = 0; pl < map.num_plans(); ++pl) {
     for (size_t pt = 0; pt < space.num_points(); ++pt) {
       const Measurement& m = map.At(pl, pt);
-      os << map.plan_label(pl) << ',' << space.x_value(pt) << ',';
+      os << CsvField(map.plan_label(pl)) << ',' << space.x_value(pt) << ',';
       if (space.is_2d()) os << space.y_value(pt);
       os << ',' << m.seconds << ',' << m.output_rows << ','
          << m.io.sequential_reads << ',' << m.io.skip_reads << ','
@@ -28,6 +48,40 @@ Status WriteMapCsvFile(const std::string& path, const RobustnessMap& map) {
   }
   WriteMapCsv(f, map);
   return Status::OK();
+}
+
+Status WriteWarmColdCsv(std::ostream& os, const RobustnessMap& cold,
+                        const RobustnessMap& warm) {
+  // DiffMaps owns the compatibility contract (same space, same plan
+  // labels, equal cardinalities) and the delta arithmetic; reuse it rather
+  // than maintaining a second copy of either.
+  auto delta = DiffMaps(warm, cold);
+  RM_RETURN_IF_ERROR(delta.status());
+  os << "plan,x,y,cold_seconds,warm_seconds,delta_seconds,cold_reads,"
+        "warm_reads,cold_buffer_hits,warm_buffer_hits\n";
+  const ParameterSpace& space = cold.space();
+  for (size_t pl = 0; pl < cold.num_plans(); ++pl) {
+    for (size_t pt = 0; pt < space.num_points(); ++pt) {
+      const Measurement& c = cold.At(pl, pt);
+      const Measurement& w = warm.At(pl, pt);
+      os << CsvField(cold.plan_label(pl)) << ',' << space.x_value(pt) << ',';
+      if (space.is_2d()) os << space.y_value(pt);
+      os << ',' << c.seconds << ',' << w.seconds << ','
+         << delta.value().At(pl, pt).seconds << ',' << c.io.total_reads()
+         << ',' << w.io.total_reads() << ',' << c.io.buffer_hits << ','
+         << w.io.buffer_hits << '\n';
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteWarmColdCsvFile(const std::string& path, const RobustnessMap& cold,
+                            const RobustnessMap& warm) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  return WriteWarmColdCsv(f, cold, warm);
 }
 
 }  // namespace robustmap

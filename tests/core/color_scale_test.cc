@@ -60,6 +60,35 @@ TEST(ColorScaleTest, CountsScale) {
   EXPECT_EQ(scale.GlyphOf(2), '2');
 }
 
+TEST(ColorScaleTest, DivergingSecondsBucketsAreSymmetricAroundZero) {
+  ColorScale scale = ColorScale::DivergingSeconds();
+  EXPECT_EQ(scale.num_buckets(), 11u);
+
+  // Center bucket: no meaningful change.
+  EXPECT_EQ(scale.BucketOf(0.0), 5);
+  EXPECT_EQ(scale.BucketOf(0.009), 5);
+  EXPECT_EQ(scale.BucketOf(-0.009), 5);
+  EXPECT_EQ(scale.bucket_label(5), "within 0.01 s");
+
+  // One order of magnitude per step on each side.
+  EXPECT_EQ(scale.BucketOf(-0.05), 4);
+  EXPECT_EQ(scale.BucketOf(-0.5), 3);
+  EXPECT_EQ(scale.BucketOf(-5.0), 2);
+  EXPECT_EQ(scale.BucketOf(-50.0), 1);
+  EXPECT_EQ(scale.BucketOf(-500.0), 0);
+  EXPECT_EQ(scale.BucketOf(0.05), 6);
+  EXPECT_EQ(scale.BucketOf(0.5), 7);
+  EXPECT_EQ(scale.BucketOf(5.0), 8);
+  EXPECT_EQ(scale.BucketOf(50.0), 9);
+  EXPECT_EQ(scale.BucketOf(500.0), 10);
+
+  // Blue where warm helps, white center, red where warm hurts.
+  EXPECT_GT(scale.bucket_color(0).b, scale.bucket_color(0).r);
+  EXPECT_EQ(scale.bucket_color(5).r, scale.bucket_color(5).b);
+  EXPECT_GT(scale.bucket_color(10).r, scale.bucket_color(10).b);
+  EXPECT_EQ(scale.GlyphOf(0.0), ' ');
+}
+
 TEST(ColorScaleTest, AnsiCellContainsEscape) {
   ColorScale scale = ColorScale::AbsoluteSeconds();
   std::string cell = scale.AnsiCellOf(5.0);

@@ -22,7 +22,7 @@ class BTreeEnv {
  private:
   VirtualClock clock_;
   SimDevice device_;
-  BufferPool pool_;
+  LruBufferPool pool_;
   RunContext ctx_;
 };
 

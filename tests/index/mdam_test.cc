@@ -49,7 +49,7 @@ class MdamTest : public ::testing::Test {
 
   VirtualClock clock_;
   SimDevice device_;
-  BufferPool pool_;
+  LruBufferPool pool_;
   RunContext ctx_;
   std::unique_ptr<ProceduralTable> table_;
   std::unique_ptr<ProceduralIndex> index_;

@@ -29,7 +29,7 @@ class ProceduralIndexTest : public ::testing::Test {
 
   VirtualClock clock_;
   SimDevice device_;
-  BufferPool pool_;
+  LruBufferPool pool_;
   RunContext ctx_;
   std::unique_ptr<ProceduralTable> table_;
 };

@@ -15,7 +15,7 @@ class BufferPoolTest : public ::testing::Test {
 };
 
 TEST_F(BufferPoolTest, MissThenHit) {
-  BufferPool pool(&device_, 10);
+  LruBufferPool pool(&device_, 10);
   EXPECT_FALSE(pool.Access(5));
   EXPECT_TRUE(pool.Access(5));
   EXPECT_EQ(pool.hits(), 1u);
@@ -24,7 +24,7 @@ TEST_F(BufferPoolTest, MissThenHit) {
 }
 
 TEST_F(BufferPoolTest, HitChargesNoDeviceTime) {
-  BufferPool pool(&device_, 10);
+  LruBufferPool pool(&device_, 10);
   pool.Access(5);
   int64_t t = clock_.now_ns();
   pool.Access(5);
@@ -32,7 +32,7 @@ TEST_F(BufferPoolTest, HitChargesNoDeviceTime) {
 }
 
 TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
-  BufferPool pool(&device_, 3);
+  LruBufferPool pool(&device_, 3);
   pool.Access(1);
   pool.Access(2);
   pool.Access(3);
@@ -45,7 +45,7 @@ TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
 }
 
 TEST_F(BufferPoolTest, NonCacheableDoesNotPollute) {
-  BufferPool pool(&device_, 3);
+  LruBufferPool pool(&device_, 3);
   pool.Access(1);
   pool.Access(2, /*cacheable=*/false);
   EXPECT_TRUE(pool.Contains(1));
@@ -54,7 +54,7 @@ TEST_F(BufferPoolTest, NonCacheableDoesNotPollute) {
 }
 
 TEST_F(BufferPoolTest, ClearDropsEverything) {
-  BufferPool pool(&device_, 5);
+  LruBufferPool pool(&device_, 5);
   pool.Access(1);
   pool.Access(2);
   pool.Clear();
@@ -62,17 +62,76 @@ TEST_F(BufferPoolTest, ClearDropsEverything) {
   EXPECT_FALSE(pool.Access(1));  // miss again
 }
 
+// Clear() only drops residency; the hit/miss window is a separate concern
+// closed by ResetStats(). (ColdStart calls both — before the split, stats
+// bled across sweep cells and per-measurement hit rates were cumulative.)
+TEST_F(BufferPoolTest, ClearKeepsStatsResetStatsZeroesThem) {
+  LruBufferPool pool(&device_, 5);
+  pool.Access(1);
+  pool.Access(1);
+  pool.Clear();
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  pool.Access(2);
+  pool.ResetStats();
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 0u);
+  EXPECT_TRUE(pool.Contains(2));  // residency untouched by ResetStats
+  EXPECT_TRUE(pool.Access(2));
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
 TEST_F(BufferPoolTest, ZeroCapacityNeverCaches) {
-  BufferPool pool(&device_, 0);
+  LruBufferPool pool(&device_, 0);
   EXPECT_FALSE(pool.Access(1));
   EXPECT_FALSE(pool.Access(1));
   EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 2u);
+  pool.Warm(1);  // warming cannot exceed capacity either
+  EXPECT_EQ(pool.resident_pages(), 0u);
+  EXPECT_FALSE(pool.Contains(1));
+}
+
+TEST_F(BufferPoolTest, CapacityOneKeepsOnlyTheLastPage) {
+  LruBufferPool pool(&device_, 1);
+  EXPECT_FALSE(pool.Access(1));
+  EXPECT_TRUE(pool.Access(1));    // smallest possible pool still caches
+  EXPECT_FALSE(pool.Access(2));   // evicts 1
+  EXPECT_FALSE(pool.Contains(1));
+  EXPECT_TRUE(pool.Contains(2));
+  EXPECT_EQ(pool.resident_pages(), 1u);
+  pool.Warm(3);                   // warm admission evicts the same way
+  EXPECT_FALSE(pool.Contains(2));
+  EXPECT_TRUE(pool.Contains(3));
 }
 
 TEST_F(BufferPoolTest, CapacityRespected) {
-  BufferPool pool(&device_, 4);
+  LruBufferPool pool(&device_, 4);
   for (uint64_t p = 0; p < 100; ++p) pool.Access(p);
   EXPECT_EQ(pool.resident_pages(), 4u);
+}
+
+TEST_F(BufferPoolTest, WarmAdmitsWithoutChargeOrStats) {
+  LruBufferPool pool(&device_, 4);
+  int64_t t = clock_.now_ns();
+  pool.Warm(7);
+  EXPECT_EQ(clock_.now_ns(), t);  // no device charge
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 0u);
+  EXPECT_TRUE(pool.Contains(7));
+  EXPECT_TRUE(pool.Access(7));  // the first measured access hits
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST_F(BufferPoolTest, WarmRefreshesLruPosition) {
+  LruBufferPool pool(&device_, 2);
+  pool.Access(1);
+  pool.Access(2);
+  pool.Warm(1);      // 1 becomes MRU; LRU order now 2,1
+  pool.Access(3);    // evicts 2
+  EXPECT_TRUE(pool.Contains(1));
+  EXPECT_FALSE(pool.Contains(2));
+  EXPECT_TRUE(pool.Contains(3));
 }
 
 }  // namespace

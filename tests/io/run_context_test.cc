@@ -15,28 +15,41 @@ class RunContextTest : public ::testing::Test {
 
   VirtualClock clock_;
   SimDevice device_;
-  BufferPool pool_;
+  LruBufferPool pool_;
   RunContext ctx_;
 };
 
-TEST_F(RunContextTest, ChargeCpuRoundsToNearestNanosecond) {
-  ctx_.ChargeCpu(0.9e-9);
-  EXPECT_EQ(clock_.now_ns(), 1);  // truncation would drop this to 0
-  ctx_.ChargeCpu(0.4e-9);
-  EXPECT_EQ(clock_.now_ns(), 1);
+TEST_F(RunContextTest, ChargeCpuCarriesSubNanosecondRemainders) {
+  // Powers of two are exact in binary, so every step here is precise.
+  ctx_.ChargeCpu(0.75e-9);
+  EXPECT_EQ(clock_.now_ns(), 0);  // 0.75 ns pending in the carry
+  ctx_.ChargeCpu(0.5e-9);
+  EXPECT_EQ(clock_.now_ns(), 1);  // 1.25 ns accumulated -> 1 on the clock
   ctx_.ChargeCpu(2.5e-9);
-  EXPECT_EQ(clock_.now_ns(), 4);
+  EXPECT_EQ(clock_.now_ns(), 3);  // 3.75 ns total, 0.75 still pending
+  ctx_.ChargeCpu(0.25e-9);
+  EXPECT_EQ(clock_.now_ns(), 4);  // exactly 4.0 ns charged in total
+  EXPECT_EQ(ctx_.cpu_carry_ns, 0.0);
 }
 
-// Regression for the truncation bug: seconds * 1e9 routinely lands a hair
-// below the integer (8e-9 * 1e9 != 8.0 exactly), so static_cast<int64_t>
-// under-charged whole nanoseconds, and genuinely sub-nanosecond charges
-// vanished entirely.
-TEST_F(RunContextTest, ManyTinyChargesAccumulate) {
+// Regression for per-call rounding bias: llround biased every charge by up
+// to half a nanosecond in either direction, so N sub-nanosecond charges
+// drifted from the exact sum by up to N/2 ns (1000 x 0.6 ns = 600 ns of
+// work billed as 1000 ns). The carry accumulator keeps the clock within
+// 1 ns of the exact sum at every point, however finely work is charged.
+TEST_F(RunContextTest, ManyTinyChargesSumExactly) {
   for (int i = 0; i < 1000; ++i) ctx_.ChargeCpu(0.6e-9);
-  EXPECT_EQ(clock_.now_ns(), 1000);  // each 0.6 ns rounds to 1; trunc gave 0
+  // Exact sum is 600 ns; llround billed this as 1000 ns (+67% bias).
+  EXPECT_NEAR(static_cast<double>(clock_.now_ns()), 600.0, 1.0);
 
   clock_.Reset();
+  ctx_.cpu_carry_ns = 0.0;
+  for (int i = 0; i < 1000; ++i) ctx_.ChargeCpu(0.25e-9);
+  // 0.25 is exact in binary: no accumulation error at all.
+  EXPECT_EQ(clock_.now_ns(), 250);
+
+  clock_.Reset();
+  ctx_.cpu_carry_ns = 0.0;
   CpuParameters cpu;
   for (int i = 0; i < 1000; ++i) ctx_.ChargeCpu(cpu.compare_seconds);
   EXPECT_EQ(clock_.now_ns(), 8000);  // exactly 8 ns per comparison
@@ -45,6 +58,16 @@ TEST_F(RunContextTest, ManyTinyChargesAccumulate) {
 TEST_F(RunContextTest, ChargeCpuOpsChargesProductOnce) {
   ctx_.ChargeCpuOps(1000, 0.6e-9);
   EXPECT_EQ(clock_.now_ns(), 600);
+}
+
+TEST_F(RunContextTest, ColdStartResetsCpuCarry) {
+  ctx_.ChargeCpu(0.9e-9);
+  ctx_.ColdStart();
+  EXPECT_EQ(ctx_.cpu_carry_ns, 0.0);
+  ctx_.ChargeCpu(0.9e-9);
+  // Without the reset the stale 0.9 ns carry would leak into this
+  // measurement and the clock would already read 1.
+  EXPECT_EQ(clock_.now_ns(), 0);
 }
 
 TEST_F(RunContextTest, SimDeviceSealAndReleaseTempExtents) {
@@ -103,6 +126,96 @@ TEST_F(RunContextTest, FactoryClonesMachineConfiguration) {
   worker->ChargeCpu(5e-9);
   EXPECT_EQ(worker->clock->now_ns(), 5);
   EXPECT_EQ(clock_.now_ns(), 0);
+}
+
+TEST_F(RunContextTest, ColdStartDefaultsToEmptyPool) {
+  pool_.Access(3);
+  ctx_.ColdStart();
+  EXPECT_EQ(pool_.resident_pages(), 0u);
+  EXPECT_EQ(pool_.hits(), 0u);
+  EXPECT_EQ(pool_.misses(), 0u);
+  EXPECT_EQ(clock_.now_ns(), 0);
+}
+
+TEST_F(RunContextTest, ColdStartAppliesExplicitPageWarmup) {
+  pool_.Access(50);  // stale residency from a previous run
+  ctx_.warmup = WarmupPolicy::ExplicitPages({1, 2, 3});
+  ctx_.ColdStart();
+  EXPECT_EQ(clock_.now_ns(), 0);  // warming is free
+  EXPECT_EQ(pool_.resident_pages(), 3u);
+  EXPECT_FALSE(pool_.Contains(50));  // stale page gone
+  EXPECT_TRUE(pool_.Contains(1));
+  EXPECT_TRUE(pool_.Contains(2));
+  EXPECT_TRUE(pool_.Contains(3));
+  EXPECT_EQ(pool_.hits(), 0u);  // preloading is not a measured access
+  EXPECT_EQ(pool_.misses(), 0u);
+}
+
+TEST_F(RunContextTest, ColdStartAppliesFractionResidentWarmup) {
+  device_.AllocateExtent(100);
+  device_.SealDataExtents();
+  ctx_.warmup = WarmupPolicy::FractionResident(0.25);
+  ctx_.ColdStart();
+  // 25% of 100 data pages, well under the 64-page capacity.
+  EXPECT_EQ(pool_.resident_pages(), 25u);
+  for (uint64_t p = 0; p < 25; ++p) EXPECT_TRUE(pool_.Contains(p));
+  EXPECT_FALSE(pool_.Contains(25));
+}
+
+TEST_F(RunContextTest, FractionResidentIsCappedByPoolCapacity) {
+  device_.AllocateExtent(1000);
+  device_.SealDataExtents();
+  ctx_.warmup = WarmupPolicy::FractionResident(0.5);  // wants 500 of 1000
+  ctx_.ColdStart();
+  // The pool holds 64 pages: the most recent 64 of the touched prefix
+  // [0, 500) stay resident, as after a real sequential pass over it.
+  EXPECT_EQ(pool_.resident_pages(), 64u);
+  EXPECT_FALSE(pool_.Contains(435));
+  EXPECT_TRUE(pool_.Contains(436));
+  EXPECT_TRUE(pool_.Contains(499));
+  EXPECT_FALSE(pool_.Contains(500));
+}
+
+TEST_F(RunContextTest, PriorRunWarmupKeepsResidencyButResetsStats) {
+  pool_.Access(7);
+  pool_.Access(7);
+  ctx_.warmup = WarmupPolicy::PriorRun();
+  ctx_.ColdStart();
+  EXPECT_TRUE(pool_.Contains(7));  // survives into the next measurement
+  EXPECT_EQ(pool_.hits(), 0u);     // but the stats window starts fresh
+  EXPECT_EQ(pool_.misses(), 0u);
+  EXPECT_EQ(clock_.now_ns(), 0);
+}
+
+TEST_F(RunContextTest, FactoryPropagatesWarmupPolicy) {
+  ctx_.warmup = WarmupPolicy::ExplicitPages({4, 5});
+  RunContextFactory factory(ctx_);
+  auto machine = factory.Create();
+  EXPECT_EQ(machine->ctx()->warmup.mode, WarmupPolicy::Mode::kExplicitPages);
+  machine->ctx()->ColdStart();
+  EXPECT_TRUE(machine->ctx()->pool->Contains(4));
+  EXPECT_TRUE(machine->ctx()->pool->Contains(5));
+}
+
+TEST_F(RunContextTest, FactorySharedPoolAttachesAllMachinesToOneCache) {
+  device_.AllocateExtent(100);
+  device_.SealDataExtents();
+  SharedBufferPool shared(64);
+  RunContextFactory factory(ctx_);
+  factory.ShareBufferPool(&shared);
+  auto a = factory.Create();
+  auto b = factory.Create();
+
+  EXPECT_FALSE(a->ctx()->ReadPage(5));  // A misses and admits
+  EXPECT_TRUE(b->ctx()->ReadPage(5));   // B hits A's page
+  EXPECT_GT(a->ctx()->clock->now_ns(), 0);
+  EXPECT_EQ(b->ctx()->clock->now_ns(), 0);  // hit costs B nothing
+
+  // A cold start on one machine clears the cache for everyone — that is
+  // what an empty pool means when the pool is shared.
+  a->ctx()->ColdStart();
+  EXPECT_FALSE(shared.Contains(5));
+  EXPECT_EQ(b->ctx()->pool->resident_pages(), 0u);
 }
 
 }  // namespace

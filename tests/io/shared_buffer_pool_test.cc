@@ -1,0 +1,164 @@
+#include "io/shared_buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "io/disk_model.h"
+#include "io/sim_device.h"
+
+namespace robustmap {
+namespace {
+
+// Two simulated machines attached to one shared cache: residency is
+// common, time is private.
+class SharedBufferPoolTest : public ::testing::Test {
+ protected:
+  SharedBufferPoolTest()
+      : device_a_(DiskParameters{}, &clock_a_),
+        device_b_(DiskParameters{}, &clock_b_),
+        shared_(8),
+        view_a_(&device_a_, &shared_),
+        view_b_(&device_b_, &shared_) {
+    device_a_.AllocateExtent(1000);
+    device_b_.AllocateExtent(1000);
+  }
+
+  VirtualClock clock_a_, clock_b_;
+  SimDevice device_a_, device_b_;
+  SharedBufferPool shared_;
+  SharedBufferPoolView view_a_, view_b_;
+};
+
+TEST_F(SharedBufferPoolTest, ResidencyIsSharedAcrossMachines) {
+  EXPECT_FALSE(view_a_.Access(5));  // A misses and admits
+  EXPECT_TRUE(view_b_.Access(5));   // B hits A's page
+  EXPECT_TRUE(view_a_.Contains(5));
+  EXPECT_TRUE(view_b_.Contains(5));
+  EXPECT_EQ(shared_.resident_pages(), 1u);
+}
+
+TEST_F(SharedBufferPoolTest, MissChargesOnlyTheCallingMachine) {
+  view_a_.Access(5);
+  EXPECT_GT(clock_a_.now_ns(), 0);
+  EXPECT_EQ(clock_b_.now_ns(), 0);
+
+  int64_t a_before = clock_a_.now_ns();
+  view_b_.Access(5);  // hit: no device time on either machine
+  EXPECT_EQ(clock_a_.now_ns(), a_before);
+  EXPECT_EQ(clock_b_.now_ns(), 0);
+  EXPECT_EQ(device_b_.stats().buffer_hits, 1u);
+}
+
+TEST_F(SharedBufferPoolTest, HitMissCountersStayPerMachine) {
+  view_a_.Access(5);  // A: miss
+  view_b_.Access(5);  // B: hit
+  view_b_.Access(6);  // B: miss
+  EXPECT_EQ(view_a_.hits(), 0u);
+  EXPECT_EQ(view_a_.misses(), 1u);
+  EXPECT_EQ(view_b_.hits(), 1u);
+  EXPECT_EQ(view_b_.misses(), 1u);
+  // The pool-wide totals aggregate both machines.
+  EXPECT_EQ(shared_.hits(), 1u);
+  EXPECT_EQ(shared_.misses(), 2u);
+
+  view_a_.ResetStats();  // per-machine window closes independently
+  EXPECT_EQ(view_a_.misses(), 0u);
+  EXPECT_EQ(view_b_.misses(), 1u);
+  EXPECT_EQ(shared_.misses(), 2u);
+}
+
+TEST_F(SharedBufferPoolTest, SharedLruEvictsAcrossMachines) {
+  SharedBufferPool small(2);
+  SharedBufferPoolView a(&device_a_, &small);
+  SharedBufferPoolView b(&device_b_, &small);
+  a.Access(1);
+  b.Access(2);
+  b.Access(1);  // 1 MRU; order 2,1
+  a.Access(3);  // evicts 2, whichever machine admitted it
+  EXPECT_TRUE(small.Contains(1));
+  EXPECT_FALSE(small.Contains(2));
+  EXPECT_TRUE(small.Contains(3));
+}
+
+TEST_F(SharedBufferPoolTest, WarmAndClearActOnTheSharedCache) {
+  view_a_.Warm(9);
+  EXPECT_TRUE(view_b_.Contains(9));
+  EXPECT_EQ(clock_a_.now_ns(), 0);  // warming is free
+  view_b_.Clear();
+  EXPECT_EQ(shared_.resident_pages(), 0u);
+  EXPECT_FALSE(view_a_.Contains(9));
+}
+
+TEST_F(SharedBufferPoolTest, NonCacheableDoesNotPollute) {
+  view_a_.Access(1, /*cacheable=*/false);
+  EXPECT_FALSE(shared_.Contains(1));
+  view_a_.Warm(1);
+  EXPECT_TRUE(view_b_.Access(1, /*cacheable=*/false));  // hits still count
+}
+
+// A serial (single-worker) access sequence against a fresh shared pool is
+// fully deterministic: same hits, same final residency, every time.
+TEST_F(SharedBufferPoolTest, SerialAccessSequenceIsDeterministic) {
+  auto run = [](SimDevice* device, VirtualClock* clock) {
+    SharedBufferPool pool(4);
+    SharedBufferPoolView view(device, &pool);
+    clock->Reset();
+    std::vector<bool> hits;
+    for (uint64_t p : {1u, 2u, 3u, 1u, 4u, 5u, 2u, 1u, 6u, 3u}) {
+      hits.push_back(view.Access(p));
+    }
+    return std::make_tuple(hits, pool.resident_pages(), view.hits(),
+                           view.misses(), clock->now_ns());
+  };
+  auto first = run(&device_a_, &clock_a_);
+  auto second = run(&device_b_, &clock_b_);
+  EXPECT_EQ(first, second);
+}
+
+// Thread-safety smoke: machines hammer overlapping pages concurrently.
+// Residency must respect capacity and no access may be lost or double
+// counted; per-machine counters need no lock because each view is only
+// used from its own thread.
+TEST_F(SharedBufferPoolTest, ConcurrentAccessKeepsCountsConsistent) {
+  constexpr int kMachines = 8;
+  constexpr int kAccesses = 5000;
+  SharedBufferPool pool(16);
+
+  std::vector<std::unique_ptr<VirtualClock>> clocks;
+  std::vector<std::unique_ptr<SimDevice>> devices;
+  std::vector<std::unique_ptr<SharedBufferPoolView>> views;
+  for (int m = 0; m < kMachines; ++m) {
+    clocks.push_back(std::make_unique<VirtualClock>());
+    devices.push_back(
+        std::make_unique<SimDevice>(DiskParameters{}, clocks.back().get()));
+    devices.back()->AllocateExtent(1000);
+    views.push_back(
+        std::make_unique<SharedBufferPoolView>(devices.back().get(),
+                                               &pool));
+  }
+
+  std::vector<std::thread> threads;
+  for (int m = 0; m < kMachines; ++m) {
+    threads.emplace_back([m, &views] {
+      for (int i = 0; i < kAccesses; ++i) {
+        views[m]->Access(static_cast<uint64_t>((i * (m + 1)) % 64));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_LE(pool.resident_pages(), 16u);
+  EXPECT_EQ(pool.hits() + pool.misses(),
+            static_cast<uint64_t>(kMachines) * kAccesses);
+  for (int m = 0; m < kMachines; ++m) {
+    EXPECT_EQ(views[m]->hits() + views[m]->misses(),
+              static_cast<uint64_t>(kAccesses));
+  }
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -14,7 +14,7 @@ class HeapTableTest : public ::testing::Test {
   }
   VirtualClock clock_;
   SimDevice device_;
-  BufferPool pool_;
+  LruBufferPool pool_;
   RunContext ctx_;
 };
 

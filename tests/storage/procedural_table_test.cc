@@ -16,7 +16,7 @@ class ProceduralTableTest : public ::testing::Test {
   }
   VirtualClock clock_;
   SimDevice device_;
-  BufferPool pool_;
+  LruBufferPool pool_;
   RunContext ctx_;
 };
 

@@ -123,6 +123,34 @@ TEST(CsvExportTest, RowPerPlanPoint) {
   EXPECT_NE(csv.find("p1,"), std::string::npos);
 }
 
+TEST(CsvExportTest, QuotesPlanLabelsContainingCommas) {
+  // Real study labels like "A.mj(a,b)" embed commas; unquoted they would
+  // shift every column after the first.
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("a", -1, 0));
+  RobustnessMap map(space, {"A.mj(a,b)"});
+  for (size_t pt = 0; pt < space.num_points(); ++pt) {
+    Measurement m;
+    m.seconds = 1.0;
+    map.Set(0, pt, m);
+  }
+  std::ostringstream os;
+  WriteMapCsv(os, map);
+  EXPECT_NE(os.str().find("\"A.mj(a,b)\","), std::string::npos);
+
+  std::ostringstream wc;
+  ASSERT_TRUE(WriteWarmColdCsv(wc, map, map).ok());
+  EXPECT_NE(wc.str().find("\"A.mj(a,b)\","), std::string::npos);
+}
+
+TEST(CsvExportTest, WarmColdRejectsMismatchedMaps) {
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("a", -1, 0));
+  ParameterSpace other = ParameterSpace::OneD(Axis::Selectivity("a", -2, -1));
+  RobustnessMap cold(space, {"p"});
+  RobustnessMap warm(other, {"p"});  // same point count, different grid
+  std::ostringstream os;
+  EXPECT_FALSE(WriteWarmColdCsv(os, cold, warm).ok());
+}
+
 TEST(GnuplotExportTest, WritesDatAndPlt) {
   RobustnessMap map = SmallMap(true);
   std::string base = TempPath("fig");

@@ -47,7 +47,7 @@ class HeapDatasetTest : public ::testing::Test {
   }
   VirtualClock clock_;
   SimDevice device_;
-  BufferPool pool_;
+  LruBufferPool pool_;
   RunContext ctx_;
 };
 
