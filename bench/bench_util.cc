@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "common/format.h"
+#include "shard_cli.h"
 #include "core/landmarks.h"
 #include "viz/csv_export.h"
 #include "viz/gnuplot_export.h"
@@ -14,31 +15,43 @@
 
 namespace robustmap::bench {
 
+int EnvInt(const char* name, int def, int lo, int hi) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return def;
+  char* end = nullptr;
+  long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || v < lo || v > hi) {
+    std::fprintf(stderr, "%s=%s ignored (want an integer in [%d, %d])\n",
+                 name, raw, lo, hi);
+    return def;
+  }
+  return static_cast<int>(v);
+}
+
+bool EnvFlag(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr && raw[0] == '1';
+}
+
 BenchScale ResolveScale(int default_row_bits, int default_min_log2) {
   BenchScale s;
   s.row_bits = default_row_bits;
   s.grid_min_log2 = default_min_log2;
-  if (const char* fast = std::getenv("REPRO_FAST");
-      fast != nullptr && fast[0] == '1') {
+  if (EnvFlag("REPRO_FAST")) {
     s.row_bits = 16;
     s.grid_min_log2 = -12;
   }
-  if (const char* rb = std::getenv("REPRO_ROW_BITS"); rb != nullptr) {
-    int v = std::atoi(rb);
-    if (v >= 12 && v <= 30 && v % 2 == 0) s.row_bits = v;
+  if (int v = EnvInt("REPRO_ROW_BITS", s.row_bits, 12, 30); v % 2 == 0) {
+    s.row_bits = v;
   }
   // Domain 2^16 gives the paper's 2^-16 finest selectivity; never exceed the
   // row count.
-  s.value_bits = std::min(16, s.row_bits - 2);
+  s.value_bits = ValueBitsFor(s.row_bits);
   if (s.grid_min_log2 < -s.value_bits) s.grid_min_log2 = -s.value_bits;
-  if (const char* th = std::getenv("REPRO_THREADS"); th != nullptr) {
-    int v = std::atoi(th);
-    if (v >= 0 && v <= 256) s.num_threads = static_cast<unsigned>(v);
-  }
-  if (const char* vb = std::getenv("REPRO_VERBOSE");
-      vb != nullptr && vb[0] == '1') {
-    s.verbose = true;
-  }
+  s.num_threads =
+      static_cast<unsigned>(EnvInt("REPRO_THREADS", 0, 0, 256));
+  s.num_shards = static_cast<unsigned>(EnvInt("REPRO_SHARDS", 0, 0, 256));
+  s.verbose = EnvFlag("REPRO_VERBOSE");
   return s;
 }
 
@@ -147,6 +160,37 @@ void PrintCurveLandmarks(const RobustnessMap& map) {
     }
     std::printf("\n");
   }
+}
+
+double WallSecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool MapsBitIdentical(const RobustnessMap& a, const RobustnessMap& b) {
+  if (a.num_plans() != b.num_plans() || !(a.space() == b.space()) ||
+      a.plan_labels() != b.plan_labels()) {
+    return false;
+  }
+  for (size_t plan = 0; plan < a.num_plans(); ++plan) {
+    for (size_t pt = 0; pt < a.space().num_points(); ++pt) {
+      const Measurement& ma = a.At(plan, pt);
+      const Measurement& mb = b.At(plan, pt);
+      if (ma.seconds != mb.seconds || ma.output_rows != mb.output_rows ||
+          ma.io.sequential_reads != mb.io.sequential_reads ||
+          ma.io.skip_reads != mb.io.skip_reads ||
+          ma.io.random_reads != mb.io.random_reads ||
+          ma.io.writes != mb.io.writes ||
+          ma.io.buffer_hits != mb.io.buffer_hits ||
+          ma.io.bytes_read != mb.io.bytes_read ||
+          ma.io.bytes_written != mb.io.bytes_written ||
+          ma.plan_label != mb.plan_label) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 double CrossoverX(const std::vector<double>& xs, const std::vector<double>& a,

@@ -1,6 +1,7 @@
 #ifndef ROBUSTMAP_BENCH_BENCH_UTIL_H_
 #define ROBUSTMAP_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,15 @@
 
 namespace robustmap::bench {
 
+/// Integer env knob with range validation: unset, non-numeric, or
+/// out-of-range values fall back to `def`. The single front door for every
+/// REPRO_* integer — per-bench getenv/atoi calls drifted in what they
+/// accepted.
+int EnvInt(const char* name, int def, int lo, int hi);
+
+/// Boolean env knob: set and starting with '1'.
+bool EnvFlag(const char* name);
+
 /// Scale knobs shared by all figure benches.
 ///
 ///   REPRO_ROW_BITS  — override log2(row count) (default per bench; 26
@@ -18,12 +28,16 @@ namespace robustmap::bench {
 ///   REPRO_FAST=1    — shrink to a quick smoke configuration.
 ///   REPRO_THREADS   — sweep worker threads (default 0 = one per hardware
 ///                     thread; maps are bit-identical at any setting).
+///   REPRO_SHARDS    — worker *processes* for sharded sweeps (default 0 =
+///                     driver-specific; maps are bit-identical at any
+///                     setting).
 ///   REPRO_VERBOSE=1 — per-plan / percent sweep progress on stderr.
 struct BenchScale {
   int row_bits;
   int value_bits;
   int grid_min_log2;  ///< selectivity grid lower bound (e.g. -16)
   unsigned num_threads = 0;
+  unsigned num_shards = 0;
   bool verbose = false;
 };
 
@@ -65,6 +79,16 @@ void PrintCurveLandmarks(const RobustnessMap& map);
 /// log-log space); returns -1 if they never cross.
 double CrossoverX(const std::vector<double>& xs, const std::vector<double>& a,
                   const std::vector<double>& b);
+
+/// Seconds of wall clock elapsed since `start` — the timing idiom every
+/// self-timing bench driver shares.
+double WallSecondsSince(std::chrono::steady_clock::time_point start);
+
+/// True iff the maps agree on shape, plan labels, and *every* field of
+/// every cell — seconds, row counts, each I/O counter, byte totals, and
+/// labels. The determinism contract the self-checking benches assert; one
+/// definition so no bench's notion of "bit-identical" can quietly weaken.
+bool MapsBitIdentical(const RobustnessMap& a, const RobustnessMap& b);
 
 }  // namespace robustmap::bench
 

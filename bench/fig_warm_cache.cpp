@@ -44,25 +44,6 @@ void Check(bool ok, const char* name, double value, const char* detail) {
   if (!ok) ++g_failures;
 }
 
-bool MapsBitIdentical(const RobustnessMap& a, const RobustnessMap& b) {
-  if (a.num_plans() != b.num_plans() ||
-      a.space().num_points() != b.space().num_points()) {
-    return false;
-  }
-  for (size_t plan = 0; plan < a.num_plans(); ++plan) {
-    for (size_t pt = 0; pt < a.space().num_points(); ++pt) {
-      const Measurement& ma = a.At(plan, pt);
-      const Measurement& mb = b.At(plan, pt);
-      if (ma.seconds != mb.seconds || ma.output_rows != mb.output_rows ||
-          ma.io.total_reads() != mb.io.total_reads() ||
-          ma.io.buffer_hits != mb.io.buffer_hits) {
-        return false;
-      }
-    }
-  }
-  return true;
-}
-
 struct PlanSet {
   const char* name;
   std::vector<PlanKind> plans;

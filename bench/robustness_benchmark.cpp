@@ -15,6 +15,7 @@
 
 #include "bench_util.h"
 #include "core/landmarks.h"
+#include "core/sharded_sweep.h"
 #include "core/metrics.h"
 #include "core/optimality.h"
 #include "core/plan_diagram.h"
@@ -35,36 +36,13 @@ void Check(bool ok, const char* name, double value, const char* detail) {
   if (!ok) ++g_failures;
 }
 
-double WallSecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-bool MapsBitIdentical(const RobustnessMap& a, const RobustnessMap& b) {
-  if (a.num_plans() != b.num_plans() ||
-      a.space().num_points() != b.space().num_points()) {
-    return false;
-  }
-  for (size_t plan = 0; plan < a.num_plans(); ++plan) {
-    for (size_t pt = 0; pt < a.space().num_points(); ++pt) {
-      const Measurement& ma = a.At(plan, pt);
-      const Measurement& mb = b.At(plan, pt);
-      if (ma.seconds != mb.seconds || ma.output_rows != mb.output_rows ||
-          ma.io.total_reads() != mb.io.total_reads() ||
-          ma.io.writes != mb.io.writes) {
-        return false;
-      }
-    }
-  }
-  return true;
-}
-
 /// The perf-trajectory artifact consumed by CI: wall-clock cost of the full
-/// 2-D study sweep, serial vs. parallel, on this machine.
+/// 2-D study sweep — serial, thread-parallel, and process-sharded — on this
+/// machine.
 void WriteBenchJson(const BenchScale& scale, size_t plans, size_t cells,
                     unsigned threads, double serial_wall, double parallel_wall,
-                    bool bit_identical) {
+                    bool bit_identical, unsigned shards, double sharded_wall,
+                    bool sharded_bit_identical) {
   std::FILE* f = std::fopen("BENCH_robustness.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_robustness.json\n");
@@ -82,17 +60,23 @@ void WriteBenchJson(const BenchScale& scale, size_t plans, size_t cells,
                "  \"parallel_wall_seconds\": %.6f,\n"
                "  \"speedup\": %.3f,\n"
                "  \"bit_identical\": %s,\n"
+               "  \"shard_workers\": %u,\n"
+               "  \"sharded_wall_seconds\": %.6f,\n"
+               "  \"sharded_speedup\": %.3f,\n"
+               "  \"sharded_bit_identical\": %s,\n"
                "  \"criterion_failures\": %d\n"
                "}\n",
                scale.row_bits, plans, cells, threads,
                std::thread::hardware_concurrency(), serial_wall, parallel_wall,
                parallel_wall > 0 ? serial_wall / parallel_wall : 0.0,
-               bit_identical ? "true" : "false", g_failures);
+               bit_identical ? "true" : "false", shards, sharded_wall,
+               sharded_wall > 0 ? serial_wall / sharded_wall : 0.0,
+               sharded_bit_identical ? "true" : "false", g_failures);
   std::fclose(f);
-  std::printf("\n[artifacts] BENCH_robustness.json written (speedup %.2fx on "
-              "%u threads, %u hardware)\n",
+  std::printf("\n[artifacts] BENCH_robustness.json written (threads %.2fx on "
+              "%u, processes %.2fx on %u)\n",
               parallel_wall > 0 ? serial_wall / parallel_wall : 0.0, threads,
-              std::thread::hardware_concurrency());
+              sharded_wall > 0 ? serial_wall / sharded_wall : 0.0, shards);
 }
 
 }  // namespace
@@ -168,6 +152,24 @@ int main() {
               serial_wall, parallel_opts.num_threads, parallel_wall,
               parallel_wall > 0 ? serial_wall / parallel_wall : 0.0);
 
+  // Third leg: the same grid sharded across worker *processes* through the
+  // checkpointing coordinator (tiles + fork + merge), timed against the
+  // serial sweep. resume=false so the timing measures computation, never a
+  // warm checkpoint directory left by an earlier run.
+  ShardedSweepOptions shard_opts;
+  shard_opts.tile_dir = OutDir() + "/robustness_shards";
+  shard_opts.num_workers = scale.num_shards != 0 ? scale.num_shards : 8;
+  shard_opts.resume = false;
+  auto sharded_start = std::chrono::steady_clock::now();
+  auto sharded_map = RunShardedSweep(env->ctx(), env->executor(),
+                                     AllStudyPlans(), grid, shard_opts)
+                         .ValueOrDie();
+  double sharded_wall = WallSecondsSince(sharded_start);
+  bool sharded_bit_identical = MapsBitIdentical(serial_map, sharded_map);
+  std::printf("sharded across %u worker processes: %.2fs (%.2fx)\n",
+              shard_opts.num_workers, sharded_wall,
+              sharded_wall > 0 ? serial_wall / sharded_wall : 0.0);
+
   RelativeMap rel = ComputeRelative(map);
 
   std::printf("\n2-D criteria (Figures 4-10 family):\n");
@@ -208,11 +210,15 @@ int main() {
   std::printf("\nSweep-engine criteria:\n");
   Check(bit_identical, "parallel sweep bit-identical to serial",
         bit_identical ? 1 : 0, "every cell equal (determinism contract)");
+  Check(sharded_bit_identical, "sharded sweep bit-identical to serial",
+        sharded_bit_identical ? 1 : 0,
+        "merged tiles equal serial map (lossless sharding)");
 
   WriteBenchJson(scale, map.num_plans(),
                  map.num_plans() * grid.num_points(),
                  parallel_opts.num_threads, serial_wall, parallel_wall,
-                 bit_identical);
+                 bit_identical, shard_opts.num_workers, sharded_wall,
+                 sharded_bit_identical);
 
   std::printf("\n%s: %d criterion failure(s)\n",
               g_failures == 0 ? "ROBUSTNESS BENCHMARK PASSED"

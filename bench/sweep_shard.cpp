@@ -1,0 +1,190 @@
+// Coordinator for sharded sweeps: partitions the study grid into tiles,
+// spawns `sweep_worker` subprocesses (fork/exec) to compute the missing
+// ones, and merges the checkpointed tile files into one map — bit-identical
+// to a single-process sweep of the same grid. Rerunning against the same
+// --out-dir resumes: tiles already valid on disk are skipped, so a killed
+// paper-scale sweep restarts where it left off instead of from zero.
+//
+// Usage:
+//   sweep_shard [--row-bits=16] [--min-log2=-8] [--steps-per-octave=1]
+//               [--plans=all|smoke] [--workers=N] [--tiles=T]
+//               [--threads-per-worker=1] [--out-dir=shard_out]
+//               [--worker=PATH]   # sweep_worker binary (default: next to me)
+//               [--fork]          # forked in-process workers, no exec
+//               [--serial]        # single-process reference sweep
+//               [--no-resume] [--verbose]
+//
+// Writes DIR/tile_NNNN.rmt checkpoints plus DIR/merged.rmt and
+// DIR/merged.csv. The REPRO_SHARDS env knob supplies --workers when the
+// flag is absent.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/sharded_sweep.h"
+#include "shard_cli.h"
+#include "viz/csv_export.h"
+
+using namespace robustmap;
+using namespace robustmap::bench;
+
+namespace {
+
+std::string DefaultWorkerPath(const char* argv0) {
+  std::string self = argv0;
+  size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return "sweep_worker";
+  return self.substr(0, slash + 1) + "sweep_worker";
+}
+
+/// The merged map is persisted as a tile covering the whole grid, so the
+/// same reader (and the same byte-for-byte comparison) serves tiles and
+/// full maps alike.
+Status WriteMergedArtifacts(const std::string& dir,
+                            const ParameterSpace& space,
+                            const RobustnessMap& map) {
+  RM_RETURN_IF_ERROR(EnsureDirectory(dir));
+  TileSpec full;
+  full.shard_id = 0;
+  full.x_begin = 0;
+  full.x_end = space.x_size();
+  full.y_begin = 0;
+  full.y_end = space.y_size();
+  RM_RETURN_IF_ERROR(
+      WriteMapTileFile(dir + "/merged.rmt", MapTile{full, space, map}));
+  return WriteMapCsvFile(dir + "/merged.csv", map);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShardGrid grid;
+  int workers = 0;
+  int tiles = 0;
+  int threads_per_worker = 1;
+  bool use_fork = false;
+  bool serial = false;
+  bool resume = true;
+  bool verbose = EnvFlag("REPRO_VERBOSE");
+  std::string out_dir = "shard_out";
+  std::string worker_path = DefaultWorkerPath(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (ParseGridFlag(arg, &grid) || ParseIntFlag(arg, "workers", &workers) ||
+        ParseIntFlag(arg, "tiles", &tiles) ||
+        ParseIntFlag(arg, "threads-per-worker", &threads_per_worker) ||
+        ParseFlag(arg, "out-dir", &out_dir) ||
+        ParseFlag(arg, "worker", &worker_path)) {
+      continue;
+    }
+    if (arg == "--fork") {
+      use_fork = true;
+    } else if (arg == "--serial") {
+      serial = true;
+    } else if (arg == "--no-resume") {
+      resume = false;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "sweep_shard: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (workers == 0) workers = EnvInt("REPRO_SHARDS", 0, 0, 256);
+
+  std::vector<PlanKind> plans = GridPlans(grid);
+  if (plans.empty()) {
+    std::fprintf(stderr, "sweep_shard: unknown plan set %s\n",
+                 grid.plan_set.c_str());
+    return 2;
+  }
+  ParameterSpace space = MakeGridSpace(grid);
+  std::printf("sweep_shard: %zux%zu grid, %zu plans, 2^%d rows\n",
+              space.x_size(), space.y_size(), plans.size(), grid.row_bits);
+
+  // The full-scale database is only needed when *this* process computes
+  // cells (--serial, or forked workers sharing its memory). Exec-mode
+  // workers build their own; paying minutes of paper-scale table+index
+  // construction in an idle coordinator would be pure waste.
+  std::unique_ptr<StudyEnvironment> env;
+  if (serial || use_fork) env = MakeGridEnvironment(grid);
+
+  auto start = std::chrono::steady_clock::now();
+  if (serial) {
+    SweepOptions opts;
+    opts.num_threads = 1;
+    opts.verbose = verbose;
+    auto map = SweepStudyPlans(env->ctx(), env->executor(), plans, space,
+                               opts);
+    if (!map.ok()) {
+      std::fprintf(stderr, "sweep_shard: %s\n",
+                   map.status().ToString().c_str());
+      return 1;
+    }
+    Status s = WriteMergedArtifacts(out_dir, space, map.value());
+    if (!s.ok()) {
+      std::fprintf(stderr, "sweep_shard: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("serial sweep: cells=%zu wall=%.2fs -> %s/merged.rmt\n",
+                plans.size() * space.num_points(), WallSecondsSince(start),
+                out_dir.c_str());
+    return 0;
+  }
+
+  ShardedSweepOptions opts;
+  opts.tile_dir = out_dir;
+  opts.num_workers = static_cast<unsigned>(workers < 0 ? 0 : workers);
+  opts.num_tiles = tiles <= 0 ? 0 : static_cast<size_t>(tiles);
+  opts.threads_per_worker =
+      static_cast<unsigned>(threads_per_worker < 1 ? 1 : threads_per_worker);
+  opts.resume = resume;
+  opts.verbose = verbose;
+  if (!use_fork) {
+    // RunShardedSweep itself appends --tiles/--tile/--out, so the resolved
+    // partition is always the coordinator's own.
+    opts.worker_command = {worker_path};
+    for (std::string& flag : GridArgs(grid)) {
+      opts.worker_command.push_back(std::move(flag));
+    }
+    opts.worker_command.push_back(
+        "--threads=" + std::to_string(opts.threads_per_worker));
+  }
+
+  // Exec mode touches no cells in this process: a minimal simulated
+  // machine satisfies the coordinator's RunContext plumbing without
+  // building the study database.
+  VirtualClock stub_clock;
+  SimDevice stub_device(DiskParameters{}, &stub_clock);
+  LruBufferPool stub_pool(&stub_device, 16);
+  RunContext stub_ctx;
+  stub_ctx.clock = &stub_clock;
+  stub_ctx.device = &stub_device;
+  stub_ctx.pool = &stub_pool;
+  Executor stub_executor{StudyDb{}};
+  RunContext* ctx = env ? env->ctx() : &stub_ctx;
+  const Executor& executor = env ? env->executor() : stub_executor;
+
+  ShardedSweepStats stats;
+  auto map = RunShardedSweep(ctx, executor, plans, space, opts, &stats);
+  if (!map.ok()) {
+    std::fprintf(stderr, "sweep_shard: %s\n", map.status().ToString().c_str());
+    return 1;
+  }
+  Status s = WriteMergedArtifacts(out_dir, space, map.value());
+  if (!s.ok()) {
+    std::fprintf(stderr, "sweep_shard: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "sharded sweep: tiles=%zu reused=%zu computed=%zu workers=%u "
+      "mode=%s wall=%.2fs -> %s/merged.rmt\n",
+      stats.tiles_total, stats.tiles_reused, stats.tiles_computed,
+      stats.workers_spawned, use_fork ? "fork" : "exec",
+      WallSecondsSince(start), out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// One worker of a sharded sweep: rebuilds the study environment from its
+// flags, computes exactly one grid tile, and writes it as a checkpointed
+// binary tile file. Normally spawned by `sweep_shard` (which appends
+// --tile/--out to its own grid flags), but equally runnable by hand or from
+// a cluster scheduler — a tile file is self-describing, so tiles computed
+// anywhere merge as long as the grid flags match.
+//
+// Usage:
+//   sweep_worker --tiles=N --tile=K --out=PATH
+//                [--row-bits=16] [--min-log2=-8] [--steps-per-octave=1]
+//                [--plans=all|smoke] [--threads=1]
+//
+// On failure, writes the error to PATH.err (the coordinator reads it back)
+// and exits non-zero.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/sharded_sweep.h"
+#include "shard_cli.h"
+
+using namespace robustmap;
+using namespace robustmap::bench;
+
+namespace {
+
+int Fail(const std::string& out, const Status& s) {
+  std::fprintf(stderr, "sweep_worker: %s\n", s.ToString().c_str());
+  if (!out.empty()) WriteTileErrFile(out, s);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShardGrid grid;
+  int tiles = 0;
+  int tile_id = -1;
+  int threads = 1;
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (ParseGridFlag(arg, &grid) || ParseIntFlag(arg, "tiles", &tiles) ||
+        ParseIntFlag(arg, "tile", &tile_id) ||
+        ParseIntFlag(arg, "threads", &threads) ||
+        ParseFlag(arg, "out", &out)) {
+      continue;
+    }
+    std::fprintf(stderr, "sweep_worker: unknown flag %s\n", arg.c_str());
+    return 2;
+  }
+  if (tiles <= 0 || tile_id < 0 || out.empty()) {
+    std::fprintf(stderr,
+                 "usage: sweep_worker --tiles=N --tile=K --out=PATH "
+                 "[--row-bits=..] [--min-log2=..] [--steps-per-octave=..] "
+                 "[--plans=all|smoke] [--threads=..]\n");
+    return 2;
+  }
+  std::vector<PlanKind> plans = GridPlans(grid);
+  if (plans.empty()) {
+    return Fail(out,
+                Status::InvalidArgument("unknown plan set " + grid.plan_set));
+  }
+
+  ParameterSpace space = MakeGridSpace(grid);
+  auto tile_plan = ShardPlanner::Partition(space, static_cast<size_t>(tiles));
+  if (!tile_plan.ok()) return Fail(out, tile_plan.status());
+  const TileSpec* spec = nullptr;
+  for (const TileSpec& t : tile_plan.value()) {
+    if (t.shard_id == static_cast<size_t>(tile_id)) spec = &t;
+  }
+  if (spec == nullptr) {
+    return Fail(out, Status::InvalidArgument(
+                         "tile " + std::to_string(tile_id) +
+                         " does not exist in a " + std::to_string(tiles) +
+                         "-way partition of this grid"));
+  }
+
+  auto env = MakeGridEnvironment(grid);
+  SweepOptions opts;
+  opts.num_threads = static_cast<unsigned>(threads < 1 ? 1 : threads);
+  Status s = ComputeAndWriteTile(env->ctx(), env->executor(), plans, space,
+                                 *spec, out, opts);
+  if (!s.ok()) return Fail(out, s);
+  std::printf("sweep_worker: tile %d/%d (%zux%zu cells x %zu plans) -> %s\n",
+              tile_id, tiles, spec->x_size(), spec->y_size(), plans.size(),
+              out.c_str());
+  return 0;
+}

@@ -1,0 +1,416 @@
+#include "core/map_io.h"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace robustmap {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'M', 'A', 'P', 'T', 'I', 'L', 'E'};
+constexpr size_t kMagicSize = sizeof(kMagic);
+constexpr size_t kVersionOffset = kMagicSize;
+constexpr size_t kChecksumSize = sizeof(uint64_t);
+// Magic + version + trailing checksum: the least any tile file can be.
+constexpr size_t kMinFileSize = kMagicSize + sizeof(uint32_t) + kChecksumSize;
+
+uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// ---- little-endian encoding into a growing buffer ----
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutDouble(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked sequential reader over the decoded payload. Every getter
+/// fails with `Corruption("truncated ...")` rather than reading past the
+/// end, so a file whose declared counts outrun its bytes is reported the
+/// same way as one cut short by a crashed writer.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Status GetU32(uint32_t* v) {
+    RM_RETURN_IF_ERROR(Need(4));
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status GetU64(uint64_t* v) {
+    RM_RETURN_IF_ERROR(Need(8));
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return Status::OK();
+  }
+
+  Status GetDouble(double* v) {
+    uint64_t bits = 0;
+    RM_RETURN_IF_ERROR(GetU64(&bits));
+    *v = std::bit_cast<double>(bits);
+    return Status::OK();
+  }
+
+  Status GetString(std::string* s) {
+    uint32_t n = 0;
+    RM_RETURN_IF_ERROR(GetU32(&n));
+    RM_RETURN_IF_ERROR(Need(n));
+    s->assign(data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  Status Need(size_t n) {
+    if (size_ - pos_ < n) {
+      return Status::Corruption("truncated map tile: wanted " +
+                                std::to_string(n) + " more bytes, have " +
+                                std::to_string(size_ - pos_));
+    }
+    return Status::OK();
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void PutAxis(std::string* out, const Axis& axis) {
+  PutString(out, axis.name);
+  PutU64(out, axis.values.size());
+  for (double v : axis.values) PutDouble(out, v);
+}
+
+Status GetAxis(Cursor* c, Axis* axis) {
+  RM_RETURN_IF_ERROR(c->GetString(&axis->name));
+  uint64_t n = 0;
+  RM_RETURN_IF_ERROR(c->GetU64(&n));
+  // Bound the count by the bytes that could back it *before* allocating:
+  // a damaged (but checksum-valid, i.e. crafted) count must surface as
+  // Corruption, not as a multi-terabyte resize throwing bad_alloc.
+  if (n > c->remaining() / sizeof(uint64_t)) {
+    return Status::Corruption("map tile axis claims " + std::to_string(n) +
+                              " values but only " +
+                              std::to_string(c->remaining()) +
+                              " bytes remain");
+  }
+  axis->values.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    RM_RETURN_IF_ERROR(c->GetDouble(&axis->values[i]));
+  }
+  return Status::OK();
+}
+
+void PutMeasurement(std::string* out, const Measurement& m) {
+  PutDouble(out, m.seconds);
+  PutU64(out, m.output_rows);
+  PutU64(out, m.io.sequential_reads);
+  PutU64(out, m.io.skip_reads);
+  PutU64(out, m.io.random_reads);
+  PutU64(out, m.io.writes);
+  PutU64(out, m.io.buffer_hits);
+  PutU64(out, m.io.bytes_read);
+  PutU64(out, m.io.bytes_written);
+  PutString(out, m.plan_label);
+}
+
+Status GetMeasurement(Cursor* c, Measurement* m) {
+  RM_RETURN_IF_ERROR(c->GetDouble(&m->seconds));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->output_rows));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.sequential_reads));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.skip_reads));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.random_reads));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.writes));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.buffer_hits));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.bytes_read));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.bytes_written));
+  RM_RETURN_IF_ERROR(c->GetString(&m->plan_label));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteMapTile(std::ostream& os, const MapTile& tile) {
+  auto expected = SliceSpace(tile.parent_space, tile.spec);
+  RM_RETURN_IF_ERROR(expected.status());
+  if (!(tile.map.space() == expected.value())) {
+    return Status::InvalidArgument(
+        "tile map's space is not the slice of the parent grid its spec "
+        "names");
+  }
+
+  std::string buf;
+  buf.append(kMagic, kMagicSize);
+  PutU32(&buf, kMapTileFormatVersion);
+  PutU64(&buf, tile.spec.shard_id);
+  PutU64(&buf, tile.spec.x_begin);
+  PutU64(&buf, tile.spec.x_end);
+  PutU64(&buf, tile.spec.y_begin);
+  PutU64(&buf, tile.spec.y_end);
+  PutU64(&buf, tile.parent_space.is_2d() ? 1 : 0);
+  PutAxis(&buf, tile.parent_space.x());
+  if (tile.parent_space.is_2d()) PutAxis(&buf, tile.parent_space.y());
+  PutU64(&buf, tile.map.num_plans());
+  for (const std::string& label : tile.map.plan_labels()) {
+    PutString(&buf, label);
+  }
+  for (size_t plan = 0; plan < tile.map.num_plans(); ++plan) {
+    for (size_t pt = 0; pt < tile.map.space().num_points(); ++pt) {
+      PutMeasurement(&buf, tile.map.At(plan, pt));
+    }
+  }
+  PutU64(&buf, Fnv1a64(buf.data(), buf.size()));
+
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!os.good()) return Status::Internal("map tile write failed");
+  return Status::OK();
+}
+
+Status WriteMapTileFile(const std::string& path, const MapTile& tile) {
+  // Write-then-rename: readers (and resuming coordinators) only ever see
+  // either no file or a complete one. The temp name carries the writer's
+  // address so concurrent workers never clobber each other's in-flight
+  // writes.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(reinterpret_cast<uintptr_t>(&tile)) +
+      "." + std::to_string(static_cast<unsigned long>(::getpid()));
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f.is_open()) {
+      return Status::Internal("cannot open " + tmp + " for writing");
+    }
+    Status s = WriteMapTile(f, tile);
+    if (!s.ok()) {
+      f.close();
+      std::remove(tmp.c_str());
+      return s;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<MapTile> ReadMapTile(std::istream& is) {
+  std::string buf((std::istreambuf_iterator<char>(is)),
+                  std::istreambuf_iterator<char>());
+  if (buf.size() < kMinFileSize) {
+    return Status::Corruption("truncated map tile: " +
+                              std::to_string(buf.size()) +
+                              " bytes is smaller than any valid tile");
+  }
+  if (std::memcmp(buf.data(), kMagic, kMagicSize) != 0) {
+    return Status::Corruption("not a map tile (bad magic)");
+  }
+  // Version gates everything else: an unknown version may checksum or lay
+  // out its payload differently, so it is the one error reported before the
+  // integrity check.
+  Cursor header(buf.data() + kVersionOffset, buf.size() - kVersionOffset);
+  uint32_t version = 0;
+  RM_RETURN_IF_ERROR(header.GetU32(&version));
+  if (version != kMapTileFormatVersion) {
+    return Status::NotSupported(
+        "map tile format version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kMapTileFormatVersion) + ")");
+  }
+  const size_t payload_size = buf.size() - kChecksumSize;
+  Cursor trailer(buf.data() + payload_size, kChecksumSize);
+  uint64_t stored = 0;
+  RM_RETURN_IF_ERROR(trailer.GetU64(&stored));
+  const uint64_t computed = Fnv1a64(buf.data(), payload_size);
+  if (stored != computed) {
+    return Status::Corruption("map tile checksum mismatch (file damaged or "
+                              "cut short)");
+  }
+
+  Cursor c(buf.data() + kVersionOffset + sizeof(uint32_t),
+           payload_size - kVersionOffset - sizeof(uint32_t));
+  TileSpec spec;
+  uint64_t v = 0;
+  RM_RETURN_IF_ERROR(c.GetU64(&v));
+  spec.shard_id = v;
+  RM_RETURN_IF_ERROR(c.GetU64(&v));
+  spec.x_begin = v;
+  RM_RETURN_IF_ERROR(c.GetU64(&v));
+  spec.x_end = v;
+  RM_RETURN_IF_ERROR(c.GetU64(&v));
+  spec.y_begin = v;
+  RM_RETURN_IF_ERROR(c.GetU64(&v));
+  spec.y_end = v;
+  uint64_t is_2d = 0;
+  RM_RETURN_IF_ERROR(c.GetU64(&is_2d));
+  Axis x;
+  RM_RETURN_IF_ERROR(GetAxis(&c, &x));
+  ParameterSpace parent;
+  if (is_2d != 0) {
+    Axis y;
+    RM_RETURN_IF_ERROR(GetAxis(&c, &y));
+    parent = ParameterSpace::TwoD(std::move(x), std::move(y));
+  } else {
+    parent = ParameterSpace::OneD(std::move(x));
+  }
+  auto sub = SliceSpace(parent, spec);
+  if (!sub.ok()) {
+    return Status::Corruption("map tile rectangle inconsistent with its "
+                              "axes: " + sub.status().message());
+  }
+  uint64_t num_plans = 0;
+  RM_RETURN_IF_ERROR(c.GetU64(&num_plans));
+  if (num_plans > c.remaining() / sizeof(uint32_t)) {
+    return Status::Corruption("map tile claims " +
+                              std::to_string(num_plans) +
+                              " plans but only " +
+                              std::to_string(c.remaining()) +
+                              " bytes remain");
+  }
+  std::vector<std::string> labels(num_plans);
+  for (uint64_t i = 0; i < num_plans; ++i) {
+    RM_RETURN_IF_ERROR(c.GetString(&labels[i]));
+  }
+  // Every cell occupies at least 9 u64-sized fields plus a label length;
+  // reject plan x point products the remaining bytes cannot possibly back
+  // before sizing the map (divisions, so the product cannot overflow).
+  constexpr size_t kMinCellBytes = 9 * sizeof(uint64_t) + sizeof(uint32_t);
+  const size_t points = sub.value().num_points();
+  if (num_plans != 0 &&
+      c.remaining() / kMinCellBytes / num_plans < points) {
+    return Status::Corruption(
+        "map tile claims more cells than its bytes can hold");
+  }
+  RobustnessMap map(sub.value(), std::move(labels));
+  for (size_t plan = 0; plan < map.num_plans(); ++plan) {
+    for (size_t pt = 0; pt < map.space().num_points(); ++pt) {
+      Measurement m;
+      RM_RETURN_IF_ERROR(GetMeasurement(&c, &m));
+      map.Set(plan, pt, std::move(m));
+    }
+  }
+  if (c.remaining() != 0) {
+    return Status::Corruption("map tile has " +
+                              std::to_string(c.remaining()) +
+                              " trailing bytes past its declared cells");
+  }
+  return MapTile{spec, std::move(parent), std::move(map)};
+}
+
+Result<MapTile> ReadMapTileFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open()) {
+    return Status::NotFound("cannot open map tile " + path);
+  }
+  auto tile = ReadMapTile(f);
+  if (!tile.ok()) {
+    if (tile.status().IsNotSupported()) {
+      return Status::NotSupported(path + ": " + tile.status().message());
+    }
+    return Status::Corruption(path + ": " + tile.status().message());
+  }
+  return tile;
+}
+
+Result<RobustnessMap> MergeTiles(const ParameterSpace& space,
+                                 const std::vector<std::string>& plan_labels,
+                                 const std::vector<MapTile>& tiles) {
+  RobustnessMap merged(space, plan_labels);
+  std::vector<uint8_t> covered(space.num_points(), 0);
+  for (const MapTile& tile : tiles) {
+    if (!(tile.parent_space == space)) {
+      return Status::InvalidArgument(
+          "tile " + std::to_string(tile.spec.shard_id) +
+          " was swept over a different grid (axis names or values "
+          "disagree); refusing to merge");
+    }
+    if (tile.map.plan_labels() != plan_labels) {
+      return Status::InvalidArgument(
+          "tile " + std::to_string(tile.spec.shard_id) +
+          " covers a different plan set; refusing to merge");
+    }
+    // ReadMapTile-produced tiles satisfy this by construction, but merge
+    // must not trust its caller: an out-of-grid rectangle or a map smaller
+    // than its claimed rectangle would index out of bounds below.
+    auto sub = SliceSpace(space, tile.spec);
+    if (!sub.ok()) {
+      return Status::InvalidArgument(
+          "tile " + std::to_string(tile.spec.shard_id) + ": " +
+          sub.status().message());
+    }
+    if (!(tile.map.space() == sub.value())) {
+      return Status::InvalidArgument(
+          "tile " + std::to_string(tile.spec.shard_id) +
+          "'s map does not cover the rectangle its spec names");
+    }
+    for (size_t yi = tile.spec.y_begin; yi < tile.spec.y_end; ++yi) {
+      for (size_t xi = tile.spec.x_begin; xi < tile.spec.x_end; ++xi) {
+        const size_t parent_pt = space.IndexOf(xi, yi);
+        if (covered[parent_pt] != 0) {
+          return Status::InvalidArgument(
+              "tiles overlap at grid point (" + std::to_string(xi) + "," +
+              std::to_string(yi) + ")");
+        }
+        covered[parent_pt] = 1;
+        const size_t tile_pt =
+            (yi - tile.spec.y_begin) * tile.spec.x_size() +
+            (xi - tile.spec.x_begin);
+        for (size_t plan = 0; plan < merged.num_plans(); ++plan) {
+          merged.Set(plan, parent_pt, tile.map.At(plan, tile_pt));
+        }
+      }
+    }
+  }
+  for (size_t pt = 0; pt < covered.size(); ++pt) {
+    if (covered[pt] == 0) {
+      const auto [xi, yi] = space.CoordsOf(pt);
+      return Status::InvalidArgument("no tile covers grid point (" +
+                                     std::to_string(xi) + "," +
+                                     std::to_string(yi) + ")");
+    }
+  }
+  return merged;
+}
+
+}  // namespace robustmap

@@ -1,0 +1,64 @@
+#ifndef ROBUSTMAP_CORE_MAP_IO_H_
+#define ROBUSTMAP_CORE_MAP_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/robustness_map.h"
+#include "core/shard_planner.h"
+
+namespace robustmap {
+
+/// Current version of the binary tile format. Readers reject any other
+/// version outright — the format carries measured data between processes
+/// (and potentially machines), so silent misinterpretation is never an
+/// acceptable failure mode.
+inline constexpr uint32_t kMapTileFormatVersion = 1;
+
+/// One serialized unit of a sharded sweep: a `RobustnessMap` over a
+/// rectangular slice of a parent grid, together with everything a
+/// coordinator needs to validate and merge it — the full parent space, the
+/// tile rectangle, and the plan labels. A tile whose rectangle covers the
+/// whole parent grid doubles as the serialized form of a complete map.
+struct MapTile {
+  TileSpec spec;
+  ParameterSpace parent_space;  ///< the grid the tile is a slice of
+  RobustnessMap map;            ///< over SliceSpace(parent_space, spec)
+};
+
+/// Serializes a tile. The on-disk layout is:
+///
+///   magic "RMAPTILE" | u32 version | header + axes + labels + cells
+///   | u64 FNV-1a checksum over everything before it
+///
+/// All integers little-endian, doubles as IEEE-754 bit patterns, strings
+/// length-prefixed — fully deterministic, so equal tiles serialize to equal
+/// bytes (the CI byte-for-byte diff relies on this). Rejects tiles whose
+/// map space is not the slice of `parent_space` at `spec`.
+Status WriteMapTile(std::ostream& os, const MapTile& tile);
+
+/// Writes atomically: to `path` + a ".tmp" suffix, then rename(2), so a
+/// crash mid-write never leaves a plausible-looking partial tile behind.
+Status WriteMapTileFile(const std::string& path, const MapTile& tile);
+
+/// Deserializes a tile, with distinct errors for the three failure modes:
+/// not-a-tile / truncated file and checksum mismatch are `Corruption`
+/// (saying which), an unknown format version is `NotSupported`.
+Result<MapTile> ReadMapTile(std::istream& is);
+Result<MapTile> ReadMapTileFile(const std::string& path);
+
+/// Reassembles a full map from tiles. Every tile must agree on the parent
+/// space and plan labels, lie inside the grid, and together the rectangles
+/// must cover every point exactly once — any gap, overlap, or axis
+/// disagreement is an `InvalidArgument`. The merged map is a pure cell copy,
+/// so it is bit-identical to the map a single sweep of the parent grid
+/// would have produced.
+Result<RobustnessMap> MergeTiles(const ParameterSpace& space,
+                                 const std::vector<std::string>& plan_labels,
+                                 const std::vector<MapTile>& tiles);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_MAP_IO_H_

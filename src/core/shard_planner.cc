@@ -1,0 +1,76 @@
+#include "core/shard_planner.h"
+
+#include <algorithm>
+#include <string>
+
+namespace robustmap {
+
+namespace {
+
+/// Band `b` of `count` even bands over `size` elements: [b*size/count,
+/// (b+1)*size/count). Consecutive bands tile [0, size) exactly and differ
+/// in length by at most one.
+std::pair<size_t, size_t> Band(size_t size, size_t count, size_t b) {
+  return {b * size / count, (b + 1) * size / count};
+}
+
+}  // namespace
+
+Result<std::vector<TileSpec>> ShardPlanner::Partition(
+    const ParameterSpace& space, size_t max_tiles) {
+  if (max_tiles == 0) {
+    return Status::InvalidArgument("cannot partition a sweep into 0 tiles");
+  }
+  const size_t x_size = space.x_size();
+  const size_t y_size = space.y_size();
+  // Rows first: a row band keeps cells that are adjacent in the row-major
+  // linearization together. Only when more tiles are wanted than there are
+  // rows does each row band also split along x. Both counts are capped by
+  // the axis length, so every tile is non-empty, and gx*gy <= max_tiles
+  // because gx <= max_tiles / gy.
+  const size_t gy = std::min(max_tiles, y_size);
+  const size_t gx = std::min(std::max<size_t>(1, max_tiles / gy), x_size);
+  std::vector<TileSpec> tiles;
+  tiles.reserve(gx * gy);
+  for (size_t by = 0; by < gy; ++by) {
+    const auto [y0, y1] = Band(y_size, gy, by);
+    for (size_t bx = 0; bx < gx; ++bx) {
+      const auto [x0, x1] = Band(x_size, gx, bx);
+      TileSpec t;
+      t.shard_id = by * gx + bx;
+      t.x_begin = x0;
+      t.x_end = x1;
+      t.y_begin = y0;
+      t.y_end = y1;
+      tiles.push_back(t);
+    }
+  }
+  return tiles;
+}
+
+Result<ParameterSpace> SliceSpace(const ParameterSpace& parent,
+                                  const TileSpec& tile) {
+  if (tile.x_begin >= tile.x_end || tile.y_begin >= tile.y_end ||
+      tile.x_end > parent.x_size() || tile.y_end > parent.y_size()) {
+    return Status::InvalidArgument(
+        "tile rectangle [" + std::to_string(tile.x_begin) + "," +
+        std::to_string(tile.x_end) + ")x[" + std::to_string(tile.y_begin) +
+        "," + std::to_string(tile.y_end) + ") is empty or outside the " +
+        std::to_string(parent.x_size()) + "x" +
+        std::to_string(parent.y_size()) + " grid");
+  }
+  Axis x;
+  x.name = parent.x().name;
+  x.values.assign(parent.x().values.begin() + tile.x_begin,
+                  parent.x().values.begin() + tile.x_end);
+  if (!parent.is_2d()) {
+    return ParameterSpace::OneD(std::move(x));
+  }
+  Axis y;
+  y.name = parent.y().name;
+  y.values.assign(parent.y().values.begin() + tile.y_begin,
+                  parent.y().values.begin() + tile.y_end);
+  return ParameterSpace::TwoD(std::move(x), std::move(y));
+}
+
+}  // namespace robustmap

@@ -1,0 +1,54 @@
+#ifndef ROBUSTMAP_CORE_SHARD_PLANNER_H_
+#define ROBUSTMAP_CORE_SHARD_PLANNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/parameter_space.h"
+
+namespace robustmap {
+
+/// One rectangular tile of a sweep grid: the half-open cell ranges
+/// [x_begin, x_end) × [y_begin, y_end) in *grid indices* of the parent
+/// space. A tile covers every plan over its rectangle — sharding splits the
+/// grid, never the plan list, so each tile file is a complete miniature map
+/// and merging is a pure copy.
+struct TileSpec {
+  size_t shard_id = 0;  ///< stable for a given (space, max_tiles) pair
+  size_t x_begin = 0;
+  size_t x_end = 0;
+  size_t y_begin = 0;
+  size_t y_end = 0;  ///< {0, 1} for 1-D spaces
+
+  size_t x_size() const { return x_end - x_begin; }
+  size_t y_size() const { return y_end - y_begin; }
+  size_t num_points() const { return x_size() * y_size(); }
+
+  bool operator==(const TileSpec&) const = default;
+};
+
+/// Partitions sweep grids into rectangular tiles for sharded execution.
+class ShardPlanner {
+ public:
+  /// Splits `space` into at most `max_tiles` rectangular tiles that cover
+  /// every grid point exactly once. The y axis is split first (rows are the
+  /// outer dimension of the row-major linearization), then x if more tiles
+  /// are wanted than there are rows; a 1-D space splits along x. Returns
+  /// fewer than `max_tiles` tiles when the grid is too small or the counts
+  /// do not divide evenly. Shard ids are assigned row-major over the tile
+  /// grid, so the same (space, max_tiles) request always yields the same
+  /// tiles with the same ids — the property checkpoint/resume relies on.
+  static Result<std::vector<TileSpec>> Partition(const ParameterSpace& space,
+                                                 size_t max_tiles);
+};
+
+/// The sub-space a tile sweeps: the parent's axes restricted to the tile's
+/// index ranges (axis names preserved, 1-D stays 1-D). Rejects rectangles
+/// that are empty or fall outside the parent grid.
+Result<ParameterSpace> SliceSpace(const ParameterSpace& parent,
+                                  const TileSpec& tile);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_SHARD_PLANNER_H_

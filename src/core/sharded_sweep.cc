@@ -1,0 +1,267 @@
+#include "core/sharded_sweep.h"
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace robustmap {
+
+namespace {
+
+Result<std::string> ReadErrFile(const std::string& tile_path) {
+  std::ifstream f(TileErrFileName(tile_path));
+  if (!f.is_open()) return Status::NotFound("no error file");
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+/// A checkpoint is reusable only if it parses, its checksum holds, and it
+/// describes exactly the tile the current plan expects — same rectangle,
+/// same parent grid, same plans. Anything else (a tile from an older
+/// configuration, a damaged file) must be recomputed.
+Result<MapTile> LoadValidTile(const std::string& path,
+                              const TileSpec& expected,
+                              const ParameterSpace& space,
+                              const std::vector<std::string>& labels) {
+  auto tile = ReadMapTileFile(path);
+  RM_RETURN_IF_ERROR(tile.status());
+  const MapTile& t = tile.value();
+  if (!(t.spec == expected) || !(t.parent_space == space) ||
+      t.map.plan_labels() != labels) {
+    return Status::InvalidArgument(
+        path + " describes a different tile, grid, or plan set");
+  }
+  return tile;
+}
+
+}  // namespace
+
+std::string TileFileName(size_t shard_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "tile_%04zu.rmt", shard_id);
+  return buf;
+}
+
+std::string TileErrFileName(const std::string& tile_path) {
+  return tile_path + ".err";
+}
+
+void WriteTileErrFile(const std::string& tile_path, const Status& s) {
+  std::ofstream f(TileErrFileName(tile_path), std::ios::trunc);
+  f << s.ToString();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  // Create each prefix in turn, tolerating the ones that already exist.
+  for (size_t pos = 0; pos != std::string::npos;) {
+    pos = path.find('/', pos + 1);
+    std::string prefix = path.substr(0, pos);
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal("cannot create directory " + prefix + ": " +
+                              std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+Status ComputeAndWriteTile(RunContext* ctx, const Executor& executor,
+                           const std::vector<PlanKind>& plans,
+                           const ParameterSpace& space, const TileSpec& tile,
+                           const std::string& path,
+                           const SweepOptions& sweep_opts) {
+  auto sub = SliceSpace(space, tile);
+  RM_RETURN_IF_ERROR(sub.status());
+  auto map = SweepStudyPlans(ctx, executor, plans, sub.value(), sweep_opts);
+  RM_RETURN_IF_ERROR(map.status());
+  return WriteMapTileFile(path,
+                          MapTile{tile, space, std::move(map).value()});
+}
+
+Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
+                                      const Executor& executor,
+                                      const std::vector<PlanKind>& plans,
+                                      const ParameterSpace& space,
+                                      const ShardedSweepOptions& opts,
+                                      ShardedSweepStats* stats) {
+  if (opts.tile_dir.empty()) {
+    return Status::InvalidArgument("sharded sweep needs a tile_dir");
+  }
+  if (ctx->warmup.mode == WarmupPolicy::Mode::kPriorRun) {
+    return Status::InvalidArgument(
+        "sharded sweeps require an order-independent warmup policy; "
+        "kPriorRun cells inherit cache state across the tile boundaries "
+        "sharding erases");
+  }
+  const unsigned num_workers = ResolveParallelism(opts.num_workers);
+  const size_t num_tiles =
+      opts.num_tiles == 0 ? num_workers : opts.num_tiles;
+  auto tiles = ShardPlanner::Partition(space, num_tiles);
+  RM_RETURN_IF_ERROR(tiles.status());
+  RM_RETURN_IF_ERROR(EnsureDirectory(opts.tile_dir));
+
+  std::vector<std::string> labels;
+  labels.reserve(plans.size());
+  for (PlanKind k : plans) labels.push_back(PlanKindLabel(k));
+
+  // Scan the checkpoint directory: valid tiles are carried over in memory,
+  // the rest queue for workers.
+  std::vector<MapTile> loaded;
+  std::vector<TileSpec> todo;
+  for (const TileSpec& t : tiles.value()) {
+    const std::string path = opts.tile_dir + "/" + TileFileName(t.shard_id);
+    auto tile = opts.resume
+                    ? LoadValidTile(path, t, space, labels)
+                    : Result<MapTile>(Status::NotFound("resume disabled"));
+    if (tile.ok()) {
+      loaded.push_back(std::move(tile).value());
+      if (opts.verbose) {
+        std::fprintf(stderr, "  shard: tile %zu valid on disk, reused\n",
+                     t.shard_id);
+      }
+    } else {
+      std::remove(TileErrFileName(path).c_str());
+      todo.push_back(t);
+    }
+  }
+
+  ShardedSweepStats local;
+  local.tiles_total = tiles.value().size();
+  local.tiles_reused = loaded.size();
+  local.tiles_computed = todo.size();
+  local.workers_spawned =
+      static_cast<unsigned>(std::min<size_t>(num_workers, todo.size()));
+
+  // Spawn one subprocess per outstanding tile, at most num_workers in
+  // flight. stdio is flushed first so forked children do not replay the
+  // parent's buffered output.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  std::map<pid_t, size_t> running;  // pid -> todo index
+  std::vector<size_t> failed;
+  size_t next = 0;
+  size_t computed_done = 0;
+  SweepOptions worker_opts;
+  worker_opts.num_threads = std::max(1u, opts.threads_per_worker);
+  while (next < todo.size() || !running.empty()) {
+    while (next < todo.size() && running.size() < num_workers) {
+      const TileSpec& t = todo[next];
+      const std::string path =
+          opts.tile_dir + "/" + TileFileName(t.shard_id);
+      pid_t pid = ::fork();
+      if (pid < 0) {
+        return Status::Internal(std::string("fork failed: ") +
+                                std::strerror(errno));
+      }
+      if (pid == 0) {
+        // Worker. Either exec the external worker binary, or compute the
+        // tile right here on the forked copy of the parent's environment.
+        if (!opts.worker_command.empty()) {
+          std::vector<std::string> args = opts.worker_command;
+          // The tile count is part of a tile id's meaning, and only this
+          // side knows the resolved value — the worker must never re-derive
+          // it from a default that could drift.
+          args.push_back("--tiles=" + std::to_string(num_tiles));
+          args.push_back("--tile=" + std::to_string(t.shard_id));
+          args.push_back("--out=" + path);
+          std::vector<char*> argv;
+          argv.reserve(args.size() + 1);
+          for (std::string& a : args) argv.push_back(a.data());
+          argv.push_back(nullptr);
+          ::execvp(argv[0], argv.data());
+          WriteTileErrFile(path, Status::Internal(
+                                 std::string("cannot exec ") + args[0] +
+                                 ": " + std::strerror(errno)));
+          ::_exit(127);
+        }
+        Status s =
+            ComputeAndWriteTile(ctx, executor, plans, space, t, path,
+                                worker_opts);
+        if (!s.ok()) {
+          WriteTileErrFile(path, s);
+          ::_exit(1);
+        }
+        ::_exit(0);
+      }
+      running.emplace(pid, next);
+      ++next;
+    }
+    // Reap exactly one of *our* workers. waitpid(-1) would also consume
+    // the exit status of any unrelated child an embedding application has
+    // in flight, so poll the known pids instead; tiles take seconds, the
+    // 10 ms poll interval is noise.
+    bool reaped = false;
+    while (!reaped) {
+      for (auto it = running.begin(); it != running.end();) {
+        int wstatus = 0;
+        pid_t r = ::waitpid(it->first, &wstatus, WNOHANG);
+        if (r == 0 || (r < 0 && errno == EINTR)) {
+          ++it;
+          continue;
+        }
+        if (r < 0) {
+          return Status::Internal(std::string("waitpid failed: ") +
+                                  std::strerror(errno));
+        }
+        const size_t idx = it->second;
+        it = running.erase(it);
+        reaped = true;
+        if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
+          ++computed_done;
+          if (opts.verbose) {
+            std::fprintf(stderr,
+                         "  shard: tile %zu computed (%zu/%zu done)\n",
+                         todo[idx].shard_id,
+                         local.tiles_reused + computed_done,
+                         local.tiles_total);
+          }
+        } else {
+          failed.push_back(idx);
+        }
+      }
+      if (!reaped) ::usleep(10000);
+    }
+  }
+
+  if (!failed.empty()) {
+    // Report the failure of the lowest shard id, with the worker's own
+    // Status when it managed to leave one. Completed tiles stay on disk,
+    // so the rerun that follows a fix resumes instead of restarting.
+    size_t worst = todo.size();
+    for (size_t idx : failed) worst = std::min(worst, idx);
+    const TileSpec& t = todo[worst];
+    const std::string path = opts.tile_dir + "/" + TileFileName(t.shard_id);
+    auto msg = ReadErrFile(path);
+    return Status::Internal(
+        "sweep worker for tile " + std::to_string(t.shard_id) + " failed" +
+        (msg.ok() ? ": " + msg.value()
+                  : " without leaving an error file (killed?)"));
+  }
+
+  // Merge: freshly computed tiles are read back from disk — the same
+  // validated path a resumed coordinator takes — then stitched with the
+  // reused ones.
+  for (const TileSpec& t : todo) {
+    const std::string path = opts.tile_dir + "/" + TileFileName(t.shard_id);
+    auto tile = ReadMapTileFile(path);
+    RM_RETURN_IF_ERROR(tile.status());
+    loaded.push_back(std::move(tile).value());
+  }
+  auto merged = MergeTiles(space, labels, loaded);
+  RM_RETURN_IF_ERROR(merged.status());
+  if (stats != nullptr) *stats = local;
+  return merged;
+}
+
+}  // namespace robustmap

@@ -1,0 +1,110 @@
+#ifndef ROBUSTMAP_CORE_SHARDED_SWEEP_H_
+#define ROBUSTMAP_CORE_SHARDED_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/map_io.h"
+#include "core/shard_planner.h"
+#include "core/sweep.h"
+
+namespace robustmap {
+
+/// Options for a multi-process sharded sweep.
+struct ShardedSweepOptions {
+  /// Directory the per-tile checkpoint files live in; created if missing.
+  /// Point a rerun at the same directory to resume a killed sweep.
+  std::string tile_dir;
+
+  /// Concurrent worker processes. 0 = one per hardware thread.
+  unsigned num_workers = 0;
+
+  /// Tiles to split the grid into (work units; a worker processes several).
+  /// 0 = one per worker. More tiles than workers smooths load imbalance and
+  /// makes checkpoints finer-grained.
+  size_t num_tiles = 0;
+
+  /// Sweep threads inside each worker process (multiplies with
+  /// `num_workers`; keep at 1 unless workers are spread across machines).
+  unsigned threads_per_worker = 1;
+
+  /// When true (the default), tiles already present and valid in `tile_dir`
+  /// are trusted and only missing or invalid ones are recomputed — the
+  /// checkpoint/resume path. When false, every tile is recomputed and
+  /// existing files are overwritten.
+  bool resume = true;
+
+  /// Per-tile progress lines on stderr.
+  bool verbose = false;
+
+  /// Empty (the default): workers are forked children of this process,
+  /// computing their tiles with the already-built executor — the in-process
+  /// subprocess mode benches and tests use. Non-empty: each tile spawns
+  /// fork+exec of this argv with "--tiles=<count>", "--tile=<id>", and
+  /// "--out=<path>" appended (the `sweep_worker` contract — the resolved
+  /// tile count rides along so worker and coordinator can never partition
+  /// the grid differently), for coordinators whose workers must build
+  /// their own environment.
+  std::vector<std::string> worker_command;
+};
+
+/// What a sharded sweep did, for self-checks and resume tests.
+struct ShardedSweepStats {
+  size_t tiles_total = 0;
+  size_t tiles_reused = 0;    ///< valid checkpoints skipped
+  size_t tiles_computed = 0;  ///< recomputed by workers this run
+  unsigned workers_spawned = 0;
+};
+
+/// Checkpoint file name for a shard, e.g. "tile_0007.rmt".
+std::string TileFileName(size_t shard_id);
+
+/// Sidecar file a failed worker leaves its Status message in — the one
+/// channel an exit code cannot carry across the process boundary. Part of
+/// the worker contract: coordinators read it back, so workers (including
+/// external `sweep_worker` binaries) must write exactly this path.
+std::string TileErrFileName(const std::string& tile_path);
+
+/// Writes the sidecar (overwriting any stale one) — the one writer both
+/// the built-in workers and external worker binaries share.
+void WriteTileErrFile(const std::string& tile_path, const Status& s);
+
+/// mkdir -p: creates `path` and any missing parents, tolerating ones that
+/// already exist.
+Status EnsureDirectory(const std::string& path);
+
+/// Computes one tile — the standard study sweep restricted to the tile's
+/// rectangle (via `ParallelRunSweep` when `sweep_opts.num_threads != 1`) —
+/// and writes it atomically to `path`. The body of both worker modes and of
+/// the `sweep_worker` executable.
+Status ComputeAndWriteTile(RunContext* ctx, const Executor& executor,
+                           const std::vector<PlanKind>& plans,
+                           const ParameterSpace& space, const TileSpec& tile,
+                           const std::string& path,
+                           const SweepOptions& sweep_opts = {});
+
+/// The sharded equivalent of `SweepStudyPlans`: partitions the grid with
+/// `ShardPlanner`, skips tiles already valid on disk (unless
+/// `opts.resume == false`), computes the rest in up to `opts.num_workers`
+/// concurrent subprocesses, and merges the tile files into one map that is
+/// bit-identical to a single-process sweep of the same grid — every cell is
+/// an independent cold measurement, so its value cannot depend on which
+/// process ran it.
+///
+/// Requires an order-independent warmup policy on `ctx` (anything but
+/// `kPriorRun`, whose cells inherit state across the tile boundaries this
+/// function erases). POSIX only: workers are fork(2)ed, or fork+exec'd when
+/// `opts.worker_command` is set. A worker failure is reported after all
+/// workers finish; completed tiles remain on disk, so a rerun resumes
+/// rather than restarts.
+Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
+                                      const Executor& executor,
+                                      const std::vector<PlanKind>& plans,
+                                      const ParameterSpace& space,
+                                      const ShardedSweepOptions& opts,
+                                      ShardedSweepStats* stats = nullptr);
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_SHARDED_SWEEP_H_

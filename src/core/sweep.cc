@@ -13,12 +13,6 @@ namespace robustmap {
 
 namespace {
 
-unsigned ResolveThreads(unsigned requested) {
-  if (requested != 0) return requested;
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
-
 /// The verbose-mode progress printer: one stderr line per completed plan
 /// and per 10% step — readable for both quick smokes and hour-long studies.
 SweepProgressFn MakeDefaultPrinter() {
@@ -72,6 +66,12 @@ class ProgressTracker {
 
 }  // namespace
 
+unsigned ResolveParallelism(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 Result<RobustnessMap> RunSweep(const ParameterSpace& space,
                                const std::vector<std::string>& plan_labels,
                                const PointRunner& runner,
@@ -93,11 +93,37 @@ Result<RobustnessMap> ParallelRunSweep(
     const ParameterSpace& space, const std::vector<std::string>& plan_labels,
     const RunContextFactory& factory, const ContextPointRunner& runner,
     const SweepOptions& opts) {
-  const unsigned num_threads = ResolveThreads(opts.num_threads);
+  const unsigned num_threads = ResolveParallelism(opts.num_threads);
   const size_t points = space.num_points();
   const size_t cells = plan_labels.size() * points;
   RobustnessMap map(space, plan_labels);
   ProgressTracker tracker(opts, plan_labels.size(), points);
+
+  // The deterministic concurrent-contention schedule: serial execution in
+  // point-major round-robin across plans, as if one query stream per plan
+  // took turns on the machine. Shared-pool residency then evolves the same
+  // way on every run — unlike the true-parallel schedule below, whose
+  // interleaving (intentionally) depends on thread timing.
+  if (opts.deterministic_shared_schedule) {
+    if (opts.verbose) {
+      std::fprintf(stderr,
+                   "  sweep: %zu cells (%zu plans), fixed round-robin "
+                   "schedule\n",
+                   cells, plan_labels.size());
+    }
+    std::unique_ptr<OwnedRunContext> machine = factory.Create();
+    for (size_t point = 0; point < points; ++point) {
+      for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
+        auto m = runner(machine->ctx(), plan, space.x_value(point),
+                        space.y_value(point));
+        RM_RETURN_IF_ERROR(m.status());
+        map.Set(plan, point, std::move(m).value());
+        tracker.CellDone(plan);
+      }
+    }
+    return map;
+  }
+
   if (opts.verbose) {
     std::fprintf(stderr, "  sweep: %zu cells (%zu plans) on %u thread(s)\n",
                  cells, plan_labels.size(), num_threads);
@@ -165,9 +191,11 @@ Result<RobustnessMap> SweepStudyPlans(RunContext* ctx,
   for (PlanKind k : plans) labels.push_back(PlanKindLabel(k));
   int64_t domain = executor.db().domain;
   // The serial path measures on `ctx` itself; a shared pool needs the
-  // factory to attach worker views, so it always takes the parallel path
-  // (which degrades to in-caller-thread execution at one worker).
-  if (ResolveThreads(opts.num_threads) <= 1 && opts.shared_pool == nullptr) {
+  // factory to attach worker views, and the round-robin schedule reorders
+  // cells, so both always take the parallel path (which degrades to
+  // in-caller-thread execution at one worker).
+  if (ResolveParallelism(opts.num_threads) <= 1 && opts.shared_pool == nullptr &&
+      !opts.deterministic_shared_schedule) {
     return RunSweep(
         space, labels,
         [&](size_t plan, double sx, double sy) -> Result<Measurement> {

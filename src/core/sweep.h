@@ -30,6 +30,13 @@ struct SweepProgress {
 
 using SweepProgressFn = std::function<void(const SweepProgress&)>;
 
+/// The "0 = one per hardware thread" convention shared by
+/// `SweepOptions::num_threads` and `ShardedSweepOptions::num_workers`:
+/// returns `requested` unless it is 0, then the hardware concurrency
+/// (1 when unknown). One definition, so threads and worker processes can
+/// never resolve the same setting differently.
+unsigned ResolveParallelism(unsigned requested);
+
 /// Progress/parallelism options for sweeps.
 struct SweepOptions {
   /// Prints per-plan / percent progress to stderr (via the default
@@ -58,6 +65,17 @@ struct SweepOptions {
   /// prototype context for cross-query reuse, since the default cold policy
   /// clears the shared cache at every measurement.
   SharedBufferPool* shared_pool = nullptr;
+
+  /// Replaces the scheduling-dependent parallel order with a fixed
+  /// round-robin interleaving *across plans*: cells execute serially in
+  /// point-major order — every plan's cell at point k, then every plan's at
+  /// point k+1 — modeling one concurrent query stream per plan taking turns
+  /// against the shared cache. The schedule is identical on every run, so
+  /// with `shared_pool` + `WarmupPolicy::PriorRun()` concurrent-contention
+  /// maps become regression-testable. (Without a shared pool or an
+  /// order-dependent warmup the reordering is unobservable: cold cells are
+  /// independent, and the map is the same bit-identical one as ever.)
+  bool deterministic_shared_schedule = false;
 };
 
 /// Generic sweep: measures `runner(plan, x, y)` for every plan over every

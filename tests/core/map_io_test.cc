@@ -1,0 +1,243 @@
+#include "core/map_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testing/map_expect.h"
+
+namespace robustmap {
+namespace {
+
+using ::robustmap::testing::ExpectMapsBitIdentical;
+
+ParameterSpace SmallSpace() {
+  return ParameterSpace::TwoD(Axis::Selectivity("sel(a)", -3, 0),
+                              Axis::Selectivity("sel(b)", -2, 0));
+}
+
+/// A map with distinctive, per-cell-unique values in every field, so any
+/// mix-up of cells or fields during (de)serialization shows.
+RobustnessMap FillMap(const ParameterSpace& space,
+                      const std::vector<std::string>& labels) {
+  RobustnessMap map(space, labels);
+  for (size_t pl = 0; pl < labels.size(); ++pl) {
+    for (size_t pt = 0; pt < space.num_points(); ++pt) {
+      Measurement m;
+      m.seconds = 0.125 * static_cast<double>(pl * 100 + pt) + 1e-9;
+      m.output_rows = pl * 1000 + pt;
+      m.io.sequential_reads = pt + 1;
+      m.io.skip_reads = pt + 2;
+      m.io.random_reads = pt + 3;
+      m.io.writes = pl;
+      m.io.buffer_hits = pl + pt;
+      m.io.bytes_read = (pt + 1) * 8192;
+      m.io.bytes_written = pl * 8192;
+      m.plan_label = labels[pl];
+      map.Set(pl, pt, std::move(m));
+    }
+  }
+  return map;
+}
+
+MapTile FullTile(const ParameterSpace& space,
+                 const std::vector<std::string>& labels) {
+  TileSpec spec;
+  spec.shard_id = 7;
+  spec.x_begin = 0;
+  spec.x_end = space.x_size();
+  spec.y_begin = 0;
+  spec.y_end = space.y_size();
+  return MapTile{spec, space, FillMap(space, labels)};
+}
+
+std::string Serialize(const MapTile& tile) {
+  std::ostringstream os;
+  EXPECT_TRUE(WriteMapTile(os, tile).ok());
+  return os.str();
+}
+
+Result<MapTile> Deserialize(const std::string& bytes) {
+  std::istringstream is(bytes);
+  return ReadMapTile(is);
+}
+
+TEST(MapIoTest, RoundTripsFullTile) {
+  ParameterSpace space = SmallSpace();
+  MapTile tile = FullTile(space, {"scan", "idx.a"});
+  auto back = Deserialize(Serialize(tile)).ValueOrDie();
+  EXPECT_EQ(back.spec, tile.spec);
+  EXPECT_TRUE(back.parent_space == space);
+  ExpectMapsBitIdentical(back.map, tile.map);
+}
+
+TEST(MapIoTest, RoundTripsSubRectangleTileAndOneD) {
+  ParameterSpace space = SmallSpace();
+  TileSpec spec;
+  spec.shard_id = 3;
+  spec.x_begin = 1;
+  spec.x_end = 3;
+  spec.y_begin = 0;
+  spec.y_end = 2;
+  ParameterSpace sub = SliceSpace(space, spec).ValueOrDie();
+  MapTile tile{spec, space, FillMap(sub, {"p"})};
+  auto back = Deserialize(Serialize(tile)).ValueOrDie();
+  EXPECT_EQ(back.spec, tile.spec);
+  ExpectMapsBitIdentical(back.map, tile.map);
+
+  ParameterSpace line = ParameterSpace::OneD(Axis::Selectivity("a", -4, 0));
+  TileSpec lspec;
+  lspec.x_begin = 0;
+  lspec.x_end = line.x_size();
+  lspec.y_begin = 0;
+  lspec.y_end = 1;
+  MapTile ltile{lspec, line, FillMap(line, {"p", "q"})};
+  auto lback = Deserialize(Serialize(ltile)).ValueOrDie();
+  EXPECT_FALSE(lback.parent_space.is_2d());
+  ExpectMapsBitIdentical(lback.map, ltile.map);
+}
+
+TEST(MapIoTest, SerializationIsDeterministic) {
+  // The CI workflow diffs merged maps byte for byte; that only means
+  // something if equal tiles serialize to equal bytes.
+  MapTile tile = FullTile(SmallSpace(), {"scan"});
+  EXPECT_EQ(Serialize(tile), Serialize(tile));
+}
+
+TEST(MapIoTest, RejectsMapNotMatchingItsRectangle) {
+  ParameterSpace space = SmallSpace();
+  TileSpec spec;  // claims a 2x1 rectangle, map covers the full space
+  spec.x_begin = 0;
+  spec.x_end = 2;
+  spec.y_begin = 0;
+  spec.y_end = 1;
+  MapTile tile{spec, space, FillMap(space, {"p"})};
+  std::ostringstream os;
+  Status s = WriteMapTile(os, tile);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(MapIoTest, TruncatedFileIsCorruption) {
+  std::string bytes = Serialize(FullTile(SmallSpace(), {"scan", "idx.a"}));
+  for (size_t keep : {size_t{5}, bytes.size() / 2, bytes.size() - 1}) {
+    auto r = Deserialize(bytes.substr(0, keep));
+    ASSERT_FALSE(r.ok()) << "kept " << keep;
+    EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+  }
+}
+
+TEST(MapIoTest, FlippedByteIsCorruption) {
+  std::string bytes = Serialize(FullTile(SmallSpace(), {"scan"}));
+  // Flip one byte mid-payload (past magic and version, before the
+  // checksum): the checksum must catch it.
+  std::string damaged = bytes;
+  damaged[damaged.size() / 2] ^= 0x01;
+  auto r = Deserialize(damaged);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(MapIoTest, FlippedChecksumByteIsCorruption) {
+  std::string bytes = Serialize(FullTile(SmallSpace(), {"scan"}));
+  std::string damaged = bytes;
+  damaged[damaged.size() - 1] ^= 0x80;  // inside the stored checksum itself
+  auto r = Deserialize(damaged);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(MapIoTest, WrongVersionIsNotSupported) {
+  std::string bytes = Serialize(FullTile(SmallSpace(), {"scan"}));
+  std::string future = bytes;
+  future[8] = 99;  // version field follows the 8-byte magic, little-endian
+  auto r = Deserialize(future);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotSupported());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST(MapIoTest, BadMagicIsCorruption) {
+  std::string bytes = Serialize(FullTile(SmallSpace(), {"scan"}));
+  bytes[0] = 'X';
+  auto r = Deserialize(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(MapIoTest, FileRoundTripAndMissingFile) {
+  std::string path = ::testing::TempDir() + "/map_io_roundtrip.rmt";
+  MapTile tile = FullTile(SmallSpace(), {"scan", "idx.a"});
+  ASSERT_TRUE(WriteMapTileFile(path, tile).ok());
+  auto back = ReadMapTileFile(path).ValueOrDie();
+  ExpectMapsBitIdentical(back.map, tile.map);
+  std::remove(path.c_str());
+  EXPECT_TRUE(ReadMapTileFile(path).status().IsNotFound());
+}
+
+TEST(MergeTilesTest, ReassemblesPartitionedMap) {
+  ParameterSpace space = SmallSpace();
+  std::vector<std::string> labels = {"scan", "idx.a", "idx.b"};
+  RobustnessMap full = FillMap(space, labels);
+  auto tiles = ShardPlanner::Partition(space, 4).ValueOrDie();
+  std::vector<MapTile> pieces;
+  for (const TileSpec& t : tiles) {
+    ParameterSpace sub = SliceSpace(space, t).ValueOrDie();
+    RobustnessMap piece(sub, labels);
+    for (size_t pl = 0; pl < labels.size(); ++pl) {
+      for (size_t yi = 0; yi < sub.y_size(); ++yi) {
+        for (size_t xi = 0; xi < sub.x_size(); ++xi) {
+          piece.Set(pl, sub.IndexOf(xi, yi),
+                    full.At(pl, space.IndexOf(t.x_begin + xi,
+                                              t.y_begin + yi)));
+        }
+      }
+    }
+    pieces.push_back(MapTile{t, space, std::move(piece)});
+  }
+  auto merged = MergeTiles(space, labels, pieces).ValueOrDie();
+  ExpectMapsBitIdentical(merged, full);
+}
+
+TEST(MergeTilesTest, RejectsMismatchedAxes) {
+  ParameterSpace space = SmallSpace();
+  ParameterSpace other = ParameterSpace::TwoD(
+      Axis::Selectivity("sel(a)", -4, 0),  // one octave more than space
+      Axis::Selectivity("sel(b)", -2, 0));
+  std::vector<std::string> labels = {"scan"};
+  MapTile tile = FullTile(other, labels);
+  auto merged = MergeTiles(space, labels, {tile});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_TRUE(merged.status().IsInvalidArgument());
+  EXPECT_NE(merged.status().message().find("different grid"),
+            std::string::npos);
+}
+
+TEST(MergeTilesTest, RejectsMismatchedPlans) {
+  ParameterSpace space = SmallSpace();
+  MapTile tile = FullTile(space, {"scan"});
+  auto merged = MergeTiles(space, {"scan", "idx.a"}, {tile});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_TRUE(merged.status().IsInvalidArgument());
+}
+
+TEST(MergeTilesTest, RejectsOverlapAndGaps) {
+  ParameterSpace space = SmallSpace();
+  std::vector<std::string> labels = {"scan"};
+  MapTile full = FullTile(space, labels);
+  auto overlap = MergeTiles(space, labels, {full, full});
+  ASSERT_FALSE(overlap.ok());
+  EXPECT_NE(overlap.status().message().find("overlap"), std::string::npos);
+
+  auto gap = MergeTiles(space, labels, {});
+  ASSERT_FALSE(gap.ok());
+  EXPECT_NE(gap.status().message().find("no tile covers"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace robustmap

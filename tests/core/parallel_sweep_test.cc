@@ -5,11 +5,13 @@
 #include <string>
 #include <vector>
 
+#include "testing/map_expect.h"
 #include "testing/test_env.h"
 
 namespace robustmap {
 namespace {
 
+using ::robustmap::testing::ExpectMapsBitIdentical;
 using ::robustmap::testing::ProcEnv;
 
 // Plans chosen to cover every concurrency hazard: composite-index group
@@ -24,30 +26,6 @@ std::vector<PlanKind> StressPlans() {
 ParameterSpace StressSpace() {
   return ParameterSpace::TwoD(Axis::Selectivity("a", -6, 0),
                               Axis::Selectivity("b", -6, 0));
-}
-
-void ExpectMapsBitIdentical(const RobustnessMap& a, const RobustnessMap& b) {
-  ASSERT_EQ(a.num_plans(), b.num_plans());
-  ASSERT_EQ(a.space().num_points(), b.space().num_points());
-  for (size_t plan = 0; plan < a.num_plans(); ++plan) {
-    EXPECT_EQ(a.plan_label(plan), b.plan_label(plan));
-    for (size_t pt = 0; pt < a.space().num_points(); ++pt) {
-      const Measurement& ma = a.At(plan, pt);
-      const Measurement& mb = b.At(plan, pt);
-      // Exact equality, not near-equality: the parallel sweep must
-      // reproduce the serial map bit for bit.
-      EXPECT_EQ(ma.seconds, mb.seconds)
-          << a.plan_label(plan) << " point " << pt;
-      EXPECT_EQ(ma.output_rows, mb.output_rows)
-          << a.plan_label(plan) << " point " << pt;
-      EXPECT_EQ(ma.io.sequential_reads, mb.io.sequential_reads);
-      EXPECT_EQ(ma.io.skip_reads, mb.io.skip_reads);
-      EXPECT_EQ(ma.io.random_reads, mb.io.random_reads);
-      EXPECT_EQ(ma.io.writes, mb.io.writes);
-      EXPECT_EQ(ma.io.buffer_hits, mb.io.buffer_hits);
-      EXPECT_EQ(ma.plan_label, mb.plan_label);
-    }
-  }
 }
 
 TEST(ParallelRunSweepTest, StudySweepBitIdenticalAcrossThreadCounts) {

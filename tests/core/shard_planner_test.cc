@@ -1,0 +1,127 @@
+#include "core/shard_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace robustmap {
+namespace {
+
+ParameterSpace Grid(int x_min_log2, int y_min_log2) {
+  return ParameterSpace::TwoD(Axis::Selectivity("a", x_min_log2, 0),
+                              Axis::Selectivity("b", y_min_log2, 0));
+}
+
+/// Every grid point must be covered by exactly one tile.
+void ExpectExactCover(const ParameterSpace& space,
+                      const std::vector<TileSpec>& tiles) {
+  std::vector<int> covered(space.num_points(), 0);
+  for (const TileSpec& t : tiles) {
+    ASSERT_LE(t.x_end, space.x_size());
+    ASSERT_LE(t.y_end, space.y_size());
+    ASSERT_LT(t.x_begin, t.x_end);
+    ASSERT_LT(t.y_begin, t.y_end);
+    for (size_t yi = t.y_begin; yi < t.y_end; ++yi) {
+      for (size_t xi = t.x_begin; xi < t.x_end; ++xi) {
+        ++covered[space.IndexOf(xi, yi)];
+      }
+    }
+  }
+  for (size_t pt = 0; pt < covered.size(); ++pt) {
+    EXPECT_EQ(covered[pt], 1) << "point " << pt;
+  }
+}
+
+TEST(ShardPlannerTest, CoversGridExactlyAtManyTileCounts) {
+  ParameterSpace space = Grid(-8, -6);  // 9 x 7
+  for (size_t tiles : {1u, 2u, 3u, 7u, 8u, 13u, 63u, 1000u}) {
+    auto plan = ShardPlanner::Partition(space, tiles).ValueOrDie();
+    SCOPED_TRACE(tiles);
+    EXPECT_LE(plan.size(), tiles);
+    EXPECT_FALSE(plan.empty());
+    ExpectExactCover(space, plan);
+  }
+}
+
+TEST(ShardPlannerTest, OneDSpaceSplitsAlongX) {
+  ParameterSpace line = ParameterSpace::OneD(Axis::Selectivity("a", -10, 0));
+  auto plan = ShardPlanner::Partition(line, 4).ValueOrDie();
+  EXPECT_EQ(plan.size(), 4u);
+  ExpectExactCover(line, plan);
+  for (const TileSpec& t : plan) {
+    EXPECT_EQ(t.y_begin, 0u);
+    EXPECT_EQ(t.y_end, 1u);
+  }
+}
+
+TEST(ShardPlannerTest, MoreTilesThanPointsIsCappedByTheGrid) {
+  ParameterSpace space = Grid(-2, -2);  // 3 x 3 = 9 points
+  auto plan = ShardPlanner::Partition(space, 1000).ValueOrDie();
+  EXPECT_EQ(plan.size(), 9u);  // one tile per point, never an empty tile
+  ExpectExactCover(space, plan);
+}
+
+TEST(ShardPlannerTest, StableIdsAcrossInvocations) {
+  ParameterSpace space = Grid(-8, -8);
+  auto a = ShardPlanner::Partition(space, 8).ValueOrDie();
+  auto b = ShardPlanner::Partition(space, 8).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_EQ(a[i].shard_id, i);  // ids are dense and ordered
+  }
+}
+
+TEST(ShardPlannerTest, ZeroTilesIsAnError) {
+  auto plan = ShardPlanner::Partition(Grid(-4, -4), 0);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsInvalidArgument());
+}
+
+TEST(SliceSpaceTest, SliceCarriesAxisNamesAndValues) {
+  ParameterSpace space = Grid(-8, -6);
+  TileSpec t;
+  t.x_begin = 2;
+  t.x_end = 5;
+  t.y_begin = 1;
+  t.y_end = 3;
+  ParameterSpace sub = SliceSpace(space, t).ValueOrDie();
+  EXPECT_TRUE(sub.is_2d());
+  EXPECT_EQ(sub.x().name, "a");
+  EXPECT_EQ(sub.y().name, "b");
+  ASSERT_EQ(sub.x_size(), 3u);
+  ASSERT_EQ(sub.y_size(), 2u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sub.x().values[i], space.x().values[2 + i]);
+  }
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(sub.y().values[i], space.y().values[1 + i]);
+  }
+}
+
+TEST(SliceSpaceTest, OneDSliceStaysOneD) {
+  ParameterSpace line = ParameterSpace::OneD(Axis::Selectivity("a", -4, 0));
+  TileSpec t;
+  t.x_begin = 1;
+  t.x_end = 3;
+  t.y_begin = 0;
+  t.y_end = 1;
+  ParameterSpace sub = SliceSpace(line, t).ValueOrDie();
+  EXPECT_FALSE(sub.is_2d());
+  EXPECT_EQ(sub.num_points(), 2u);
+}
+
+TEST(SliceSpaceTest, RejectsEmptyAndOutOfRangeRectangles) {
+  ParameterSpace space = Grid(-4, -4);
+  TileSpec empty;  // x_begin == x_end == 0
+  EXPECT_FALSE(SliceSpace(space, empty).ok());
+  TileSpec outside;
+  outside.x_begin = 0;
+  outside.x_end = space.x_size() + 1;
+  outside.y_begin = 0;
+  outside.y_end = 1;
+  EXPECT_FALSE(SliceSpace(space, outside).ok());
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,219 @@
+#include "core/sharded_sweep.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "testing/map_expect.h"
+#include "testing/test_env.h"
+
+namespace robustmap {
+namespace {
+
+using ::robustmap::testing::ExpectMapsBitIdentical;
+using ::robustmap::testing::ProcEnv;
+
+std::vector<PlanKind> StudySubset() {
+  return {PlanKind::kTableScan, PlanKind::kIndexAImproved,
+          PlanKind::kMergeJoinAB, PlanKind::kMdamAB};
+}
+
+ParameterSpace SmallGrid() {
+  return ParameterSpace::TwoD(Axis::Selectivity("a", -5, 0),
+                              Axis::Selectivity("b", -5, 0));
+}
+
+/// A unique checkpoint directory per test case, so resume state never
+/// bleeds between tests (or between repeated runs of one test binary).
+std::string FreshTileDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/sharded_" + name + "_" +
+                    std::to_string(::getpid());
+  for (size_t id = 0; id < 64; ++id) {
+    std::remove((dir + "/" + TileFileName(id)).c_str());
+  }
+  return dir;
+}
+
+TEST(RunShardedSweepTest, MergedMapBitIdenticalAcrossWorkerCounts) {
+  ProcEnv env;
+  Executor executor(env.db());
+  ParameterSpace space = SmallGrid();
+
+  SweepOptions serial;
+  serial.num_threads = 1;
+  auto reference =
+      SweepStudyPlans(env.ctx(), executor, StudySubset(), space, serial)
+          .ValueOrDie();
+
+  for (unsigned workers : {1u, 2u, 8u}) {
+    ShardedSweepOptions opts;
+    opts.tile_dir =
+        FreshTileDir("workers" + std::to_string(workers));
+    opts.num_workers = workers;
+    ShardedSweepStats stats;
+    auto merged = RunShardedSweep(env.ctx(), executor, StudySubset(), space,
+                                  opts, &stats)
+                      .ValueOrDie();
+    SCOPED_TRACE(std::to_string(workers) + " workers");
+    EXPECT_EQ(stats.tiles_total, stats.tiles_computed);
+    EXPECT_EQ(stats.tiles_reused, 0u);
+    ExpectMapsBitIdentical(reference, merged);
+  }
+}
+
+TEST(RunShardedSweepTest, MoreTilesThanWorkersStillMergesExactly) {
+  ProcEnv env;
+  Executor executor(env.db());
+  ParameterSpace space = SmallGrid();
+  SweepOptions serial;
+  serial.num_threads = 1;
+  auto reference =
+      SweepStudyPlans(env.ctx(), executor, StudySubset(), space, serial)
+          .ValueOrDie();
+
+  ShardedSweepOptions opts;
+  opts.tile_dir = FreshTileDir("finetiles");
+  opts.num_workers = 3;
+  opts.num_tiles = 11;  // deliberately not a multiple of the worker count
+  ShardedSweepStats stats;
+  auto merged = RunShardedSweep(env.ctx(), executor, StudySubset(), space,
+                                opts, &stats)
+                    .ValueOrDie();
+  EXPECT_GT(stats.tiles_total, 3u);
+  ExpectMapsBitIdentical(reference, merged);
+}
+
+TEST(RunShardedSweepTest, ResumeReusesAllValidTiles) {
+  ProcEnv env;
+  Executor executor(env.db());
+  ParameterSpace space = SmallGrid();
+  ShardedSweepOptions opts;
+  opts.tile_dir = FreshTileDir("resume");
+  opts.num_workers = 4;
+
+  ShardedSweepStats first;
+  auto map1 = RunShardedSweep(env.ctx(), executor, StudySubset(), space,
+                              opts, &first)
+                  .ValueOrDie();
+  EXPECT_EQ(first.tiles_computed, first.tiles_total);
+
+  ShardedSweepStats second;
+  auto map2 = RunShardedSweep(env.ctx(), executor, StudySubset(), space,
+                              opts, &second)
+                  .ValueOrDie();
+  EXPECT_EQ(second.tiles_computed, 0u);
+  EXPECT_EQ(second.tiles_reused, second.tiles_total);
+  EXPECT_EQ(second.workers_spawned, 0u);
+  ExpectMapsBitIdentical(map1, map2);
+}
+
+TEST(RunShardedSweepTest, ResumeRecomputesOnlyMissingAndCorruptTiles) {
+  ProcEnv env;
+  Executor executor(env.db());
+  ParameterSpace space = SmallGrid();
+  ShardedSweepOptions opts;
+  opts.tile_dir = FreshTileDir("heal");
+  opts.num_workers = 4;
+
+  auto map1 =
+      RunShardedSweep(env.ctx(), executor, StudySubset(), space, opts)
+          .ValueOrDie();
+
+  // Kill one checkpoint outright and damage a second in place.
+  ASSERT_EQ(std::remove((opts.tile_dir + "/" + TileFileName(0)).c_str()), 0);
+  {
+    std::fstream f(opts.tile_dir + "/" + TileFileName(2),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(0, std::ios::end);
+    auto size = static_cast<long>(f.tellg());
+    f.seekg(size / 2);
+    const int byte = f.get();
+    f.seekp(size / 2);
+    f.put(static_cast<char>(byte ^ 0x01));
+  }
+
+  ShardedSweepStats stats;
+  auto map2 = RunShardedSweep(env.ctx(), executor, StudySubset(), space,
+                              opts, &stats)
+                  .ValueOrDie();
+  EXPECT_EQ(stats.tiles_computed, 2u);
+  EXPECT_EQ(stats.tiles_reused, stats.tiles_total - 2);
+  ExpectMapsBitIdentical(map1, map2);
+}
+
+TEST(RunShardedSweepTest, ResumeRejectsTilesFromADifferentConfiguration) {
+  ProcEnv env;
+  Executor executor(env.db());
+  ParameterSpace space = SmallGrid();
+  ShardedSweepOptions opts;
+  opts.tile_dir = FreshTileDir("reconfig");
+  opts.num_workers = 2;
+  auto coarse =
+      RunShardedSweep(env.ctx(), executor, StudySubset(), space, opts)
+          .ValueOrDie();
+
+  // Same directory, finer grid: every stale tile describes the old grid
+  // and must be recomputed, not merged.
+  ParameterSpace fine = ParameterSpace::TwoD(
+      Axis::SelectivityFine("a", -5, 0, 2), Axis::SelectivityFine("b", -5, 0, 2));
+  ShardedSweepStats stats;
+  auto fine_map = RunShardedSweep(env.ctx(), executor, StudySubset(), fine,
+                                  opts, &stats)
+                      .ValueOrDie();
+  EXPECT_EQ(stats.tiles_computed, stats.tiles_total);
+  EXPECT_EQ(stats.tiles_reused, 0u);
+
+  SweepOptions serial;
+  serial.num_threads = 1;
+  auto reference =
+      SweepStudyPlans(env.ctx(), executor, StudySubset(), fine, serial)
+          .ValueOrDie();
+  ExpectMapsBitIdentical(reference, fine_map);
+}
+
+TEST(RunShardedSweepTest, WorkerFailurePropagatesItsStatusMessage) {
+  ProcEnv env;
+  StudyDb db = env.db();
+  db.idx_ab = nullptr;  // kMdamAB needs idx(a,b): workers must fail
+  Executor executor(db);
+  ShardedSweepOptions opts;
+  opts.tile_dir = FreshTileDir("failure");
+  opts.num_workers = 2;
+  auto result = RunShardedSweep(env.ctx(), executor,
+                                {PlanKind::kTableScan, PlanKind::kMdamAB},
+                                SmallGrid(), opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+  // The child's own Status must cross the process boundary via the err
+  // file, not collapse into a bare exit code.
+  EXPECT_NE(result.status().message().find("sweep worker for tile"),
+            std::string::npos);
+  EXPECT_NE(result.status().message().find("InvalidArgument"),
+            std::string::npos);
+}
+
+TEST(RunShardedSweepTest, RejectsOrderDependentWarmupAndMissingDir) {
+  ProcEnv env;
+  Executor executor(env.db());
+  ShardedSweepOptions opts;
+  opts.tile_dir = FreshTileDir("warmup");
+  env.ctx()->warmup = WarmupPolicy::PriorRun();
+  auto r = RunShardedSweep(env.ctx(), executor, StudySubset(), SmallGrid(),
+                           opts);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  env.ctx()->warmup = WarmupPolicy::Cold();
+
+  ShardedSweepOptions no_dir;
+  EXPECT_TRUE(RunShardedSweep(env.ctx(), executor, StudySubset(),
+                              SmallGrid(), no_dir)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -4,11 +4,13 @@
 #include <vector>
 
 #include "core/sweep.h"
+#include "testing/map_expect.h"
 #include "testing/test_env.h"
 
 namespace robustmap {
 namespace {
 
+using ::robustmap::testing::ExpectMapsBitIdentical;
 using ::robustmap::testing::ProcEnv;
 
 std::vector<PlanKind> StudyPlans() {
@@ -18,21 +20,6 @@ std::vector<PlanKind> StudyPlans() {
 ParameterSpace SmallSpace() {
   return ParameterSpace::TwoD(Axis::Selectivity("a", -4, 0),
                               Axis::Selectivity("b", -4, 0));
-}
-
-void ExpectMapsBitIdentical(const RobustnessMap& a, const RobustnessMap& b) {
-  ASSERT_EQ(a.num_plans(), b.num_plans());
-  ASSERT_EQ(a.space().num_points(), b.space().num_points());
-  for (size_t plan = 0; plan < a.num_plans(); ++plan) {
-    for (size_t pt = 0; pt < a.space().num_points(); ++pt) {
-      const Measurement& ma = a.At(plan, pt);
-      const Measurement& mb = b.At(plan, pt);
-      EXPECT_EQ(ma.seconds, mb.seconds) << a.plan_label(plan) << " pt " << pt;
-      EXPECT_EQ(ma.output_rows, mb.output_rows);
-      EXPECT_EQ(ma.io.buffer_hits, mb.io.buffer_hits);
-      EXPECT_EQ(ma.io.total_reads(), mb.io.total_reads());
-    }
-  }
 }
 
 TEST(RunWarmColdSweepTest, ProducesConsistentDeltaAndRestoresPolicy) {

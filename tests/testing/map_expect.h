@@ -1,0 +1,44 @@
+#ifndef ROBUSTMAP_TESTS_TESTING_MAP_EXPECT_H_
+#define ROBUSTMAP_TESTS_TESTING_MAP_EXPECT_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/robustness_map.h"
+
+namespace robustmap::testing {
+
+/// Asserts two maps agree on shape, plan labels, and *every* field of
+/// every cell — the determinism contract parallel, sharded, and serialized
+/// maps all promise. Exact equality, never near-equality; one definition
+/// shared by all map tests so no suite's notion of "bit-identical" can
+/// quietly weaken.
+inline void ExpectMapsBitIdentical(const RobustnessMap& a,
+                                   const RobustnessMap& b) {
+  ASSERT_EQ(a.num_plans(), b.num_plans());
+  ASSERT_TRUE(a.space() == b.space());
+  ASSERT_EQ(a.space().num_points(), b.space().num_points());
+  for (size_t plan = 0; plan < a.num_plans(); ++plan) {
+    EXPECT_EQ(a.plan_label(plan), b.plan_label(plan));
+    for (size_t pt = 0; pt < a.space().num_points(); ++pt) {
+      const Measurement& ma = a.At(plan, pt);
+      const Measurement& mb = b.At(plan, pt);
+      SCOPED_TRACE(a.plan_label(plan) + " point " + std::to_string(pt));
+      EXPECT_EQ(ma.seconds, mb.seconds);
+      EXPECT_EQ(ma.output_rows, mb.output_rows);
+      EXPECT_EQ(ma.io.sequential_reads, mb.io.sequential_reads);
+      EXPECT_EQ(ma.io.skip_reads, mb.io.skip_reads);
+      EXPECT_EQ(ma.io.random_reads, mb.io.random_reads);
+      EXPECT_EQ(ma.io.writes, mb.io.writes);
+      EXPECT_EQ(ma.io.buffer_hits, mb.io.buffer_hits);
+      EXPECT_EQ(ma.io.bytes_read, mb.io.bytes_read);
+      EXPECT_EQ(ma.io.bytes_written, mb.io.bytes_written);
+      EXPECT_EQ(ma.plan_label, mb.plan_label);
+    }
+  }
+}
+
+}  // namespace robustmap::testing
+
+#endif  // ROBUSTMAP_TESTS_TESTING_MAP_EXPECT_H_
