@@ -51,6 +51,15 @@ BenchScale ResolveScale(int default_row_bits, int default_min_log2) {
   s.num_threads =
       static_cast<unsigned>(EnvInt("REPRO_THREADS", 0, 0, 256));
   s.num_shards = static_cast<unsigned>(EnvInt("REPRO_SHARDS", 0, 0, 256));
+  if (const char* raw = std::getenv("REPRO_COST_MODEL");
+      raw != nullptr && raw[0] != '\0') {
+    if (auto kind = CostModelKindFromString(raw); kind.ok()) {
+      s.cost_model = kind.value();
+    } else {
+      std::fprintf(stderr, "REPRO_COST_MODEL=%s ignored (%s)\n", raw,
+                   kind.status().message().c_str());
+    }
+  }
   s.verbose = EnvFlag("REPRO_VERBOSE");
   return s;
 }

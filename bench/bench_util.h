@@ -8,6 +8,7 @@
 
 #include "core/robustness_map.h"
 #include "core/sweep.h"
+#include "core/sweep_cost.h"
 #include "workload/dataset.h"
 
 namespace robustmap::bench {
@@ -31,6 +32,10 @@ bool EnvFlag(const char* name);
 ///   REPRO_SHARDS    — worker *processes* for sharded sweeps (default 0 =
 ///                     driver-specific; maps are bit-identical at any
 ///                     setting).
+///   REPRO_COST_MODEL — sharded-sweep scheduling model: "uniform",
+///                     "analytic" (default), or "measured" (reschedule
+///                     from per-tile wall times found in the tile
+///                     directory); maps are bit-identical at any setting.
 ///   REPRO_VERBOSE=1 — per-plan / percent sweep progress on stderr.
 struct BenchScale {
   int row_bits;
@@ -38,6 +43,7 @@ struct BenchScale {
   int grid_min_log2;  ///< selectivity grid lower bound (e.g. -16)
   unsigned num_threads = 0;
   unsigned num_shards = 0;
+  CostModelKind cost_model = CostModelKind::kAnalytic;
   bool verbose = false;
 };
 

@@ -8,11 +8,16 @@
 //     sweep of the same grid, whatever the worker count;
 //   * a resumed sweep recomputes nothing when all tiles are valid;
 //   * after deleting one tile and corrupting another, resume recomputes
-//     exactly those two and still merges the identical map.
+//     exactly those two and still merges the identical map;
+//   * uniform, analytic, and measured cost models all merge the identical
+//     map — scheduling is allowed to move tile boundaries, never values —
+//     and the measured model picks up the wall times the previous run
+//     stamped into its tiles.
 //
 // Exits non-zero on any failed check — ready for CI.
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -86,8 +91,11 @@ int main() {
                                   opts, &stats)
                       .ValueOrDie();
     double wall = WallSecondsSince(start);
-    std::printf("%u worker process(es): %zu tiles, %.2fs (%.2fx)\n", workers,
-                stats.tiles_total, wall, wall > 0 ? serial_wall / wall : 0.0);
+    std::printf("%u worker process(es): %zu tiles, %.2fs (%.2fx, "
+                "balance %.2f)\n",
+                workers, stats.tiles_total, wall,
+                wall > 0 ? serial_wall / wall : 0.0,
+                stats.busy_balance_ratio());
     Check(MapsBitIdentical(serial, merged),
           ("merged map == serial map, " + std::to_string(workers) +
            " worker(s)")
@@ -132,6 +140,70 @@ int main() {
           "tiles recomputed (1 deleted + 1 corrupted)");
     Check(MapsBitIdentical(serial, resumed), "resumed map still == serial",
           1, "checkpoint damage is fully healed");
+  }
+
+  // Cost models: scheduling may reshape and reorder tiles, but never the
+  // map. Uniform tiles (the pre-cost-layer planner) and a measured-cost
+  // re-balance (fed by the wall times the analytic run above left in its
+  // tiles) must both merge the same bytes.
+  {
+    ShardedSweepOptions uopts;
+    uopts.tile_dir = OutDir() + "/fig_sharded_uniform";
+    uopts.num_workers = 8;
+    uopts.resume = false;
+    uopts.verbose = scale.verbose;
+    uopts.cost_model = CostModelKind::kUniform;
+    ShardedSweepStats ustats;
+    auto uniform = RunShardedSweep(env->ctx(), env->executor(), plans, space,
+                                   uopts, &ustats)
+                       .ValueOrDie();
+    Check(MapsBitIdentical(serial, uniform),
+          "uniform cost model merges == serial", ustats.busy_balance_ratio(),
+          "balance ratio (slowest/mean worker)");
+
+    // The measured-feedback contract, checked at its root: every tile the
+    // analytic run left behind must carry a positive wall time (if
+    // stamping silently regressed, MeasuredCostModelFromDir would fall
+    // back to the analytic prior and a weaker check would still pass).
+    size_t timed_tiles = 0;
+    double wall_sum = 0;
+    for (size_t id = 0; id < last_tiles; ++id) {
+      auto tile = ReadMapTileFile(last_dir + "/" + TileFileName(id));
+      if (tile.ok() && tile.value().wall_seconds > 0) {
+        ++timed_tiles;
+        wall_sum += tile.value().wall_seconds;
+      }
+    }
+    Check(timed_tiles == last_tiles,
+          "every computed tile carries its wall time",
+          static_cast<double>(timed_tiles), "timed tiles (v2 metadata)");
+
+    auto measured_model =
+        MeasuredCostModelFromDir(last_dir, space).ValueOrDie();
+    ShardedSweepOptions mopts;
+    mopts.tile_dir = last_dir;
+    mopts.num_workers = 8;
+    mopts.resume = false;  // measured boundaries differ; this is a re-balance
+    mopts.verbose = scale.verbose;
+    mopts.cost_model = CostModelKind::kMeasured;
+    ShardedSweepStats mstats;
+    auto measured = RunShardedSweep(env->ctx(), env->executor(), plans, space,
+                                    mopts, &mstats)
+                        .ValueOrDie();
+    Check(MapsBitIdentical(serial, measured),
+          "measured cost model merges == serial",
+          mstats.busy_balance_ratio(),
+          "balance ratio (slowest/mean worker)");
+    // With every tile timed above, the measured model is genuinely built
+    // from observations: its total is the tiles' summed wall seconds (as
+    // counted before the rerun overwrote them), not the analytic prior's
+    // unit-scale weights — a silent fallback-to-prior cannot sneak
+    // through.
+    Check(wall_sum > 0 &&
+              std::abs(measured_model.TotalCost() - wall_sum) <
+                  1e-6 * wall_sum,
+          "measured model rebuilt from prior run's tile timings",
+          measured_model.TotalCost(), "summed measured seconds");
   }
 
   ExportMap("fig_sharded_sweep", serial);

@@ -1,0 +1,192 @@
+// map_cat — make binary .rmt tile and merged-map files self-serving: print
+// what a file contains, render it as an ASCII heatmap, or convert it to the
+// same CSV the figure benches export, without re-running any sweep.
+//
+// Usage:
+//   map_cat [--info] FILE...        # header summary (default)
+//   map_cat --ascii [--plan=K] FILE...   # terminal heatmap / curve table
+//   map_cat --csv FILE...           # CSV on stdout (all files concatenated)
+//   map_cat --selftest              # write+read+render round trip, exit 0/1
+//
+// Reads any tile format version this build's reader accepts (v1 files
+// simply have no wall-time metadata). Errors name the failing file and are
+// distinct for truncation/corruption vs. unknown version, exactly as the
+// library reports them.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/color_scale.h"
+#include "core/map_io.h"
+#include "shard_cli.h"
+#include "viz/ascii_heatmap.h"
+#include "viz/csv_export.h"
+
+using namespace robustmap;
+using namespace robustmap::bench;
+
+namespace {
+
+void PrintInfo(const std::string& path, const MapTile& tile) {
+  const ParameterSpace& parent = tile.parent_space;
+  std::printf("%s:\n", path.c_str());
+  std::printf("  parent grid : %zux%zu (%s x %s)\n", parent.x_size(),
+              parent.y_size(), parent.x().name.c_str(),
+              parent.is_2d() ? parent.y().name.c_str() : "-");
+  std::printf("  tile        : id %zu, cells [%zu,%zu)x[%zu,%zu) = %zu "
+              "points\n",
+              tile.spec.shard_id, tile.spec.x_begin, tile.spec.x_end,
+              tile.spec.y_begin, tile.spec.y_end, tile.spec.num_points());
+  std::printf("  wall time   : %s\n",
+              tile.wall_seconds > 0
+                  ? (std::to_string(tile.wall_seconds) + " s").c_str()
+                  : "(unrecorded)");
+  std::printf("  plans (%zu)  :", tile.map.num_plans());
+  for (const std::string& label : tile.map.plan_labels()) {
+    std::printf(" %s", label.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintAscii(const MapTile& tile, int only_plan) {
+  if (!tile.map.space().is_2d()) {
+    PrintCurveTable(tile.map);
+    return;
+  }
+  const ColorScale scale = ColorScale::AbsoluteSeconds();
+  for (size_t pl = 0; pl < tile.map.num_plans(); ++pl) {
+    if (only_plan >= 0 && pl != static_cast<size_t>(only_plan)) continue;
+    HeatmapOptions hopts;
+    hopts.title = tile.map.plan_label(pl);
+    std::printf("%s", RenderHeatmap(tile.map.space(),
+                                    tile.map.SecondsOfPlan(pl), scale, hopts)
+                          .c_str());
+  }
+}
+
+/// The round-trip smoke test ctest runs: a synthetic sub-rectangle tile
+/// with every field populated must write, read back bit-identically
+/// (including the v2 wall-time metadata), convert to identical CSV, and
+/// render a non-empty heatmap.
+int SelfTest() {
+  ParameterSpace space = ParameterSpace::TwoD(
+      Axis::Selectivity("sel(a)", -4, 0), Axis::Selectivity("sel(b)", -3, 0));
+  TileSpec spec;
+  spec.shard_id = 3;
+  spec.x_begin = 1;
+  spec.x_end = 4;
+  spec.y_begin = 0;
+  spec.y_end = 3;
+  ParameterSpace sub = SliceSpace(space, spec).ValueOrDie();
+  RobustnessMap map(sub, {"scan", "idx.a"});
+  for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+    for (size_t pt = 0; pt < sub.num_points(); ++pt) {
+      Measurement m;
+      m.seconds = 0.001 * static_cast<double>(pl * 100 + pt + 1);
+      m.output_rows = pl * 10 + pt;
+      m.io.sequential_reads = pt;
+      m.plan_label = map.plan_label(pl);
+      map.Set(pl, pt, std::move(m));
+    }
+  }
+  MapTile tile{spec, space, std::move(map), 1.25};
+
+  const std::string path = OutDir() + "/map_cat_selftest.rmt";
+  if (Status s = WriteMapTileFile(path, tile); !s.ok()) {
+    std::fprintf(stderr, "selftest: write failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  auto back = ReadMapTileFile(path);
+  if (!back.ok()) {
+    std::fprintf(stderr, "selftest: read failed: %s\n",
+                 back.status().ToString().c_str());
+    return 1;
+  }
+  if (!MapsBitIdentical(tile.map, back.value().map) ||
+      back.value().wall_seconds != tile.wall_seconds ||
+      !(back.value().spec == tile.spec)) {
+    std::fprintf(stderr, "selftest: round trip not bit-identical\n");
+    return 1;
+  }
+  std::ostringstream original, roundtrip;
+  WriteMapCsv(original, tile.map);
+  WriteMapCsv(roundtrip, back.value().map);
+  if (original.str() != roundtrip.str() || original.str().empty()) {
+    std::fprintf(stderr, "selftest: CSV conversion differs after round "
+                         "trip\n");
+    return 1;
+  }
+  HeatmapOptions hopts;
+  if (RenderHeatmap(back.value().map.space(),
+                    back.value().map.SecondsOfPlan(0),
+                    ColorScale::AbsoluteSeconds(), hopts)
+          .empty()) {
+    std::fprintf(stderr, "selftest: empty heatmap render\n");
+    return 1;
+  }
+  std::remove(path.c_str());
+  std::printf("map_cat selftest: write/read/csv/ascii round trip OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kInfo, kAscii, kCsv } mode = Mode::kInfo;
+  int only_plan = -1;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--info") {
+      mode = Mode::kInfo;
+    } else if (arg == "--ascii") {
+      mode = Mode::kAscii;
+    } else if (arg == "--csv") {
+      mode = Mode::kCsv;
+    } else if (arg == "--selftest") {
+      return SelfTest();
+    } else if (ParseIntFlag(arg, "plan", &only_plan)) {
+      // rendered plan index for --ascii
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "map_cat: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: map_cat [--info|--ascii|--csv] [--plan=K] "
+                 "FILE.rmt...\n       map_cat --selftest\n");
+    return 2;
+  }
+
+  for (const std::string& path : files) {
+    auto tile = ReadMapTileFile(path);
+    if (!tile.ok()) {
+      std::fprintf(stderr, "map_cat: %s\n",
+                   tile.status().ToString().c_str());
+      return 1;
+    }
+    switch (mode) {
+      case Mode::kInfo:
+        PrintInfo(path, tile.value());
+        break;
+      case Mode::kAscii:
+        PrintInfo(path, tile.value());
+        PrintAscii(tile.value(), only_plan);
+        break;
+      case Mode::kCsv: {
+        std::ostringstream os;
+        WriteMapCsv(os, tile.value().map);
+        std::fputs(os.str().c_str(), stdout);
+        break;
+      }
+    }
+  }
+  return 0;
+}

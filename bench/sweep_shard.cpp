@@ -9,14 +9,18 @@
 //   sweep_shard [--row-bits=16] [--min-log2=-8] [--steps-per-octave=1]
 //               [--plans=all|smoke] [--workers=N] [--tiles=T]
 //               [--threads-per-worker=1] [--out-dir=shard_out]
+//               [--cost-model=uniform|analytic|measured]
 //               [--worker=PATH]   # sweep_worker binary (default: next to me)
 //               [--fork]          # forked in-process workers, no exec
 //               [--serial]        # single-process reference sweep
 //               [--no-resume] [--verbose]
 //
 // Writes DIR/tile_NNNN.rmt checkpoints plus DIR/merged.rmt and
-// DIR/merged.csv. The REPRO_SHARDS env knob supplies --workers when the
-// flag is absent.
+// DIR/merged.csv. The REPRO_SHARDS env knob supplies --workers and
+// REPRO_COST_MODEL supplies --cost-model when the flags are absent.
+// --cost-model=measured reschedules from the wall times stamped into the
+// tile files of a previous run against the same --out-dir (combine with
+// --no-resume: moving tile boundaries invalidates old checkpoints anyway).
 
 #include <chrono>
 #include <cstdio>
@@ -72,12 +76,16 @@ int main(int argc, char** argv) {
   bool verbose = EnvFlag("REPRO_VERBOSE");
   std::string out_dir = "shard_out";
   std::string worker_path = DefaultWorkerPath(argv[0]);
+  const char* env_model = std::getenv("REPRO_COST_MODEL");
+  std::string cost_model_name =
+      env_model != nullptr && env_model[0] != '\0' ? env_model : "analytic";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (ParseGridFlag(arg, &grid) || ParseIntFlag(arg, "workers", &workers) ||
         ParseIntFlag(arg, "tiles", &tiles) ||
         ParseIntFlag(arg, "threads-per-worker", &threads_per_worker) ||
         ParseFlag(arg, "out-dir", &out_dir) ||
+        ParseFlag(arg, "cost-model", &cost_model_name) ||
         ParseFlag(arg, "worker", &worker_path)) {
       continue;
     }
@@ -95,6 +103,12 @@ int main(int argc, char** argv) {
     }
   }
   if (workers == 0) workers = EnvInt("REPRO_SHARDS", 0, 0, 256);
+  auto cost_model = CostModelKindFromString(cost_model_name);
+  if (!cost_model.ok()) {
+    std::fprintf(stderr, "sweep_shard: %s\n",
+                 cost_model.status().message().c_str());
+    return 2;
+  }
 
   std::vector<PlanKind> plans = GridPlans(grid);
   if (plans.empty()) {
@@ -144,9 +158,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned>(threads_per_worker < 1 ? 1 : threads_per_worker);
   opts.resume = resume;
   opts.verbose = verbose;
+  opts.cost_model = cost_model.value();
   if (!use_fork) {
-    // RunShardedSweep itself appends --tiles/--tile/--out, so the resolved
-    // partition is always the coordinator's own.
+    // RunShardedSweep itself appends --tiles/--tile/--rect/--out, so the
+    // resolved partition is always the coordinator's own.
     opts.worker_command = {worker_path};
     for (std::string& flag : GridArgs(grid)) {
       opts.worker_command.push_back(std::move(flag));
@@ -182,9 +197,10 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "sharded sweep: tiles=%zu reused=%zu computed=%zu workers=%u "
-      "mode=%s wall=%.2fs -> %s/merged.rmt\n",
+      "mode=%s cost-model=%s balance=%.2f wall=%.2fs -> %s/merged.rmt\n",
       stats.tiles_total, stats.tiles_reused, stats.tiles_computed,
       stats.workers_spawned, use_fork ? "fork" : "exec",
+      CostModelKindName(opts.cost_model), stats.busy_balance_ratio(),
       WallSecondsSince(start), out_dir.c_str());
   return 0;
 }

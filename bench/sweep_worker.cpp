@@ -1,19 +1,29 @@
 // One worker of a sharded sweep: rebuilds the study environment from its
 // flags, computes exactly one grid tile, and writes it as a checkpointed
-// binary tile file. Normally spawned by `sweep_shard` (which appends
-// --tile/--out to its own grid flags), but equally runnable by hand or from
-// a cluster scheduler — a tile file is self-describing, so tiles computed
-// anywhere merge as long as the grid flags match.
+// binary tile file (v2 — carrying the sweep's wall time, the cost feedback
+// later coordinator runs reschedule from). Normally spawned by
+// `sweep_shard` (which appends --tile/--rect/--out to its own grid flags),
+// but equally runnable by hand or from a cluster scheduler — a tile file is
+// self-describing, so tiles computed anywhere merge as long as the grid
+// flags match.
 //
 // Usage:
 //   sweep_worker --tiles=N --tile=K --out=PATH
+//                [--rect=X0:X1:Y0:Y1]
 //                [--row-bits=16] [--min-log2=-8] [--steps-per-octave=1]
 //                [--plans=all|smoke] [--threads=1]
+//
+// With --rect the tile rectangle is taken verbatim (the coordinator's
+// cost-weighted cuts depend on its model, so the exact boundaries are part
+// of the contract); without it the worker re-derives tile K of the uniform
+// N-way partition, the pre-cost-model contract, still honored so old
+// driver scripts keep working.
 //
 // On failure, writes the error to PATH.err (the coordinator reads it back)
 // and exits non-zero.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -32,6 +42,29 @@ int Fail(const std::string& out, const Status& s) {
   return 1;
 }
 
+/// "X0:X1:Y0:Y1" (grid indices, half-open) into the four rectangle fields.
+bool ParseRect(const std::string& raw, TileSpec* spec) {
+  size_t* fields[4] = {&spec->x_begin, &spec->x_end, &spec->y_begin,
+                       &spec->y_end};
+  size_t pos = 0;
+  for (int f = 0; f < 4; ++f) {
+    const size_t colon = raw.find(':', pos);
+    const std::string part = raw.substr(
+        pos, colon == std::string::npos ? std::string::npos : colon - pos);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(part.c_str(), &end, 10);
+    if (part.empty() || end == part.c_str() || *end != '\0') return false;
+    *fields[f] = static_cast<size_t>(v);
+    if (f < 3) {
+      if (colon == std::string::npos) return false;
+      pos = colon + 1;
+    } else if (colon != std::string::npos) {
+      return false;  // trailing fifth field
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -40,12 +73,13 @@ int main(int argc, char** argv) {
   int tile_id = -1;
   int threads = 1;
   std::string out;
+  std::string rect;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (ParseGridFlag(arg, &grid) || ParseIntFlag(arg, "tiles", &tiles) ||
         ParseIntFlag(arg, "tile", &tile_id) ||
         ParseIntFlag(arg, "threads", &threads) ||
-        ParseFlag(arg, "out", &out)) {
+        ParseFlag(arg, "out", &out) || ParseFlag(arg, "rect", &rect)) {
       continue;
     }
     std::fprintf(stderr, "sweep_worker: unknown flag %s\n", arg.c_str());
@@ -54,8 +88,9 @@ int main(int argc, char** argv) {
   if (tiles <= 0 || tile_id < 0 || out.empty()) {
     std::fprintf(stderr,
                  "usage: sweep_worker --tiles=N --tile=K --out=PATH "
-                 "[--row-bits=..] [--min-log2=..] [--steps-per-octave=..] "
-                 "[--plans=all|smoke] [--threads=..]\n");
+                 "[--rect=X0:X1:Y0:Y1] [--row-bits=..] [--min-log2=..] "
+                 "[--steps-per-octave=..] [--plans=all|smoke] "
+                 "[--threads=..]\n");
     return 2;
   }
   std::vector<PlanKind> plans = GridPlans(grid);
@@ -65,27 +100,44 @@ int main(int argc, char** argv) {
   }
 
   ParameterSpace space = MakeGridSpace(grid);
-  auto tile_plan = ShardPlanner::Partition(space, static_cast<size_t>(tiles));
-  if (!tile_plan.ok()) return Fail(out, tile_plan.status());
-  const TileSpec* spec = nullptr;
-  for (const TileSpec& t : tile_plan.value()) {
-    if (t.shard_id == static_cast<size_t>(tile_id)) spec = &t;
+  TileSpec spec;
+  spec.shard_id = static_cast<size_t>(tile_id);
+  if (!rect.empty()) {
+    // The coordinator's exact (possibly cost-weighted) cuts; SliceSpace
+    // validation below rejects a rectangle that doesn't fit this grid.
+    if (!ParseRect(rect, &spec)) {
+      return Fail(out, Status::InvalidArgument(
+                           "--rect=" + rect +
+                           " is not X0:X1:Y0:Y1 grid indices"));
+    }
+  } else {
+    auto tile_plan =
+        ShardPlanner::Partition(space, static_cast<size_t>(tiles));
+    if (!tile_plan.ok()) return Fail(out, tile_plan.status());
+    const TileSpec* found = nullptr;
+    for (const TileSpec& t : tile_plan.value()) {
+      if (t.shard_id == static_cast<size_t>(tile_id)) found = &t;
+    }
+    if (found == nullptr) {
+      return Fail(out, Status::InvalidArgument(
+                           "tile " + std::to_string(tile_id) +
+                           " does not exist in a " + std::to_string(tiles) +
+                           "-way partition of this grid"));
+    }
+    spec = *found;
   }
-  if (spec == nullptr) {
-    return Fail(out, Status::InvalidArgument(
-                         "tile " + std::to_string(tile_id) +
-                         " does not exist in a " + std::to_string(tiles) +
-                         "-way partition of this grid"));
+  if (auto sub = SliceSpace(space, spec); !sub.ok()) {
+    return Fail(out, sub.status());
   }
 
   auto env = MakeGridEnvironment(grid);
   SweepOptions opts;
   opts.num_threads = static_cast<unsigned>(threads < 1 ? 1 : threads);
   Status s = ComputeAndWriteTile(env->ctx(), env->executor(), plans, space,
-                                 *spec, out, opts);
+                                 spec, out, opts);
   if (!s.ok()) return Fail(out, s);
   std::printf("sweep_worker: tile %d/%d (%zux%zu cells x %zu plans) -> %s\n",
-              tile_id, tiles, spec->x_size(), spec->y_size(), plans.size(),
+              tile_id, tiles, spec.x_size(), spec.y_size(), plans.size(),
               out.c_str());
   return 0;
 }

@@ -184,6 +184,7 @@ Status WriteMapTile(std::ostream& os, const MapTile& tile) {
   std::string buf;
   buf.append(kMagic, kMagicSize);
   PutU32(&buf, kMapTileFormatVersion);
+  PutDouble(&buf, tile.wall_seconds);
   PutU64(&buf, tile.spec.shard_id);
   PutU64(&buf, tile.spec.x_begin);
   PutU64(&buf, tile.spec.x_end);
@@ -252,10 +253,12 @@ Result<MapTile> ReadMapTile(std::istream& is) {
   Cursor header(buf.data() + kVersionOffset, buf.size() - kVersionOffset);
   uint32_t version = 0;
   RM_RETURN_IF_ERROR(header.GetU32(&version));
-  if (version != kMapTileFormatVersion) {
+  if (version < kMinReadableMapTileFormatVersion ||
+      version > kMapTileFormatVersion) {
     return Status::NotSupported(
         "map tile format version " + std::to_string(version) +
-        " (this build reads version " +
+        " (this build reads versions " +
+        std::to_string(kMinReadableMapTileFormatVersion) + ".." +
         std::to_string(kMapTileFormatVersion) + ")");
   }
   const size_t payload_size = buf.size() - kChecksumSize;
@@ -270,6 +273,13 @@ Result<MapTile> ReadMapTile(std::istream& is) {
 
   Cursor c(buf.data() + kVersionOffset + sizeof(uint32_t),
            payload_size - kVersionOffset - sizeof(uint32_t));
+  // v2 carries the tile sweep's wall time right after the version; a v1
+  // file simply has no timing signal, which downstream cost models treat
+  // as "unmeasured", never as an error.
+  double wall_seconds = 0;
+  if (version >= 2) {
+    RM_RETURN_IF_ERROR(c.GetDouble(&wall_seconds));
+  }
   TileSpec spec;
   uint64_t v = 0;
   RM_RETURN_IF_ERROR(c.GetU64(&v));
@@ -335,7 +345,7 @@ Result<MapTile> ReadMapTile(std::istream& is) {
                               std::to_string(c.remaining()) +
                               " trailing bytes past its declared cells");
   }
-  return MapTile{spec, std::move(parent), std::move(map)};
+  return MapTile{spec, std::move(parent), std::move(map), wall_seconds};
 }
 
 Result<MapTile> ReadMapTileFile(const std::string& path) {

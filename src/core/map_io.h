@@ -11,11 +11,19 @@
 
 namespace robustmap {
 
-/// Current version of the binary tile format. Readers reject any other
-/// version outright — the format carries measured data between processes
-/// (and potentially machines), so silent misinterpretation is never an
-/// acceptable failure mode.
-inline constexpr uint32_t kMapTileFormatVersion = 1;
+/// Current version of the binary tile format. Writers always emit this
+/// version; readers additionally accept every older version back to
+/// `kMinReadableMapTileFormatVersion` (missing fields default), and reject
+/// anything else outright — the format carries measured data between
+/// processes (and potentially machines), so silent misinterpretation is
+/// never an acceptable failure mode.
+///
+/// v1: magic, version, spec, axes, labels, cells, checksum.
+/// v2: adds `wall_seconds` (the tile sweep's measured wall time)
+///     immediately after the version field — the per-tile cost feedback
+///     `CostModelKind::kMeasured` reschedules from.
+inline constexpr uint32_t kMapTileFormatVersion = 2;
+inline constexpr uint32_t kMinReadableMapTileFormatVersion = 1;
 
 /// One serialized unit of a sharded sweep: a `RobustnessMap` over a
 /// rectangular slice of a parent grid, together with everything a
@@ -26,11 +34,19 @@ struct MapTile {
   TileSpec spec;
   ParameterSpace parent_space;  ///< the grid the tile is a slice of
   RobustnessMap map;            ///< over SliceSpace(parent_space, spec)
+
+  /// Wall-clock seconds the sweep that produced this tile took; 0 when
+  /// unknown (a v1 file, or an artifact that was merged rather than
+  /// measured). Scheduling metadata only: it never participates in
+  /// bit-identity comparisons of the *map*, and merged/reference artifacts
+  /// write 0 so equal maps still serialize to equal bytes.
+  double wall_seconds = 0;
 };
 
 /// Serializes a tile. The on-disk layout is:
 ///
-///   magic "RMAPTILE" | u32 version | header + axes + labels + cells
+///   magic "RMAPTILE" | u32 version | f64 wall_seconds
+///   | header + axes + labels + cells
 ///   | u64 FNV-1a checksum over everything before it
 ///
 /// All integers little-endian, doubles as IEEE-754 bit patterns, strings

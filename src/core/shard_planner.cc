@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "core/sweep_cost.h"
+
 namespace robustmap {
 
 namespace {
@@ -14,13 +16,60 @@ std::pair<size_t, size_t> Band(size_t size, size_t count, size_t b) {
   return {b * size / count, (b + 1) * size / count};
 }
 
+Status ValidatePartitionRequest(const ParameterSpace& space,
+                                size_t max_tiles) {
+  if (max_tiles == 0) {
+    return Status::InvalidArgument("cannot partition a sweep into 0 tiles");
+  }
+  if (space.num_points() == 0) {
+    return Status::InvalidArgument(
+        "cannot partition an empty grid (an axis has no values)");
+  }
+  return Status::OK();
+}
+
+/// Cuts [0, costs.size()) into `count` contiguous bands whose cumulative
+/// costs are as equal as a prefix walk can make them: boundary b lands at
+/// the first index whose prefix reaches b/count of the total, clamped so
+/// every band keeps at least one element. Returns the count+1 boundary
+/// indices.
+std::vector<size_t> CostCuts(const std::vector<double>& costs, size_t count) {
+  const size_t size = costs.size();
+  double total = 0;
+  for (double c : costs) total += c;
+  std::vector<size_t> cuts(count + 1, 0);
+  cuts[count] = size;
+  double prefix = 0;
+  size_t index = 0;
+  for (size_t b = 1; b < count; ++b) {
+    const double target = total * static_cast<double>(b) /
+                          static_cast<double>(count);
+    // Stop where the boundary is nearest the target: take one more element
+    // only while more than half of it still fits under the target.
+    while (index < size && prefix + costs[index] / 2 < target) {
+      prefix += costs[index];
+      ++index;
+    }
+    // Each band keeps ≥1 element, and every later band must also get one;
+    // keep `prefix` equal to sum(costs[0..index)) while clamping.
+    while (index < cuts[b - 1] + 1) {
+      prefix += costs[index];
+      ++index;
+    }
+    while (index > size - (count - b)) {
+      --index;
+      prefix -= costs[index];
+    }
+    cuts[b] = index;
+  }
+  return cuts;
+}
+
 }  // namespace
 
 Result<std::vector<TileSpec>> ShardPlanner::Partition(
     const ParameterSpace& space, size_t max_tiles) {
-  if (max_tiles == 0) {
-    return Status::InvalidArgument("cannot partition a sweep into 0 tiles");
-  }
+  RM_RETURN_IF_ERROR(ValidatePartitionRequest(space, max_tiles));
   const size_t x_size = space.x_size();
   const size_t y_size = space.y_size();
   // Rows first: a row band keeps cells that are adjacent in the row-major
@@ -40,6 +89,61 @@ Result<std::vector<TileSpec>> ShardPlanner::Partition(
       t.shard_id = by * gx + bx;
       t.x_begin = x0;
       t.x_end = x1;
+      t.y_begin = y0;
+      t.y_end = y1;
+      tiles.push_back(t);
+    }
+  }
+  return tiles;
+}
+
+Result<std::vector<TileSpec>> ShardPlanner::PartitionWeighted(
+    const ParameterSpace& space, size_t max_tiles,
+    const CellCostModel& model) {
+  RM_RETURN_IF_ERROR(ValidatePartitionRequest(space, max_tiles));
+  if (!(model.space() == space)) {
+    return Status::InvalidArgument(
+        "cost model was built over a different grid than the one being "
+        "partitioned");
+  }
+  const size_t x_size = space.x_size();
+  const size_t y_size = space.y_size();
+  // Same tile-grid shape as the uniform partition — only the boundary
+  // placement changes — so a given (space, max_tiles) request yields the
+  // same tile count and the same dense row-major ids under either planner.
+  const size_t gy = std::min(max_tiles, y_size);
+  const size_t gx = std::min(std::max<size_t>(1, max_tiles / gy), x_size);
+
+  std::vector<double> row_costs(y_size, 0.0);
+  for (size_t yi = 0; yi < y_size; ++yi) {
+    for (size_t xi = 0; xi < x_size; ++xi) {
+      row_costs[yi] += model.CellCost(xi, yi);
+    }
+  }
+  const std::vector<size_t> y_cuts = CostCuts(row_costs, gy);
+
+  std::vector<TileSpec> tiles;
+  tiles.reserve(gx * gy);
+  for (size_t by = 0; by < gy; ++by) {
+    const size_t y0 = y_cuts[by];
+    const size_t y1 = y_cuts[by + 1];
+    // x cuts balance the cost *within this band*: a band hugging sel=1 is
+    // cut much finer toward its expensive end than a cheap band is.
+    std::vector<double> col_costs(x_size, 0.0);
+    for (size_t xi = 0; xi < x_size; ++xi) {
+      for (size_t yi = y0; yi < y1; ++yi) {
+        col_costs[xi] += model.CellCost(xi, yi);
+      }
+    }
+    const std::vector<size_t> x_cuts = CostCuts(col_costs, gx);
+    // Snake emission: odd bands run right-to-left, so consecutive tiles in
+    // the returned order are spatially adjacent. Ids stay row-major.
+    for (size_t i = 0; i < gx; ++i) {
+      const size_t bx = (by % 2 == 0) ? i : gx - 1 - i;
+      TileSpec t;
+      t.shard_id = by * gx + bx;
+      t.x_begin = x_cuts[bx];
+      t.x_end = x_cuts[bx + 1];
       t.y_begin = y0;
       t.y_end = y1;
       tiles.push_back(t);

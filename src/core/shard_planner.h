@@ -9,6 +9,8 @@
 
 namespace robustmap {
 
+class CellCostModel;
+
 /// One rectangular tile of a sweep grid: the half-open cell ranges
 /// [x_begin, x_end) × [y_begin, y_end) in *grid indices* of the parent
 /// space. A tile covers every plan over its rectangle — sharding splits the
@@ -39,8 +41,24 @@ class ShardPlanner {
   /// do not divide evenly. Shard ids are assigned row-major over the tile
   /// grid, so the same (space, max_tiles) request always yields the same
   /// tiles with the same ids — the property checkpoint/resume relies on.
+  /// Rejects empty grids (either axis with no values).
   static Result<std::vector<TileSpec>> Partition(const ParameterSpace& space,
                                                  size_t max_tiles);
+
+  /// Cost-balanced partition: the same tile-grid shape (and therefore the
+  /// same tile count) as `Partition`, but band boundaries are placed by
+  /// cumulative cost under `model` instead of by cell count — row bands
+  /// each carry ~1/gy of the total cost, and each band's x cuts carry
+  /// ~1/gx of that band's. Where cost is skewed the expensive corner gets
+  /// geometrically finer tiles, which is what lets equal-cost tiles exist
+  /// at all. Shard ids stay row-major over the tile grid (stable for a
+  /// given space, max_tiles, and model — checkpoint/resume still works),
+  /// but tiles are *emitted* in snake order (alternate bands reversed), so
+  /// consecutive work units stay spatially adjacent. `model` must be built
+  /// over exactly `space`.
+  static Result<std::vector<TileSpec>> PartitionWeighted(
+      const ParameterSpace& space, size_t max_tiles,
+      const CellCostModel& model);
 };
 
 /// The sub-space a tile sweeps: the parent's axes restricted to the tile's

@@ -6,10 +6,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -29,12 +31,22 @@ Result<std::string> ReadErrFile(const std::string& tile_path) {
 /// A checkpoint is reusable only if it parses, its checksum holds, and it
 /// describes exactly the tile the current plan expects — same rectangle,
 /// same parent grid, same plans. Anything else (a tile from an older
-/// configuration, a damaged file) must be recomputed.
-Result<MapTile> LoadValidTile(const std::string& path,
+/// configuration, a damaged file) must be recomputed. A tile the measured
+/// cost-model scan already read and validated is taken from `preloaded`
+/// instead of reading (and checksumming) the file a second time.
+Result<MapTile> LoadValidTile(std::map<std::string, MapTile>* preloaded,
+                              const std::string& path,
                               const TileSpec& expected,
                               const ParameterSpace& space,
                               const std::vector<std::string>& labels) {
-  auto tile = ReadMapTileFile(path);
+  auto tile = [&]() -> Result<MapTile> {
+    if (auto it = preloaded->find(path); it != preloaded->end()) {
+      Result<MapTile> found(std::move(it->second));
+      preloaded->erase(it);
+      return found;
+    }
+    return ReadMapTileFile(path);
+  }();
   RM_RETURN_IF_ERROR(tile.status());
   const MapTile& t = tile.value();
   if (!(t.spec == expected) || !(t.parent_space == space) ||
@@ -83,10 +95,14 @@ Status ComputeAndWriteTile(RunContext* ctx, const Executor& executor,
                            const SweepOptions& sweep_opts) {
   auto sub = SliceSpace(space, tile);
   RM_RETURN_IF_ERROR(sub.status());
+  const auto start = std::chrono::steady_clock::now();
   auto map = SweepStudyPlans(ctx, executor, plans, sub.value(), sweep_opts);
   RM_RETURN_IF_ERROR(map.status());
-  return WriteMapTileFile(path,
-                          MapTile{tile, space, std::move(map).value()});
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return WriteMapTileFile(
+      path, MapTile{tile, space, std::move(map).value(), wall_seconds});
 }
 
 Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
@@ -107,7 +123,36 @@ Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
   const unsigned num_workers = ResolveParallelism(opts.num_workers);
   const size_t num_tiles =
       opts.num_tiles == 0 ? num_workers : opts.num_tiles;
-  auto tiles = ShardPlanner::Partition(space, num_tiles);
+  // The scheduling model. Measured mode scans the checkpoint directory
+  // *before* anything is recomputed, so the partition reflects what the
+  // previous run's tiles actually cost; with no usable timings it degrades
+  // to the analytic prior, never to an error.
+  std::vector<std::pair<std::string, MapTile>> prescanned;
+  auto model = [&]() -> Result<CellCostModel> {
+    switch (opts.cost_model) {
+      case CostModelKind::kUniform:
+        return CellCostModel::Uniform(space);
+      case CostModelKind::kAnalytic:
+        return CellCostModel::Analytic(space);
+      case CostModelKind::kMeasured:
+        // When resuming, keep what the scan read: the checkpoint pass
+        // below can then validate those tiles from memory instead of
+        // reading and checksumming every file twice.
+        return MeasuredCostModelFromDir(opts.tile_dir, space,
+                                        opts.resume ? &prescanned : nullptr);
+    }
+    return Status::InvalidArgument("unknown cost model kind");
+  }();
+  RM_RETURN_IF_ERROR(model.status());
+  std::map<std::string, MapTile> preloaded;
+  for (auto& [path, tile] : prescanned) {
+    preloaded.emplace(path, std::move(tile));
+  }
+  prescanned.clear();
+  auto tiles = opts.cost_model == CostModelKind::kUniform
+                   ? ShardPlanner::Partition(space, num_tiles)
+                   : ShardPlanner::PartitionWeighted(space, num_tiles,
+                                                     model.value());
   RM_RETURN_IF_ERROR(tiles.status());
   RM_RETURN_IF_ERROR(EnsureDirectory(opts.tile_dir));
 
@@ -122,7 +167,7 @@ Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
   for (const TileSpec& t : tiles.value()) {
     const std::string path = opts.tile_dir + "/" + TileFileName(t.shard_id);
     auto tile = opts.resume
-                    ? LoadValidTile(path, t, space, labels)
+                    ? LoadValidTile(&preloaded, path, t, space, labels)
                     : Result<MapTile>(Status::NotFound("resume disabled"));
     if (tile.ok()) {
       loaded.push_back(std::move(tile).value());
@@ -136,6 +181,13 @@ Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
     }
   }
 
+  // Pull-based dispatch: the pending queue is ordered heaviest-first under
+  // the cost model (LPT — the classic makespan heuristic), and every time
+  // a worker slot frees up it pulls the head of the queue. The expensive
+  // corner tiles start immediately; the cheap tail fills in around them
+  // instead of everyone waiting on a monster tile scheduled last.
+  SortTilesHeaviestFirst(&todo, model.value());
+
   ShardedSweepStats local;
   local.tiles_total = tiles.value().size();
   local.tiles_reused = loaded.size();
@@ -143,12 +195,28 @@ Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
   local.workers_spawned =
       static_cast<unsigned>(std::min<size_t>(num_workers, todo.size()));
 
-  // Spawn one subprocess per outstanding tile, at most num_workers in
-  // flight. stdio is flushed first so forked children do not replay the
-  // parent's buffered output.
+  if (opts.verbose && !todo.empty()) {
+    std::fprintf(stderr,
+                 "  shard: %s cost model, %zu pending tiles "
+                 "(heaviest %.3g, lightest %.3g relative cost)\n",
+                 CostModelKindName(opts.cost_model), todo.size(),
+                 model.value().TileCost(todo.front()),
+                 model.value().TileCost(todo.back()));
+  }
+
+  // One subprocess per outstanding tile, at most num_workers in flight.
+  // stdio is flushed first so forked children do not replay the parent's
+  // buffered output. Each in-flight tile occupies a worker *slot*; per-slot
+  // busy time is what the balance metrics report.
   std::fflush(stdout);
   std::fflush(stderr);
-  std::map<pid_t, size_t> running;  // pid -> todo index
+  struct InFlight {
+    size_t todo_index;
+    size_t slot;
+    std::chrono::steady_clock::time_point started;
+  };
+  std::map<pid_t, InFlight> running;
+  std::set<size_t> free_slots;
   std::vector<size_t> failed;
   size_t next = 0;
   size_t computed_done = 0;
@@ -171,9 +239,16 @@ Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
           std::vector<std::string> args = opts.worker_command;
           // The tile count is part of a tile id's meaning, and only this
           // side knows the resolved value — the worker must never re-derive
-          // it from a default that could drift.
+          // it from a default that could drift. The rectangle itself rides
+          // along too: with cost-weighted partitioning the boundaries
+          // depend on the model, so the coordinator's exact cuts are the
+          // contract, not something a worker recomputes.
           args.push_back("--tiles=" + std::to_string(num_tiles));
           args.push_back("--tile=" + std::to_string(t.shard_id));
+          args.push_back("--rect=" + std::to_string(t.x_begin) + ":" +
+                         std::to_string(t.x_end) + ":" +
+                         std::to_string(t.y_begin) + ":" +
+                         std::to_string(t.y_end));
           args.push_back("--out=" + path);
           std::vector<char*> argv;
           argv.reserve(args.size() + 1);
@@ -194,7 +269,16 @@ Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
         }
         ::_exit(0);
       }
-      running.emplace(pid, next);
+      size_t slot;
+      if (!free_slots.empty()) {
+        slot = *free_slots.begin();
+        free_slots.erase(free_slots.begin());
+      } else {
+        slot = local.worker_busy_seconds.size();
+        local.worker_busy_seconds.push_back(0);
+      }
+      running.emplace(
+          pid, InFlight{next, slot, std::chrono::steady_clock::now()});
       ++next;
     }
     // Reap exactly one of *our* workers. waitpid(-1) would also consume
@@ -214,7 +298,12 @@ Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
           return Status::Internal(std::string("waitpid failed: ") +
                                   std::strerror(errno));
         }
-        const size_t idx = it->second;
+        const size_t idx = it->second.todo_index;
+        local.worker_busy_seconds[it->second.slot] +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          it->second.started)
+                .count();
+        free_slots.insert(it->second.slot);
         it = running.erase(it);
         reaped = true;
         if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
@@ -235,11 +324,14 @@ Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
   }
 
   if (!failed.empty()) {
-    // Report the failure of the lowest shard id, with the worker's own
-    // Status when it managed to leave one. Completed tiles stay on disk,
-    // so the rerun that follows a fix resumes instead of restarting.
-    size_t worst = todo.size();
-    for (size_t idx : failed) worst = std::min(worst, idx);
+    // Report the failure of the lowest shard id — stable whatever dispatch
+    // order the cost model produced — with the worker's own Status when it
+    // managed to leave one. Completed tiles stay on disk, so the rerun
+    // that follows a fix resumes instead of restarting.
+    size_t worst = failed.front();
+    for (size_t idx : failed) {
+      if (todo[idx].shard_id < todo[worst].shard_id) worst = idx;
+    }
     const TileSpec& t = todo[worst];
     const std::string path = opts.tile_dir + "/" + TileFileName(t.shard_id);
     auto msg = ReadErrFile(path);

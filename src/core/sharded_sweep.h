@@ -8,6 +8,7 @@
 #include "core/map_io.h"
 #include "core/shard_planner.h"
 #include "core/sweep.h"
+#include "core/sweep_cost.h"
 
 namespace robustmap {
 
@@ -41,20 +42,56 @@ struct ShardedSweepOptions {
   /// Empty (the default): workers are forked children of this process,
   /// computing their tiles with the already-built executor — the in-process
   /// subprocess mode benches and tests use. Non-empty: each tile spawns
-  /// fork+exec of this argv with "--tiles=<count>", "--tile=<id>", and
-  /// "--out=<path>" appended (the `sweep_worker` contract — the resolved
-  /// tile count rides along so worker and coordinator can never partition
-  /// the grid differently), for coordinators whose workers must build
-  /// their own environment.
+  /// fork+exec of this argv with "--tiles=<count>", "--tile=<id>",
+  /// "--rect=<x0:x1:y0:y1>", and "--out=<path>" appended (the
+  /// `sweep_worker` contract — the resolved tile count *and its exact
+  /// rectangle* ride along so worker and coordinator can never partition
+  /// the grid differently, whatever cost model sized the tiles), for
+  /// coordinators whose workers must build their own environment.
   std::vector<std::string> worker_command;
+
+  /// How tiles are sized and dispatched. `kUniform` reproduces the
+  /// pre-cost-layer equal-area tiles in shard-id order. `kAnalytic` (the
+  /// default) cuts cost-balanced tiles from the selectivity prior and
+  /// dispatches the heaviest pending tile first, so the sweep no longer
+  /// finishes at the speed of its unluckiest tile. `kMeasured`
+  /// additionally rebuilds the model from per-tile wall times found in
+  /// `tile_dir` before partitioning — a repeated sweep reschedules from
+  /// what cells actually cost here, not from the prior. (Changing the
+  /// model between runs usually moves tile boundaries, which resume then
+  /// treats as a reconfiguration and recomputes; measured mode is a
+  /// re-balancing run, not a resume accelerator.) The merged map is
+  /// bit-identical under every setting — scheduling never touches values.
+  CostModelKind cost_model = CostModelKind::kAnalytic;
 };
 
-/// What a sharded sweep did, for self-checks and resume tests.
+/// What a sharded sweep did, for self-checks, resume tests, and the
+/// scheduling-quality metrics `robustness_benchmark` records.
 struct ShardedSweepStats {
   size_t tiles_total = 0;
   size_t tiles_reused = 0;    ///< valid checkpoints skipped
   size_t tiles_computed = 0;  ///< recomputed by workers this run
   unsigned workers_spawned = 0;
+
+  /// Wall-clock seconds each worker slot spent with a tile subprocess in
+  /// flight (slot = one of the up-to-`num_workers` concurrent lanes; one
+  /// entry per slot actually used). The makespan is dominated by the
+  /// busiest slot, so the spread here *is* the scheduling quality.
+  std::vector<double> worker_busy_seconds;
+
+  /// Busiest slot / mean slot — 1.0 is a perfectly balanced sweep, 2.0
+  /// means the slowest worker carried twice its fair share while others
+  /// idled. 1.0 when nothing was computed.
+  double busy_balance_ratio() const {
+    if (worker_busy_seconds.empty()) return 1.0;
+    double sum = 0, max = 0;
+    for (double b : worker_busy_seconds) {
+      sum += b;
+      if (b > max) max = b;
+    }
+    if (sum <= 0) return 1.0;
+    return max * static_cast<double>(worker_busy_seconds.size()) / sum;
+  }
 };
 
 /// Checkpoint file name for a shard, e.g. "tile_0007.rmt".
@@ -76,8 +113,10 @@ Status EnsureDirectory(const std::string& path);
 
 /// Computes one tile — the standard study sweep restricted to the tile's
 /// rectangle (via `ParallelRunSweep` when `sweep_opts.num_threads != 1`) —
-/// and writes it atomically to `path`. The body of both worker modes and of
-/// the `sweep_worker` executable.
+/// and writes it atomically to `path`, stamping the sweep's wall-clock
+/// seconds into the tile's v2 metadata (the measured-cost feedback later
+/// runs reschedule from). The body of both worker modes and of the
+/// `sweep_worker` executable.
 Status ComputeAndWriteTile(RunContext* ctx, const Executor& executor,
                            const std::vector<PlanKind>& plans,
                            const ParameterSpace& space, const TileSpec& tile,
@@ -85,12 +124,13 @@ Status ComputeAndWriteTile(RunContext* ctx, const Executor& executor,
                            const SweepOptions& sweep_opts = {});
 
 /// The sharded equivalent of `SweepStudyPlans`: partitions the grid with
-/// `ShardPlanner`, skips tiles already valid on disk (unless
-/// `opts.resume == false`), computes the rest in up to `opts.num_workers`
-/// concurrent subprocesses, and merges the tile files into one map that is
-/// bit-identical to a single-process sweep of the same grid — every cell is
-/// an independent cold measurement, so its value cannot depend on which
-/// process ran it.
+/// `ShardPlanner` under `opts.cost_model`, skips tiles already valid on
+/// disk (unless `opts.resume == false`), computes the rest through a
+/// pull-based work queue — up to `opts.num_workers` subprocesses in
+/// flight, each freed worker slot immediately pulling the heaviest pending
+/// tile — and merges the tile files into one map that is bit-identical to
+/// a single-process sweep of the same grid — every cell is an independent
+/// cold measurement, so its value cannot depend on which process ran it.
 ///
 /// Requires an order-independent warmup policy on `ctx` (anything but
 /// `kPriorRun`, whose cells inherit state across the tile boundaries this

@@ -7,11 +7,29 @@
 #include <thread>
 #include <utility>
 
+#include "core/sweep_cost.h"
 #include "engine/query.h"
 
 namespace robustmap {
 
 namespace {
+
+/// Both sweep entry points reject degenerate inputs up front: a sweep over
+/// nothing is almost always a caller bug (an empty plan list, an axis that
+/// lost its values), and the alternative — silently returning a 0-cell map
+/// that every downstream analysis then has to defend against — just moves
+/// the failure somewhere less diagnosable.
+Status ValidateSweepInputs(const ParameterSpace& space,
+                           const std::vector<std::string>& plan_labels) {
+  if (plan_labels.empty()) {
+    return Status::InvalidArgument("cannot sweep an empty plan list");
+  }
+  if (space.num_points() == 0) {
+    return Status::InvalidArgument(
+        "cannot sweep an empty grid (an axis has no values)");
+  }
+  return Status::OK();
+}
 
 /// The verbose-mode progress printer: one stderr line per completed plan
 /// and per 10% step — readable for both quick smokes and hour-long studies.
@@ -76,6 +94,7 @@ Result<RobustnessMap> RunSweep(const ParameterSpace& space,
                                const std::vector<std::string>& plan_labels,
                                const PointRunner& runner,
                                const SweepOptions& opts) {
+  RM_RETURN_IF_ERROR(ValidateSweepInputs(space, plan_labels));
   RobustnessMap map(space, plan_labels);
   ProgressTracker tracker(opts, plan_labels.size(), space.num_points());
   for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
@@ -93,6 +112,7 @@ Result<RobustnessMap> ParallelRunSweep(
     const ParameterSpace& space, const std::vector<std::string>& plan_labels,
     const RunContextFactory& factory, const ContextPointRunner& runner,
     const SweepOptions& opts) {
+  RM_RETURN_IF_ERROR(ValidateSweepInputs(space, plan_labels));
   const unsigned num_threads = ResolveParallelism(opts.num_threads);
   const size_t points = space.num_points();
   const size_t cells = plan_labels.size() * points;
@@ -124,16 +144,53 @@ Result<RobustnessMap> ParallelRunSweep(
     return map;
   }
 
+  // Work units are *cost-weighted cell blocks*: contiguous runs of the
+  // serial (plan-major) cell order, cut so each block carries roughly equal
+  // analytic cost. Cheap low-selectivity cells batch by the dozen (fewer
+  // atomic claims), while the expensive corner degrades to single-cell
+  // blocks (no worker is ever stuck behind a mega-block at the tail).
+  // Map writes stay keyed by (plan, point), so the result is bit-identical
+  // to a serial sweep whatever the block shapes.
+  std::vector<double> point_cost(points, 1.0);
+  if (auto model = CellCostModel::Analytic(space); model.ok()) {
+    for (size_t pt = 0; pt < points; ++pt) {
+      const auto [xi, yi] = space.CoordsOf(pt);
+      point_cost[pt] = model.value().CellCost(xi, yi);
+    }
+  }
+  double total_cost = 0;
+  for (double c : point_cost) total_cost += c;
+  total_cost *= static_cast<double>(plan_labels.size());
+  // ~16 blocks per worker bounds both the claim rate and the tail: the last
+  // block to finish holds at most 1/16th of one worker's fair share.
+  const double per_block =
+      total_cost / static_cast<double>(std::max<size_t>(
+                       size_t{num_threads} * 16, 1));
+  std::vector<size_t> block_begin;
+  block_begin.push_back(0);
+  double acc = 0;
+  for (size_t cell = 0; cell < cells; ++cell) {
+    acc += point_cost[cell % points];
+    if (acc >= per_block && cell + 1 < cells) {
+      block_begin.push_back(cell + 1);
+      acc = 0;
+    }
+  }
+  block_begin.push_back(cells);
+  const size_t num_blocks = block_begin.size() - 1;
+
   if (opts.verbose) {
-    std::fprintf(stderr, "  sweep: %zu cells (%zu plans) on %u thread(s)\n",
-                 cells, plan_labels.size(), num_threads);
+    std::fprintf(stderr,
+                 "  sweep: %zu cells (%zu plans) in %zu cost-weighted "
+                 "blocks on %u thread(s)\n",
+                 cells, plan_labels.size(), num_blocks, num_threads);
   }
 
-  // Cells are dispatched in serial (plan-major) order. On failure, workers
-  // skip cells above the lowest failing cell seen so far; every cell below
-  // it was dispatched earlier and runs to completion, so the error we
-  // return is exactly the one a serial sweep would have hit first.
-  std::atomic<size_t> next_cell{0};
+  // Blocks are claimed from a shared queue. On failure, workers skip cells
+  // above the lowest failing cell seen so far; every cell below it is in
+  // some block that runs to completion, so the error we return is exactly
+  // the one a serial sweep would have hit first.
+  std::atomic<size_t> next_block{0};
   std::atomic<size_t> first_failed_cell{cells};
   std::mutex error_mu;
   Status first_error = Status::OK();
@@ -150,19 +207,24 @@ Result<RobustnessMap> ParallelRunSweep(
   auto work = [&]() {
     std::unique_ptr<OwnedRunContext> machine = factory.Create();
     for (;;) {
-      const size_t cell = next_cell.fetch_add(1, std::memory_order_relaxed);
-      if (cell >= cells) break;
-      if (cell > first_failed_cell.load(std::memory_order_relaxed)) continue;
-      const size_t plan = cell / points;
-      const size_t point = cell % points;
-      auto m = runner(machine->ctx(), plan, space.x_value(point),
-                      space.y_value(point));
-      if (!m.ok()) {
-        record_error(cell, m.status());
-        continue;
+      const size_t block = next_block.fetch_add(1, std::memory_order_relaxed);
+      if (block >= num_blocks) break;
+      for (size_t cell = block_begin[block]; cell < block_begin[block + 1];
+           ++cell) {
+        if (cell > first_failed_cell.load(std::memory_order_relaxed)) {
+          continue;
+        }
+        const size_t plan = cell / points;
+        const size_t point = cell % points;
+        auto m = runner(machine->ctx(), plan, space.x_value(point),
+                        space.y_value(point));
+        if (!m.ok()) {
+          record_error(cell, m.status());
+          continue;
+        }
+        map.Set(plan, point, std::move(m).value());
+        tracker.CellDone(plan);
       }
-      map.Set(plan, point, std::move(m).value());
-      tracker.CellDone(plan);
     }
   };
 

@@ -20,6 +20,8 @@ struct SweepProgress {
   size_t plans_done = 0;  ///< plans whose every cell has been measured
   size_t num_plans = 0;
 
+  /// 100 when cells_total is 0 — an empty sweep is vacuously complete, and
+  /// progress reporting must never be the thing that divides by zero.
   double percent() const {
     return cells_total == 0
                ? 100.0
@@ -80,7 +82,9 @@ struct SweepOptions {
 
 /// Generic sweep: measures `runner(plan, x, y)` for every plan over every
 /// grid point. `y` is -1 for 1-D spaces. Use this form to map arbitrary
-/// run-time conditions (memory, input size, ...).
+/// run-time conditions (memory, input size, ...). An empty plan list or an
+/// empty grid is an `InvalidArgument`, here and in `ParallelRunSweep` — a
+/// sweep over nothing is a caller bug, not a map.
 using PointRunner =
     std::function<Result<Measurement>(size_t plan, double x, double y)>;
 
@@ -99,10 +103,13 @@ using ContextPointRunner = std::function<Result<Measurement>(
 
 /// Thread-pool sweep over `opts.num_threads` workers, each measuring on its
 /// own simulated machine built by `factory`. Cells are claimed from a
-/// shared queue and written into the map by (plan, point) index, so the
-/// resulting map is bit-identical to a serial sweep regardless of thread
-/// count or scheduling. On error, the Status of the first failing cell (in
-/// serial plan-major order) is returned, deterministically.
+/// shared queue in cost-weighted blocks (contiguous runs of the serial
+/// order sized to carry ~equal analytic cost — cheap cells batch, the
+/// expensive corner goes one cell at a time) and written into the map by
+/// (plan, point) index, so the resulting map is bit-identical to a serial
+/// sweep regardless of thread count, block shapes, or scheduling. On
+/// error, the Status of the first failing cell (in serial plan-major
+/// order) is returned, deterministically.
 Result<RobustnessMap> ParallelRunSweep(
     const ParameterSpace& space, const std::vector<std::string>& plan_labels,
     const RunContextFactory& factory, const ContextPointRunner& runner,

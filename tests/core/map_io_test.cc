@@ -66,6 +66,36 @@ Result<MapTile> Deserialize(const std::string& bytes) {
   return ReadMapTile(is);
 }
 
+/// Independent FNV-1a 64 implementation (cross-checks the library's
+/// constant choice as a side effect).
+uint64_t TestFnv1a64(const std::string& data) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Builds the v1 byte stream of `tile` out of the current writer's v2
+/// bytes: drop the 8-byte wall_seconds field that v2 inserted after the
+/// version word, patch the version back to 1, and restamp the trailing
+/// checksum. This is exactly the layout the v1 writer produced, so the
+/// reader's backward-compatibility promise gets tested against real v1
+/// bytes without checking a binary blob into the repo.
+std::string SerializeAsV1(const MapTile& tile) {
+  std::string v2 = Serialize(tile);
+  constexpr size_t kWallOffset = 8 + 4;  // magic + version
+  std::string v1 = v2.substr(0, kWallOffset) + v2.substr(kWallOffset + 8);
+  v1[8] = 1;  // version word is little-endian; low byte carries the value
+  v1.resize(v1.size() - 8);  // strip the now-stale checksum
+  const uint64_t checksum = TestFnv1a64(v1);
+  for (int i = 0; i < 8; ++i) {
+    v1.push_back(static_cast<char>((checksum >> (8 * i)) & 0xff));
+  }
+  return v1;
+}
+
 TEST(MapIoTest, RoundTripsFullTile) {
   ParameterSpace space = SmallSpace();
   MapTile tile = FullTile(space, {"scan", "idx.a"});
@@ -99,6 +129,58 @@ TEST(MapIoTest, RoundTripsSubRectangleTileAndOneD) {
   auto lback = Deserialize(Serialize(ltile)).ValueOrDie();
   EXPECT_FALSE(lback.parent_space.is_2d());
   ExpectMapsBitIdentical(lback.map, ltile.map);
+}
+
+TEST(MapIoTest, WallSecondsMetadataRoundTrips) {
+  MapTile tile = FullTile(SmallSpace(), {"scan"});
+  tile.wall_seconds = 12.375;
+  auto back = Deserialize(Serialize(tile)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(back.wall_seconds, 12.375);
+  ExpectMapsBitIdentical(back.map, tile.map);
+
+  // The default is "unrecorded": maps merged rather than measured must
+  // serialize with wall 0, keeping equal maps byte-equal across runs.
+  MapTile untimed = FullTile(SmallSpace(), {"scan"});
+  EXPECT_DOUBLE_EQ(Deserialize(Serialize(untimed)).ValueOrDie().wall_seconds,
+                   0.0);
+}
+
+TEST(MapIoTest, ReadsVersionOneFiles) {
+  // The backward-compatibility contract: a v1 byte stream (no wall-time
+  // field) reads cleanly under the v2 reader, cell for cell, with the
+  // missing metadata defaulting to "unrecorded".
+  ParameterSpace space = SmallSpace();
+  MapTile tile = FullTile(space, {"scan", "idx.a"});
+  tile.wall_seconds = 99.0;  // must NOT survive: v1 cannot carry it
+  const std::string v1 = SerializeAsV1(tile);
+  auto back = Deserialize(v1).ValueOrDie();
+  EXPECT_EQ(back.spec, tile.spec);
+  EXPECT_TRUE(back.parent_space == space);
+  EXPECT_DOUBLE_EQ(back.wall_seconds, 0.0);
+  ExpectMapsBitIdentical(back.map, tile.map);
+}
+
+TEST(MapIoTest, VersionOneTruncationAndCorruptionStayDistinct) {
+  const std::string v1 = SerializeAsV1(FullTile(SmallSpace(), {"scan"}));
+  for (size_t keep : {size_t{5}, v1.size() / 2, v1.size() - 1}) {
+    auto r = Deserialize(v1.substr(0, keep));
+    ASSERT_FALSE(r.ok()) << "kept " << keep;
+    EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+  }
+  std::string damaged = v1;
+  damaged[damaged.size() / 2] ^= 0x01;
+  auto r = Deserialize(damaged);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(MapIoTest, TruncationInsideWallMetadataIsCorruption) {
+  std::string bytes = Serialize(FullTile(SmallSpace(), {"scan"}));
+  // Cut mid-way through the v2 wall_seconds field (starts at byte 12).
+  auto r = Deserialize(bytes.substr(0, 15));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
 }
 
 TEST(MapIoTest, SerializationIsDeterministic) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
+
+#include "core/sweep_cost.h"
 
 namespace robustmap {
 namespace {
@@ -76,6 +79,128 @@ TEST(ShardPlannerTest, ZeroTilesIsAnError) {
   auto plan = ShardPlanner::Partition(Grid(-4, -4), 0);
   EXPECT_FALSE(plan.ok());
   EXPECT_TRUE(plan.status().IsInvalidArgument());
+}
+
+TEST(ShardPlannerTest, EmptyGridIsAnError) {
+  ParameterSpace empty = ParameterSpace::OneD(Axis{});
+  auto plan = ShardPlanner::Partition(empty, 4);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsInvalidArgument());
+}
+
+TEST(ShardPlannerWeightedTest, CoversGridExactlyAndKeepsDenseIds) {
+  ParameterSpace space = Grid(-8, -6);  // 9 x 7
+  auto model = CellCostModel::Analytic(space).ValueOrDie();
+  for (size_t tiles : {1u, 2u, 3u, 7u, 13u, 63u, 1000u}) {
+    SCOPED_TRACE(tiles);
+    auto plan =
+        ShardPlanner::PartitionWeighted(space, tiles, model).ValueOrDie();
+    EXPECT_LE(plan.size(), tiles);
+    EXPECT_FALSE(plan.empty());
+    ExpectExactCover(space, plan);
+    // Ids stay dense row-major even though emission order snakes.
+    std::vector<size_t> ids;
+    for (const TileSpec& t : plan) ids.push_back(t.shard_id);
+    std::sort(ids.begin(), ids.end());
+    for (size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+  }
+}
+
+TEST(ShardPlannerWeightedTest, SameTileCountAsUniformPartition) {
+  // Resume directories key tiles by (id, rectangle); the weighted planner
+  // keeps the uniform planner's tile-grid shape, so switching models never
+  // changes how many tiles a (space, max_tiles) request produces.
+  ParameterSpace space = Grid(-8, -8);
+  auto model = CellCostModel::Analytic(space).ValueOrDie();
+  for (size_t tiles : {1u, 4u, 8u, 12u, 64u}) {
+    auto uniform = ShardPlanner::Partition(space, tiles).ValueOrDie();
+    auto weighted =
+        ShardPlanner::PartitionWeighted(space, tiles, model).ValueOrDie();
+    EXPECT_EQ(uniform.size(), weighted.size()) << tiles << " tiles";
+  }
+}
+
+TEST(ShardPlannerWeightedTest, BalancesCostBetterThanUniform) {
+  // A strongly skewed grid: the analytic model concentrates cost near
+  // sel=1, so uniform row bands leave one tile holding most of the work.
+  ParameterSpace space = Grid(-12, -12);  // 13 x 13
+  auto model = CellCostModel::Analytic(space).ValueOrDie();
+  auto uniform = ShardPlanner::Partition(space, 4).ValueOrDie();
+  auto weighted =
+      ShardPlanner::PartitionWeighted(space, 4, model).ValueOrDie();
+  auto max_cost = [&](const std::vector<TileSpec>& tiles) {
+    double m = 0;
+    for (const TileSpec& t : tiles) m = std::max(m, model.TileCost(t));
+    return m;
+  };
+  EXPECT_LT(max_cost(weighted), max_cost(uniform));
+  // The expensive band (toward high y) must be finer than the cheap one:
+  // the last band is thinner than the first.
+  auto y_span = [](const TileSpec& t) { return t.y_end - t.y_begin; };
+  const TileSpec* first_band = nullptr;
+  const TileSpec* last_band = nullptr;
+  for (const TileSpec& t : weighted) {
+    if (t.y_begin == 0) first_band = &t;
+    if (t.y_end == space.y_size()) last_band = &t;
+  }
+  ASSERT_NE(first_band, nullptr);
+  ASSERT_NE(last_band, nullptr);
+  EXPECT_LT(y_span(*last_band), y_span(*first_band));
+}
+
+TEST(ShardPlannerWeightedTest, UniformModelReproducesUniformRectangles) {
+  // Under a flat model the cost cuts and the count cuts agree, so the two
+  // planners emit the same rectangles (order aside).
+  ParameterSpace space = Grid(-7, -7);
+  auto flat = CellCostModel::Uniform(space).ValueOrDie();
+  auto uniform = ShardPlanner::Partition(space, 8).ValueOrDie();
+  auto weighted =
+      ShardPlanner::PartitionWeighted(space, 8, flat).ValueOrDie();
+  ASSERT_EQ(uniform.size(), weighted.size());
+  auto by_id = [](const TileSpec& a, const TileSpec& b) {
+    return a.shard_id < b.shard_id;
+  };
+  std::sort(uniform.begin(), uniform.end(), by_id);
+  std::sort(weighted.begin(), weighted.end(), by_id);
+  for (size_t i = 0; i < uniform.size(); ++i) {
+    EXPECT_EQ(uniform[i], weighted[i]) << "tile " << i;
+  }
+}
+
+TEST(ShardPlannerWeightedTest, SnakeOrderKeepsBandsAdjacent) {
+  ParameterSpace space = Grid(-7, -7);  // 8 x 8
+  auto model = CellCostModel::Analytic(space).ValueOrDie();
+  // 16 tiles over 8 rows: a 2-wide tile grid, so snake order alternates
+  // x-direction per band.
+  auto plan = ShardPlanner::PartitionWeighted(space, 16, model).ValueOrDie();
+  ASSERT_EQ(plan.size(), 16u);
+  for (size_t i = 0; i + 1 < plan.size(); ++i) {
+    const TileSpec& a = plan[i];
+    const TileSpec& b = plan[i + 1];
+    // Consecutive emissions share a band or touch across the band seam.
+    const bool same_band = a.y_begin == b.y_begin;
+    const bool adjacent_band = a.y_end == b.y_begin;
+    EXPECT_TRUE(same_band || adjacent_band) << "emission " << i;
+    if (adjacent_band) {
+      // The snake turns in place: the x range repeats at the seam.
+      EXPECT_EQ(a.x_begin == b.x_begin || a.x_end == b.x_end, true);
+    }
+  }
+}
+
+TEST(ShardPlannerWeightedTest, StableAcrossInvocationsAndValidatesModel) {
+  ParameterSpace space = Grid(-8, -8);
+  auto model = CellCostModel::Analytic(space).ValueOrDie();
+  auto a = ShardPlanner::PartitionWeighted(space, 8, model).ValueOrDie();
+  auto b = ShardPlanner::PartitionWeighted(space, 8, model).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+
+  ParameterSpace other = Grid(-4, -4);
+  auto mismatch = ShardPlanner::PartitionWeighted(
+      other, 4, model);  // model built over `space`
+  EXPECT_FALSE(mismatch.ok());
+  EXPECT_TRUE(mismatch.status().IsInvalidArgument());
 }
 
 TEST(SliceSpaceTest, SliceCarriesAxisNamesAndValues) {

@@ -87,6 +87,81 @@ TEST(RunShardedSweepTest, MoreTilesThanWorkersStillMergesExactly) {
   ExpectMapsBitIdentical(reference, merged);
 }
 
+TEST(RunShardedSweepTest, AllCostModelsMergeTheIdenticalMap) {
+  ProcEnv env;
+  Executor executor(env.db());
+  ParameterSpace space = SmallGrid();
+  SweepOptions serial;
+  serial.num_threads = 1;
+  auto reference =
+      SweepStudyPlans(env.ctx(), executor, StudySubset(), space, serial)
+          .ValueOrDie();
+
+  // The measured leg reuses the analytic leg's directory, so the wall
+  // times that run stamped into its tiles are the feedback being tested.
+  std::string analytic_dir = FreshTileDir("model_analytic");
+  for (CostModelKind kind :
+       {CostModelKind::kUniform, CostModelKind::kAnalytic,
+        CostModelKind::kMeasured}) {
+    ShardedSweepOptions opts;
+    opts.tile_dir = kind == CostModelKind::kUniform
+                        ? FreshTileDir("model_uniform")
+                        : analytic_dir;
+    opts.num_workers = 4;
+    opts.num_tiles = 6;
+    opts.resume = false;  // measured mode moves boundaries; recompute all
+    opts.cost_model = kind;
+    ShardedSweepStats stats;
+    auto merged = RunShardedSweep(env.ctx(), executor, StudySubset(), space,
+                                  opts, &stats)
+                      .ValueOrDie();
+    SCOPED_TRACE(CostModelKindName(kind));
+    EXPECT_EQ(stats.tiles_computed, stats.tiles_total);
+    ExpectMapsBitIdentical(reference, merged);
+    // Every slot that ran a tile accounted busy time.
+    ASSERT_FALSE(stats.worker_busy_seconds.empty());
+    for (double busy : stats.worker_busy_seconds) EXPECT_GT(busy, 0.0);
+    EXPECT_GE(stats.busy_balance_ratio(), 1.0);
+  }
+}
+
+TEST(RunShardedSweepTest, WeightedTilesResumeLikeUniformOnes) {
+  // The weighted partition is deterministic for a fixed (space, tiles,
+  // model), so checkpoint/resume must work exactly as it does for uniform
+  // tiles: a second run reuses everything.
+  ProcEnv env;
+  Executor executor(env.db());
+  ParameterSpace space = SmallGrid();
+  ShardedSweepOptions opts;
+  opts.tile_dir = FreshTileDir("weighted_resume");
+  opts.num_workers = 3;
+  opts.num_tiles = 5;
+  opts.cost_model = CostModelKind::kAnalytic;
+
+  ShardedSweepStats first;
+  auto map1 = RunShardedSweep(env.ctx(), executor, StudySubset(), space,
+                              opts, &first)
+                  .ValueOrDie();
+  EXPECT_EQ(first.tiles_computed, first.tiles_total);
+
+  ShardedSweepStats second;
+  auto map2 = RunShardedSweep(env.ctx(), executor, StudySubset(), space,
+                              opts, &second)
+                  .ValueOrDie();
+  EXPECT_EQ(second.tiles_computed, 0u);
+  EXPECT_EQ(second.tiles_reused, second.tiles_total);
+  ExpectMapsBitIdentical(map1, map2);
+}
+
+TEST(ShardedSweepStatsTest, BalanceRatioIsMaxOverMean) {
+  ShardedSweepStats stats;
+  EXPECT_DOUBLE_EQ(stats.busy_balance_ratio(), 1.0);  // nothing computed
+  stats.worker_busy_seconds = {1.0, 1.0, 4.0};        // mean 2, max 4
+  EXPECT_DOUBLE_EQ(stats.busy_balance_ratio(), 2.0);
+  stats.worker_busy_seconds = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(stats.busy_balance_ratio(), 1.0);
+}
+
 TEST(RunShardedSweepTest, ResumeReusesAllValidTiles) {
   ProcEnv env;
   Executor executor(env.db());

@@ -25,6 +25,63 @@ TEST(RunSweepTest, FillsEveryCell) {
   EXPECT_DOUBLE_EQ(map.AtXY(1, 2, 1).seconds, 2.0 * 1.0 * 1.0);
 }
 
+TEST(SweepProgressTest, PercentOfEmptySweepIsDefinedNotDivisionByZero) {
+  SweepProgress p;  // cells_total == 0
+  EXPECT_DOUBLE_EQ(p.percent(), 100.0);
+}
+
+TEST(RunSweepTest, EmptyPlanListOrEmptyGridIsAnError) {
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("a", -2, 0));
+  auto runner = [](size_t, double, double) {
+    Measurement m;
+    m.seconds = 1;
+    return Result<Measurement>(m);
+  };
+  auto no_plans = RunSweep(space, {}, runner);
+  ASSERT_FALSE(no_plans.ok());
+  EXPECT_TRUE(no_plans.status().IsInvalidArgument());
+
+  ParameterSpace empty = ParameterSpace::OneD(Axis{});
+  auto no_points = RunSweep(empty, {"p"}, runner);
+  ASSERT_FALSE(no_points.ok());
+  EXPECT_TRUE(no_points.status().IsInvalidArgument());
+}
+
+TEST(ParallelRunSweepTest, EmptyPlanListOrEmptyGridIsAnError) {
+  ProcEnv env;
+  RunContextFactory factory(*env.ctx());
+  auto runner = [](RunContext*, size_t, double, double) {
+    Measurement m;
+    m.seconds = 1;
+    return Result<Measurement>(m);
+  };
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("a", -2, 0));
+  auto no_plans = ParallelRunSweep(space, {}, factory, runner);
+  ASSERT_FALSE(no_plans.ok());
+  EXPECT_TRUE(no_plans.status().IsInvalidArgument());
+
+  ParameterSpace empty = ParameterSpace::OneD(Axis{});
+  auto no_points = ParallelRunSweep(empty, {"p"}, factory, runner);
+  ASSERT_FALSE(no_points.ok());
+  EXPECT_TRUE(no_points.status().IsInvalidArgument());
+
+  // The deterministic round-robin schedule takes the same front door.
+  SweepOptions det;
+  det.deterministic_shared_schedule = true;
+  EXPECT_TRUE(ParallelRunSweep(space, {}, factory, runner, det)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SweepStudyPlansTest, EmptyPlanListIsAnError) {
+  ProcEnv env;
+  Executor executor(env.db());
+  ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("a", -2, 0));
+  auto r = SweepStudyPlans(env.ctx(), executor, {}, space);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
 TEST(RunSweepTest, PropagatesErrors) {
   ParameterSpace space = ParameterSpace::OneD(Axis::Selectivity("a", -1, 0));
   auto result = RunSweep(space, {"p"}, [&](size_t, double, double) {
