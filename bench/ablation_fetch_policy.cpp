@@ -56,15 +56,15 @@ int main() {
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0));
   RunContextFactory factory(*env->ctx());
   auto map =
-      ParallelRunSweep(space, {"fetch.naive", "fetch.sorted", "fetch.bitmap"},
-                       factory,
-                       [&](RunContext* ctx, size_t plan, double x, double) {
-                         FetchPolicy p = plan == 0   ? FetchPolicy::kNaive
-                                         : plan == 1 ? FetchPolicy::kSorted
-                                                     : FetchPolicy::kBitmap;
-                         return RunFetchPlan(ctx, env.get(), x, p);
-                       },
-                       SweepOpts(scale))
+      SweepEngine::RunCellsParallel(
+          space, {"fetch.naive", "fetch.sorted", "fetch.bitmap"}, factory,
+          [&](RunContext* ctx, size_t plan, double x, double) {
+            FetchPolicy p = plan == 0   ? FetchPolicy::kNaive
+                            : plan == 1 ? FetchPolicy::kSorted
+                                        : FetchPolicy::kBitmap;
+            return RunFetchPlan(ctx, env.get(), x, p);
+          },
+          SweepOpts(scale))
           .ValueOrDie();
   PrintCurveTable(map);
 

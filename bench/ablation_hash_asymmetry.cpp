@@ -29,12 +29,10 @@ int main() {
   ParameterSpace space = ParameterSpace::TwoD(
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
       Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
-  auto map = SweepStudyPlans(
-                 env->ctx(), env->executor(),
-                 {PlanKind::kMergeJoinAB, PlanKind::kHashJoinAB,
-                  PlanKind::kHashJoinBA},
-                 space, SweepOpts(scale))
-                 .ValueOrDie();
+  auto map = RunStudyMap(env.get(),
+                         {PlanKind::kMergeJoinAB, PlanKind::kHashJoinAB,
+                          PlanKind::kHashJoinBA},
+                         space, scale);
 
   SymmetryScore mj = ComputeSymmetry(space, map.SecondsOfPlan(0));
   SymmetryScore hj_ab = ComputeSymmetry(space, map.SecondsOfPlan(1));

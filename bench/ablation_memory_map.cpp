@@ -41,15 +41,15 @@ int main() {
   // memory axis parallelizes without cross-cell interference.
   RunContextFactory factory(*env->ctx());
   auto map =
-      ParallelRunSweep(space, {"A.hj(a,b) s_b=1"}, factory,
-                       [&](RunContext* ctx, size_t, double s,
-                           double mem) -> Result<Measurement> {
-                         ctx->hash_memory_bytes = static_cast<uint64_t>(mem);
-                         QuerySpec q = env->MakeQuery(s, 1.0);
-                         return env->executor().Run(ctx, PlanKind::kHashJoinAB,
-                                                    q);
-                       },
-                       SweepOpts(scale))
+      SweepEngine::RunCellsParallel(
+          space, {"A.hj(a,b) s_b=1"}, factory,
+          [&](RunContext* ctx, size_t, double s,
+              double mem) -> Result<Measurement> {
+            ctx->hash_memory_bytes = static_cast<uint64_t>(mem);
+            QuerySpec q = env->MakeQuery(s, 1.0);
+            return env->executor().Run(ctx, PlanKind::kHashJoinAB, q);
+          },
+          SweepOpts(scale))
           .ValueOrDie();
 
   ColorScale cs = ColorScale::AbsoluteSeconds();

@@ -97,17 +97,16 @@ int main() {
   ParameterSpace space = ParameterSpace::OneD(Axis::SelectivityFine(
       "input fraction of table", scale.grid_min_log2, 0, 2));
   RunContextFactory factory(*env->ctx());
-  auto map = ParallelRunSweep(space, {"sort.graceful", "sort.naive"}, factory,
-                              [&](RunContext* ctx, size_t plan, double x,
-                                  double) {
-                                uint64_t rows = static_cast<uint64_t>(
-                                    x * static_cast<double>(table_rows));
-                                return RunSortRows(
-                                    ctx, rows,
-                                    plan == 0 ? SpillKind::kGraceful
-                                              : SpillKind::kNaive);
-                              },
-                              SweepOpts(scale))
+  auto map = SweepEngine::RunCellsParallel(
+                 space, {"sort.graceful", "sort.naive"}, factory,
+                 [&](RunContext* ctx, size_t plan, double x, double) {
+                   uint64_t rows = static_cast<uint64_t>(
+                       x * static_cast<double>(table_rows));
+                   return RunSortRows(ctx, rows,
+                                      plan == 0 ? SpillKind::kGraceful
+                                                : SpillKind::kNaive);
+                 },
+                 SweepOpts(scale))
                  .ValueOrDie();
 
   PrintCurveTable(map);

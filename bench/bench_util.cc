@@ -9,11 +9,27 @@
 #include "common/format.h"
 #include "shard_cli.h"
 #include "core/landmarks.h"
+#include "core/map_io.h"
 #include "viz/csv_export.h"
 #include "viz/gnuplot_export.h"
 #include "viz/ppm_writer.h"
 
 namespace robustmap::bench {
+
+namespace {
+
+/// The full-grid TileSpec of a space — how a complete map is framed as a
+/// tile for serialization.
+TileSpec FullGridSpec(const ParameterSpace& space) {
+  TileSpec full;
+  full.x_begin = 0;
+  full.x_end = space.x_size();
+  full.y_begin = 0;
+  full.y_end = space.y_size();
+  return full;
+}
+
+}  // namespace
 
 int EnvInt(const char* name, int def, int lo, int hi) {
   const char* raw = std::getenv(name);
@@ -31,6 +47,35 @@ int EnvInt(const char* name, int def, int lo, int hi) {
 bool EnvFlag(const char* name) {
   const char* raw = std::getenv(name);
   return raw != nullptr && raw[0] == '1';
+}
+
+std::string EnvString(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? std::string() : raw;
+}
+
+CostModelKind EnvCostModel(CostModelKind def) {
+  const std::string raw = EnvString("REPRO_COST_MODEL");
+  if (raw.empty()) return def;
+  auto kind = CostModelKindFromString(raw);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "REPRO_COST_MODEL=%s ignored (%s)\n", raw.c_str(),
+                 kind.status().message().c_str());
+    return def;
+  }
+  return kind.value();
+}
+
+StudyKind EnvStudy(StudyKind def) {
+  const std::string raw = EnvString("REPRO_STUDY");
+  if (raw.empty()) return def;
+  auto kind = StudyKindFromString(raw);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "REPRO_STUDY=%s ignored (%s)\n", raw.c_str(),
+                 kind.status().message().c_str());
+    return def;
+  }
+  return kind.value();
 }
 
 BenchScale ResolveScale(int default_row_bits, int default_min_log2) {
@@ -51,17 +96,34 @@ BenchScale ResolveScale(int default_row_bits, int default_min_log2) {
   s.num_threads =
       static_cast<unsigned>(EnvInt("REPRO_THREADS", 0, 0, 256));
   s.num_shards = static_cast<unsigned>(EnvInt("REPRO_SHARDS", 0, 0, 256));
-  if (const char* raw = std::getenv("REPRO_COST_MODEL");
-      raw != nullptr && raw[0] != '\0') {
-    if (auto kind = CostModelKindFromString(raw); kind.ok()) {
-      s.cost_model = kind.value();
-    } else {
-      std::fprintf(stderr, "REPRO_COST_MODEL=%s ignored (%s)\n", raw,
-                   kind.status().message().c_str());
-    }
-  }
+  s.cost_model = EnvCostModel(s.cost_model);
   s.verbose = EnvFlag("REPRO_VERBOSE");
   return s;
+}
+
+SweepRequest StudyRequest(const BenchScale& scale,
+                          std::vector<PlanKind> plans,
+                          ParameterSpace space) {
+  SweepRequest req;
+  req.plans = std::move(plans);
+  req.space = std::move(space);
+  req.study = StudyKind::kPlainMap;
+  req.backend = BackendKind::kThreaded;
+  req.sweep = SweepOpts(scale);
+  req.sharded.num_workers = scale.num_shards;
+  req.sharded.cost_model = scale.cost_model;
+  req.sharded.verbose = scale.verbose;
+  return req;
+}
+
+RobustnessMap RunStudyMap(StudyEnvironment* env, std::vector<PlanKind> plans,
+                          ParameterSpace space, const BenchScale& scale) {
+  SweepOutcome out = SweepEngine::Run(
+                         env->ctx(), env->executor(),
+                         StudyRequest(scale, std::move(plans),
+                                      std::move(space)))
+                         .ValueOrDie();
+  return std::move(out.layers.front());
 }
 
 SweepOptions SweepOpts(const BenchScale& scale) {
@@ -84,9 +146,24 @@ std::string OutDir() {
   return dir;
 }
 
+Status WriteMapRmt(const std::string& path, const RobustnessMap& map) {
+  return WriteMapTileFile(path,
+                          MapTile{FullGridSpec(map.space()), map.space(),
+                                  map});
+}
+
+Status WriteWarmColdRmt(const std::string& path, const WarmColdMaps& maps) {
+  MapTile tile{FullGridSpec(maps.cold.space()), maps.cold.space(),
+               maps.cold};
+  tile.layer_names = StudyLayerNames(StudyKind::kWarmColdDelta);
+  tile.extra_layers = {maps.warm, maps.delta};
+  return WriteMapTileFile(path, tile);
+}
+
 void ExportMap(const std::string& figure_name, const RobustnessMap& map,
                bool relative) {
   std::string base = OutDir() + "/" + figure_name;
+  (void)WriteMapRmt(base + ".rmt", map);
   (void)WriteMapCsvFile(base + ".csv", map);
   (void)WriteGnuplot(base, map);
   if (map.space().is_2d()) {
@@ -97,8 +174,8 @@ void ExportMap(const std::string& figure_name, const RobustnessMap& map,
       (void)WritePpm(path, map.space(), map.SecondsOfPlan(pl), scale);
     }
   }
-  std::printf("[artifacts] %s.csv, %s.plt written\n", base.c_str(),
-              base.c_str());
+  std::printf("[artifacts] %s.rmt, %s.csv, %s.plt written\n", base.c_str(),
+              base.c_str(), base.c_str());
 }
 
 void ExportWarmColdMaps(const std::string& figure_name,
@@ -106,6 +183,7 @@ void ExportWarmColdMaps(const std::string& figure_name,
   ExportMap(figure_name + "_cold", maps.cold);
   ExportMap(figure_name + "_warm", maps.warm);
   std::string base = OutDir() + "/" + figure_name;
+  (void)WriteWarmColdRmt(base + "_warmcold.rmt", maps);
   if (maps.delta.space().is_2d()) {
     ColorScale diverging = ColorScale::DivergingSeconds();
     for (size_t pl = 0; pl < maps.delta.num_plans(); ++pl) {
@@ -116,7 +194,7 @@ void ExportWarmColdMaps(const std::string& figure_name,
     (void)WriteLegendPpm(base + "_delta_legend.ppm", diverging);
   }
   (void)WriteWarmColdCsvFile(base + "_warmcold.csv", maps.cold, maps.warm);
-  std::printf("[artifacts] %s_warmcold.csv%s written\n", base.c_str(),
+  std::printf("[artifacts] %s_warmcold.{rmt,csv}%s written\n", base.c_str(),
               maps.delta.space().is_2d() ? ", *_delta_plan*.ppm" : "");
 }
 

@@ -9,6 +9,7 @@
 #include "core/robustness_map.h"
 #include "core/sweep.h"
 #include "core/sweep_cost.h"
+#include "core/sweep_engine.h"
 #include "workload/dataset.h"
 
 namespace robustmap::bench {
@@ -21,6 +22,18 @@ int EnvInt(const char* name, int def, int lo, int hi);
 
 /// Boolean env knob: set and starting with '1'.
 bool EnvFlag(const char* name);
+
+/// String env knob: "" when unset or empty.
+std::string EnvString(const char* name);
+
+/// REPRO_COST_MODEL resolved through `CostModelKindFromString`, with the
+/// unparseable-value warning printed once here — the one resolver shared
+/// by `ResolveScale` and the `sweep_shard` flag default (the two used to
+/// parse the variable independently).
+CostModelKind EnvCostModel(CostModelKind def);
+
+/// REPRO_STUDY resolved through `StudyKindFromString`, same contract.
+StudyKind EnvStudy(StudyKind def);
 
 /// Scale knobs shared by all figure benches.
 ///
@@ -36,6 +49,9 @@ bool EnvFlag(const char* name);
 ///                     "analytic" (default), or "measured" (reschedule
 ///                     from per-tile wall times found in the tile
 ///                     directory); maps are bit-identical at any setting.
+///   REPRO_STUDY     — sweep study for study-agnostic drivers
+///                     (`sweep_shard`): "plain" (default) or "warmcold"
+///                     (cold/warm/delta layers per tile).
 ///   REPRO_VERBOSE=1 — per-plan / percent sweep progress on stderr.
 struct BenchScale {
   int row_bits;
@@ -57,10 +73,30 @@ std::unique_ptr<StudyEnvironment> MakeEnvironment(const BenchScale& scale);
 /// REPRO_THREADS via ResolveScale).
 SweepOptions SweepOpts(const BenchScale& scale);
 
+/// A plain-map engine request at this scale: the threaded backend with
+/// the scale's thread/verbosity knobs, and the sharded backend knobs
+/// (shards, cost model) prefilled for callers that flip `req.backend`.
+SweepRequest StudyRequest(const BenchScale& scale,
+                          std::vector<PlanKind> plans, ParameterSpace space);
+
+/// The standard figure-bench sweep: a plain-map study at this scale run
+/// through `SweepEngine::Run` on the threaded backend. Dies on error, as
+/// the self-checking bench drivers want.
+RobustnessMap RunStudyMap(StudyEnvironment* env, std::vector<PlanKind> plans,
+                          ParameterSpace space, const BenchScale& scale);
+
 /// Output directory for CSV/PPM/gnuplot artifacts (created on demand).
 std::string OutDir();
 
-/// Writes csv, gnuplot and (2-D) per-plan PPM artifacts for a map.
+/// Serializes a map as a full-grid single-layer tile file — the canonical
+/// binary artifact (`map_cat` derives CSV/ASCII/PPM from it on demand).
+/// Written with wall_seconds 0, so equal maps produce equal bytes.
+Status WriteMapRmt(const std::string& path, const RobustnessMap& map);
+
+/// The multi-layer form: cold/warm/delta as one three-layer tile file.
+Status WriteWarmColdRmt(const std::string& path, const WarmColdMaps& maps);
+
+/// Writes csv, gnuplot, (2-D) per-plan PPM, and .rmt artifacts for a map.
 void ExportMap(const std::string& figure_name, const RobustnessMap& map,
                bool relative = false);
 

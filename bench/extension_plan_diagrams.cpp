@@ -30,9 +30,7 @@ int main() {
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
       Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
   auto map =
-      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), space,
-                      SweepOpts(scale))
-          .ValueOrDie();
+      RunStudyMap(env.get(), AllStudyPlans(), space, scale);
 
   // --- Plan diagram (regions of optimality, §3.4) ---
   PlanDiagram diagram = ComputePlanDiagram(map, ToleranceSpec{0.0, 1.01});

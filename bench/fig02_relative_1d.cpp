@@ -33,9 +33,7 @@ int main() {
   };
   ParameterSpace space = ParameterSpace::OneD(
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0));
-  auto map = SweepStudyPlans(env->ctx(), env->executor(), plans, space,
-                             SweepOpts(scale))
-                 .ValueOrDie();
+  auto map = RunStudyMap(env.get(), plans, space, scale);
   RelativeMap rel = ComputeRelative(map);
 
   std::vector<std::string> header = {"selectivity", "best plan"};

@@ -30,10 +30,8 @@ int main() {
   ParameterSpace space = ParameterSpace::TwoD(
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
       Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
-  auto map = SweepStudyPlans(env->ctx(), env->executor(),
-                             {PlanKind::kIndexAImproved}, space,
-                             SweepOpts(scale))
-                 .ValueOrDie();
+  auto map =
+      RunStudyMap(env.get(), {PlanKind::kIndexAImproved}, space, scale);
 
   ColorScale cs = ColorScale::AbsoluteSeconds();
   HeatmapOptions hopts;

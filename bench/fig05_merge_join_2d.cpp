@@ -26,10 +26,9 @@ int main() {
   ParameterSpace space = ParameterSpace::TwoD(
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
       Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
-  auto map = SweepStudyPlans(env->ctx(), env->executor(),
-                             {PlanKind::kMergeJoinAB, PlanKind::kHashJoinAB},
-                             space, SweepOpts(scale))
-                 .ValueOrDie();
+  auto map = RunStudyMap(env.get(),
+                         {PlanKind::kMergeJoinAB, PlanKind::kHashJoinAB},
+                         space, scale);
 
   ColorScale cs = ColorScale::AbsoluteSeconds();
   HeatmapOptions hopts;

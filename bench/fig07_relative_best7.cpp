@@ -37,9 +37,7 @@ int main() {
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
       Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
   auto map =
-      SweepStudyPlans(env->ctx(), env->executor(), sys_a.plans, space,
-                      SweepOpts(scale))
-          .ValueOrDie();
+      RunStudyMap(env.get(), sys_a.plans, space, scale);
   RelativeMap rel = ComputeRelative(map);
   size_t target = map.PlanIndexOf("A.idx_a.improved").ValueOrDie();
 

@@ -33,9 +33,7 @@ int main() {
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
       Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
   auto map =
-      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), space,
-                      SweepOpts(scale))
-          .ValueOrDie();
+      RunStudyMap(env.get(), AllStudyPlans(), space, scale);
   RelativeMap rel = ComputeRelative(map);
   size_t plan_b = map.PlanIndexOf("B.cover(a,b).bitmap").ValueOrDie();
   size_t plan_a = map.PlanIndexOf("A.idx_a.improved").ValueOrDie();

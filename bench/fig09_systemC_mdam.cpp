@@ -30,9 +30,7 @@ int main() {
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
       Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
   auto map =
-      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), space,
-                      SweepOpts(scale))
-          .ValueOrDie();
+      RunStudyMap(env.get(), AllStudyPlans(), space, scale);
   RelativeMap rel = ComputeRelative(map);
   size_t mdam = map.PlanIndexOf("C.mdam(a,b)").ValueOrDie();
 

@@ -45,9 +45,7 @@ int main() {
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),
       Axis::Selectivity("selectivity(b)", scale.grid_min_log2, 0));
   auto map =
-      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), space,
-                      SweepOpts(scale))
-          .ValueOrDie();
+      RunStudyMap(env.get(), AllStudyPlans(), space, scale);
 
   // The paper's 0.1 s tolerance was measured against ~10^2..10^3-second
   // runs; scale it with the data so the *relative* meaning carries over.

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -68,12 +69,12 @@ int main() {
               plans.size() * space.num_points());
 
   auto serial_start = std::chrono::steady_clock::now();
-  SweepOptions serial_opts;
-  serial_opts.num_threads = 1;
-  serial_opts.verbose = scale.verbose;
-  auto serial = SweepStudyPlans(env->ctx(), env->executor(), plans, space,
-                                serial_opts)
-                    .ValueOrDie();
+  SweepRequest serial_req = StudyRequest(scale, plans, space);
+  serial_req.backend = BackendKind::kSerial;
+  auto serial = std::move(SweepEngine::Run(env->ctx(), env->executor(),
+                                           serial_req)
+                              .ValueOrDie()
+                              .layers.front());
   double serial_wall = WallSecondsSince(serial_start);
   std::printf("serial single-process sweep: %.2fs\n\n", serial_wall);
 
@@ -204,6 +205,53 @@ int main() {
                   1e-6 * wall_sum,
           "measured model rebuilt from prior run's tile timings",
           measured_model.TotalCost(), "summed measured seconds");
+  }
+
+  // Study × backend composition: the sharded warm/cold/delta study — the
+  // §3.2 buffer-contents study past one process for the first time. All
+  // three merged layers must be bit-identical to the serial
+  // `RunWarmColdSweep` reference, and a resumed run must reuse every
+  // multi-layer tile.
+  {
+    WarmupPolicy policy = WarmupPolicy::FractionResident(0.5);
+    SweepOptions serial_opts;
+    serial_opts.num_threads = 1;
+    serial_opts.verbose = scale.verbose;
+    auto reference = RunWarmColdSweep(env->ctx(), env->executor(), plans,
+                                      space, policy, serial_opts)
+                         .ValueOrDie();
+
+    SweepRequest req;
+    req.plans = plans;
+    req.space = space;
+    req.study = StudyKind::kWarmColdDelta;
+    req.backend = BackendKind::kShardedProcess;
+    req.warm_policy = policy;
+    req.sharded.tile_dir = OutDir() + "/fig_sharded_warmcold";
+    req.sharded.num_workers = scale.num_shards != 0 ? scale.num_shards : 4;
+    req.sharded.num_tiles = 8;
+    req.sharded.resume = false;
+    req.sharded.verbose = scale.verbose;
+    auto sharded = SweepEngine::Run(env->ctx(), env->executor(), req)
+                       .ValueOrDie();
+    Check(MapsBitIdentical(reference.cold, sharded.cold()) &&
+              MapsBitIdentical(reference.warm, sharded.warm()) &&
+              MapsBitIdentical(reference.delta, sharded.delta()),
+          "sharded warm/cold/delta == serial RunWarmColdSweep", 3,
+          "all three merged layers bit-identical");
+
+    req.sharded.resume = true;
+    auto resumed = SweepEngine::Run(env->ctx(), env->executor(), req)
+                       .ValueOrDie();
+    Check(resumed.sharded_stats.tiles_reused ==
+                  resumed.sharded_stats.tiles_total &&
+              resumed.sharded_stats.tiles_computed == 0 &&
+              MapsBitIdentical(reference.delta, resumed.delta()),
+          "warm/cold resume reuses every multi-layer tile",
+          static_cast<double>(resumed.sharded_stats.tiles_reused),
+          "three-layer tiles revalidated from disk");
+
+    ExportWarmColdMaps("fig_sharded_warmcold", reference);
   }
 
   ExportMap("fig_sharded_sweep", serial);

@@ -22,11 +22,12 @@
 #include <limits>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/format.h"
-#include "core/sweep.h"
+#include "core/sweep_engine.h"
 #include "viz/ascii_heatmap.h"
 #include "viz/legend.h"
 #include "workload/dataset.h"
@@ -97,13 +98,23 @@ int main() {
       {"fetch", {PlanKind::kCoverABBitmapFetch, PlanKind::kBitmapAndFetch}},
   };
 
+  // The engine request every sweep below varies: the warm-cold study on
+  // the threaded backend over the study space.
+  auto warmcold_request = [&](const std::vector<PlanKind>& plans) {
+    SweepRequest req = StudyRequest(scale, plans, space);
+    req.study = StudyKind::kWarmColdDelta;
+    req.warm_policy = warm_policy;
+    return req;
+  };
+
   ColorScale diverging = ColorScale::DivergingSeconds();
   std::vector<WarmColdMaps> results;
   for (const PlanSet& set : sets) {
     std::printf("\n--- plan set: %s ---\n", set.name);
-    auto maps = RunWarmColdSweep(env->ctx(), env->executor(), set.plans, space,
-                                 warm_policy, SweepOpts(scale))
-                    .ValueOrDie();
+    auto maps = SweepEngine::Run(env->ctx(), env->executor(),
+                                 warmcold_request(set.plans))
+                    .ValueOrDie()
+                    .ToWarmColdMaps();
 
     for (size_t pl = 0; pl < maps.delta.num_plans(); ++pl) {
       HeatmapOptions hopts;
@@ -138,34 +149,34 @@ int main() {
 
   std::printf("\nSelf-checks:\n");
 
-  // Cold maps must stay bit-identical across thread counts with warmup
-  // disabled — the warm subsystem must not perturb the classic guarantee.
+  // Cold maps must stay bit-identical across backends and thread counts
+  // with warmup disabled — the engine's backend axis must not perturb the
+  // classic guarantee.
   {
     const std::vector<PlanKind>& plans = sets[0].plans;
     env->ctx()->warmup = WarmupPolicy::Cold();
-    SweepOptions serial;
-    serial.num_threads = 1;
-    auto reference =
-        SweepStudyPlans(env->ctx(), env->executor(), plans, space, serial)
-            .ValueOrDie();
-    bool identical = MapsBitIdentical(reference, results[0].cold);
+    SweepRequest serial = StudyRequest(scale, plans, space);
+    serial.backend = BackendKind::kSerial;
+    auto reference = SweepEngine::Run(env->ctx(), env->executor(), serial)
+                         .ValueOrDie();
+    bool identical = MapsBitIdentical(reference.map(), results[0].cold);
     for (unsigned threads : {4u, 8u}) {
-      SweepOptions opts;
-      opts.num_threads = threads;
-      auto map =
-          SweepStudyPlans(env->ctx(), env->executor(), plans, space, opts)
-              .ValueOrDie();
-      identical = identical && MapsBitIdentical(reference, map);
+      SweepRequest req = StudyRequest(scale, plans, space);
+      req.sweep.num_threads = threads;
+      auto out = SweepEngine::Run(env->ctx(), env->executor(), req)
+                     .ValueOrDie();
+      identical = identical && MapsBitIdentical(reference.map(), out.map());
     }
-    Check(identical, "cold map bit-identical across 1/4/8 threads", 1,
+    Check(identical, "cold map bit-identical across serial/4/8 threads", 1,
           "warmup disabled");
   }
 
   // The warm map under a fixed explicit-page policy must reproduce exactly.
   {
-    auto again = RunWarmColdSweep(env->ctx(), env->executor(), sets[0].plans,
-                                  space, warm_policy, SweepOpts(scale))
-                     .ValueOrDie();
+    auto again = SweepEngine::Run(env->ctx(), env->executor(),
+                                  warmcold_request(sets[0].plans))
+                     .ValueOrDie()
+                     .ToWarmColdMaps();
     Check(MapsBitIdentical(again.warm, results[0].warm),
           "warm map reproducible run-to-run", 1, "explicit page-set policy");
   }
@@ -185,15 +196,16 @@ int main() {
         Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0));
     auto run_shared = [&]() {
       SharedBufferPool shared(sopts.pool_pages);
-      SweepOptions opts;
-      opts.num_threads = 1;
-      opts.shared_pool = &shared;
+      SweepRequest req;
+      req.plans = {PlanKind::kIndexAImproved};
+      req.space = line;
+      req.backend = BackendKind::kSerial;
+      req.sweep.shared_pool = &shared;
       env->ctx()->warmup = WarmupPolicy::PriorRun();
-      auto map = SweepStudyPlans(env->ctx(), env->executor(),
-                                 {PlanKind::kIndexAImproved}, line, opts)
+      auto out = SweepEngine::Run(env->ctx(), env->executor(), req)
                      .ValueOrDie();
       env->ctx()->warmup = WarmupPolicy::Cold();
-      return map;
+      return std::move(out.layers.front());
     };
     auto first = run_shared();
     auto second = run_shared();

@@ -1,17 +1,24 @@
 // map_cat — make binary .rmt tile and merged-map files self-serving: print
-// what a file contains, render it as an ASCII heatmap, or convert it to the
-// same CSV the figure benches export, without re-running any sweep.
+// what a file contains, render it as an ASCII heatmap, convert it to the
+// same CSV the figure benches export, or rasterize it to the same per-plan
+// PPM images — without re-running any sweep. With the benches emitting
+// .rmt as the canonical artifact, all three derived formats (CSV, ASCII,
+// PPM) come from here on demand.
 //
 // Usage:
 //   map_cat [--info] FILE...        # header summary (default)
-//   map_cat --ascii [--plan=K] FILE...   # terminal heatmap / curve table
-//   map_cat --csv FILE...           # CSV on stdout (all files concatenated)
+//   map_cat --ascii [--plan=K] [--layer=L] FILE...  # terminal heatmap
+//   map_cat --csv [--layer=L] FILE...    # CSV on stdout (files concatenated)
+//   map_cat --ppm [--plan=K] [--layer=L] FILE...  # FILE_[layer_]planK.ppm
 //   map_cat --selftest              # write+read+render round trip, exit 0/1
 //
-// Reads any tile format version this build's reader accepts (v1 files
-// simply have no wall-time metadata). Errors name the failing file and are
-// distinct for truncation/corruption vs. unknown version, exactly as the
-// library reports them.
+// Reads any tile format version this build's reader accepts (v1/v2 files
+// are single-layer; v3 files carry one named layer per study output, e.g.
+// cold/warm/delta — select with --layer, default 0). A layer named "delta"
+// renders on the diverging blue/white/red scale, everything else on the
+// absolute scale. Errors name the failing file and are distinct for
+// truncation/corruption vs. unknown version, exactly as the library
+// reports them.
 
 #include <cstdio>
 #include <sstream>
@@ -24,6 +31,7 @@
 #include "shard_cli.h"
 #include "viz/ascii_heatmap.h"
 #include "viz/csv_export.h"
+#include "viz/ppm_writer.h"
 
 using namespace robustmap;
 using namespace robustmap::bench;
@@ -44,6 +52,12 @@ void PrintInfo(const std::string& path, const MapTile& tile) {
               tile.wall_seconds > 0
                   ? (std::to_string(tile.wall_seconds) + " s").c_str()
                   : "(unrecorded)");
+  std::printf("  layers (%zu) :", tile.num_layers());
+  for (size_t li = 0; li < tile.num_layers(); ++li) {
+    const std::string name = tile.layer_name(li);
+    std::printf(" %s", name.empty() ? "(unnamed)" : name.c_str());
+  }
+  std::printf("\n");
   std::printf("  plans (%zu)  :", tile.map.num_plans());
   for (const std::string& label : tile.map.plan_labels()) {
     std::printf(" %s", label.c_str());
@@ -51,26 +65,82 @@ void PrintInfo(const std::string& path, const MapTile& tile) {
   std::printf("\n");
 }
 
-void PrintAscii(const MapTile& tile, int only_plan) {
-  if (!tile.map.space().is_2d()) {
-    PrintCurveTable(tile.map);
+/// The scale a layer renders on: the per-cell signed delta of a warm-cold
+/// study gets the diverging scale its figures use; everything else is an
+/// absolute-seconds surface.
+ColorScale LayerScale(const MapTile& tile, size_t layer) {
+  return tile.layer_name(layer) == "delta" ? ColorScale::DivergingSeconds()
+                                           : ColorScale::AbsoluteSeconds();
+}
+
+bool CheckLayer(const std::string& path, const MapTile& tile, int layer) {
+  if (layer >= 0 && static_cast<size_t>(layer) < tile.num_layers()) {
+    return true;
+  }
+  std::fprintf(stderr, "map_cat: %s has %zu layer(s); --layer=%d is out of "
+               "range\n",
+               path.c_str(), tile.num_layers(), layer);
+  return false;
+}
+
+void PrintAscii(const MapTile& tile, size_t layer, int only_plan) {
+  const RobustnessMap& map = tile.layer(layer);
+  if (!map.space().is_2d()) {
+    PrintCurveTable(map);
     return;
   }
-  const ColorScale scale = ColorScale::AbsoluteSeconds();
-  for (size_t pl = 0; pl < tile.map.num_plans(); ++pl) {
+  const ColorScale scale = LayerScale(tile, layer);
+  for (size_t pl = 0; pl < map.num_plans(); ++pl) {
     if (only_plan >= 0 && pl != static_cast<size_t>(only_plan)) continue;
     HeatmapOptions hopts;
-    hopts.title = tile.map.plan_label(pl);
-    std::printf("%s", RenderHeatmap(tile.map.space(),
-                                    tile.map.SecondsOfPlan(pl), scale, hopts)
+    hopts.title = tile.layer_name(layer).empty()
+                      ? map.plan_label(pl)
+                      : tile.layer_name(layer) + " / " + map.plan_label(pl);
+    std::printf("%s", RenderHeatmap(map.space(), map.SecondsOfPlan(pl),
+                                    scale, hopts)
                           .c_str());
   }
 }
 
+/// `--ppm`: FILE.rmt becomes FILE[_layer]_planK.ppm next to the input, on
+/// the layer's scale — the same images the figure benches export.
+int WritePpms(const std::string& path, const MapTile& tile, size_t layer,
+              int only_plan) {
+  const RobustnessMap& map = tile.layer(layer);
+  if (!map.space().is_2d()) {
+    std::fprintf(stderr, "map_cat: %s is 1-D; PPM rendering needs a 2-D "
+                 "map (use --csv or --ascii)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::string base = path;
+  if (base.size() > 4 && base.substr(base.size() - 4) == ".rmt") {
+    base.resize(base.size() - 4);
+  }
+  if (!tile.layer_name(layer).empty()) {
+    base += '_';
+    base += tile.layer_name(layer);
+  }
+  const ColorScale scale = LayerScale(tile, layer);
+  for (size_t pl = 0; pl < map.num_plans(); ++pl) {
+    if (only_plan >= 0 && pl != static_cast<size_t>(only_plan)) continue;
+    const std::string out = base + "_plan" + std::to_string(pl) + ".ppm";
+    if (Status s = WritePpm(out, map.space(), map.SecondsOfPlan(pl), scale);
+        !s.ok()) {
+      std::fprintf(stderr, "map_cat: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("map_cat: wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
 /// The round-trip smoke test ctest runs: a synthetic sub-rectangle tile
 /// with every field populated must write, read back bit-identically
-/// (including the v2 wall-time metadata), convert to identical CSV, and
-/// render a non-empty heatmap.
+/// (including wall-time metadata), convert to identical CSV, render a
+/// non-empty heatmap — and the same must hold for a three-layer warm-cold
+/// tile, whose layers and names must survive the trip and whose PPM
+/// rendering must succeed per layer.
 int SelfTest() {
   ParameterSpace space = ParameterSpace::TwoD(
       Axis::Selectivity("sel(a)", -4, 0), Axis::Selectivity("sel(b)", -3, 0));
@@ -128,16 +198,62 @@ int SelfTest() {
     std::fprintf(stderr, "selftest: empty heatmap render\n");
     return 1;
   }
+
+  // Multi-layer leg: a warm-cold-shaped tile (three named layers) must
+  // survive the same trip with layers, names, and per-layer cells intact,
+  // and must rasterize per layer through the --ppm path.
+  MapTile wc = tile;
+  wc.layer_names = {"cold", "warm", "delta"};
+  RobustnessMap warm = wc.map;
+  for (size_t pl = 0; pl < warm.num_plans(); ++pl) {
+    for (size_t pt = 0; pt < warm.space().num_points(); ++pt) {
+      Measurement m = warm.At(pl, pt);
+      m.seconds *= 0.5;
+      warm.Set(pl, pt, std::move(m));
+    }
+  }
+  wc.extra_layers = {warm, DiffMaps(warm, wc.map).ValueOrDie()};
+  const std::string wc_path = OutDir() + "/map_cat_selftest_wc.rmt";
+  if (Status s = WriteMapTileFile(wc_path, wc); !s.ok()) {
+    std::fprintf(stderr, "selftest: multi-layer write failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  auto wc_back = ReadMapTileFile(wc_path);
+  if (!wc_back.ok()) {
+    std::fprintf(stderr, "selftest: multi-layer read failed: %s\n",
+                 wc_back.status().ToString().c_str());
+    return 1;
+  }
+  if (wc_back.value().num_layers() != 3 ||
+      wc_back.value().layer_names != wc.layer_names ||
+      !MapsBitIdentical(wc_back.value().layer(1), warm) ||
+      !MapsBitIdentical(wc_back.value().layer(2), wc.extra_layers[1])) {
+    std::fprintf(stderr, "selftest: multi-layer round trip mangled\n");
+    return 1;
+  }
+  for (size_t li = 0; li < 3; ++li) {
+    if (WritePpms(wc_path, wc_back.value(), li, /*only_plan=*/0) != 0) {
+      return 1;
+    }
+  }
   std::remove(path.c_str());
-  std::printf("map_cat selftest: write/read/csv/ascii round trip OK\n");
+  std::remove(wc_path.c_str());
+  for (const char* layer : {"cold", "warm", "delta"}) {
+    std::remove((OutDir() + "/map_cat_selftest_wc_" + layer + "_plan0.ppm")
+                    .c_str());
+  }
+  std::printf("map_cat selftest: write/read/csv/ascii/ppm round trips OK "
+              "(single and multi-layer)\n");
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kInfo, kAscii, kCsv } mode = Mode::kInfo;
+  enum class Mode { kInfo, kAscii, kCsv, kPpm } mode = Mode::kInfo;
   int only_plan = -1;
+  int layer = 0;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -147,10 +263,14 @@ int main(int argc, char** argv) {
       mode = Mode::kAscii;
     } else if (arg == "--csv") {
       mode = Mode::kCsv;
+    } else if (arg == "--ppm") {
+      mode = Mode::kPpm;
     } else if (arg == "--selftest") {
       return SelfTest();
     } else if (ParseIntFlag(arg, "plan", &only_plan)) {
-      // rendered plan index for --ascii
+      // rendered plan index for --ascii / --ppm
+    } else if (ParseIntFlag(arg, "layer", &layer)) {
+      // rendered layer index for multi-layer tiles
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "map_cat: unknown flag %s\n", arg.c_str());
       return 2;
@@ -160,8 +280,8 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: map_cat [--info|--ascii|--csv] [--plan=K] "
-                 "FILE.rmt...\n       map_cat --selftest\n");
+                 "usage: map_cat [--info|--ascii|--csv|--ppm] [--plan=K] "
+                 "[--layer=L] FILE.rmt...\n       map_cat --selftest\n");
     return 2;
   }
 
@@ -172,20 +292,29 @@ int main(int argc, char** argv) {
                    tile.status().ToString().c_str());
       return 1;
     }
+    if (mode != Mode::kInfo && !CheckLayer(path, tile.value(), layer)) {
+      return 2;
+    }
     switch (mode) {
       case Mode::kInfo:
         PrintInfo(path, tile.value());
         break;
       case Mode::kAscii:
         PrintInfo(path, tile.value());
-        PrintAscii(tile.value(), only_plan);
+        PrintAscii(tile.value(), static_cast<size_t>(layer), only_plan);
         break;
       case Mode::kCsv: {
         std::ostringstream os;
-        WriteMapCsv(os, tile.value().map);
+        WriteMapCsv(os, tile.value().layer(static_cast<size_t>(layer)));
         std::fputs(os.str().c_str(), stdout);
         break;
       }
+      case Mode::kPpm:
+        if (WritePpms(path, tile.value(), static_cast<size_t>(layer),
+                      only_plan) != 0) {
+          return 1;
+        }
+        break;
     }
   }
   return 0;

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <utility>
 
 #include "bench_util.h"
 #include "core/landmarks.h"
@@ -118,11 +119,10 @@ int main() {
   // 1-D criteria over the single-predicate study.
   ParameterSpace line = ParameterSpace::OneD(
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0));
-  auto curves = SweepStudyPlans(env->ctx(), env->executor(),
-                                {PlanKind::kTableScan, PlanKind::kIndexANaive,
-                                 PlanKind::kIndexAImproved},
-                                line, SweepOpts(scale))
-                    .ValueOrDie();
+  auto curves = RunStudyMap(env.get(),
+                            {PlanKind::kTableScan, PlanKind::kIndexANaive,
+                             PlanKind::kIndexAImproved},
+                            line, scale);
 
   std::printf("\n1-D criteria (Figure 1 family):\n");
   for (size_t pl = 0; pl < curves.num_plans(); ++pl) {
@@ -149,27 +149,29 @@ int main() {
   // independent cells. Run it serially, then on a thread pool, timing both:
   // the parallel map must reproduce the serial map bit for bit, and the
   // wall-clock ratio is the headline number of BENCH_robustness.json.
-  SweepOptions serial_opts = SweepOpts(scale);
-  serial_opts.num_threads = 1;
+  SweepRequest serial_req = StudyRequest(scale, AllStudyPlans(), grid);
+  serial_req.backend = BackendKind::kSerial;
   auto serial_start = std::chrono::steady_clock::now();
-  auto serial_map =
-      SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(), grid,
-                      serial_opts)
-          .ValueOrDie();
+  auto serial_map = std::move(SweepEngine::Run(env->ctx(), env->executor(),
+                                               serial_req)
+                                  .ValueOrDie()
+                                  .layers.front());
   double serial_wall = WallSecondsSince(serial_start);
 
   // An explicit REPRO_THREADS is honored as-is; only the default (0 =
   // auto) is widened to at least 8 so the speedup leg exercises a real
   // thread pool even on small machines.
-  SweepOptions parallel_opts = SweepOpts(scale);
-  if (parallel_opts.num_threads == 0) {
-    parallel_opts.num_threads =
+  SweepRequest parallel_req = StudyRequest(scale, AllStudyPlans(), grid);
+  if (parallel_req.sweep.num_threads == 0) {
+    parallel_req.sweep.num_threads =
         std::max(8u, std::thread::hardware_concurrency());
   }
+  SweepOptions parallel_opts = parallel_req.sweep;
   auto parallel_start = std::chrono::steady_clock::now();
-  auto map = SweepStudyPlans(env->ctx(), env->executor(), AllStudyPlans(),
-                             grid, parallel_opts)
-                 .ValueOrDie();
+  auto map = std::move(SweepEngine::Run(env->ctx(), env->executor(),
+                                        parallel_req)
+                           .ValueOrDie()
+                           .layers.front());
   double parallel_wall = WallSecondsSince(parallel_start);
 
   bool bit_identical = MapsBitIdentical(serial_map, map);
@@ -191,16 +193,16 @@ int main() {
       scale.num_shards != 0 ? scale.num_shards : 8;
   auto run_shard_leg = [&](CostModelKind model,
                            const std::string& dir) -> ShardLeg {
-    ShardedSweepOptions shard_opts;
-    shard_opts.tile_dir = OutDir() + "/" + dir;
-    shard_opts.num_workers = shard_workers;
-    shard_opts.resume = false;
-    shard_opts.cost_model = model;
-    ShardedSweepStats stats;
+    SweepRequest req = StudyRequest(scale, AllStudyPlans(), grid);
+    req.backend = BackendKind::kShardedProcess;
+    req.sharded.tile_dir = OutDir() + "/" + dir;
+    req.sharded.num_workers = shard_workers;
+    req.sharded.resume = false;
+    req.sharded.cost_model = model;
     auto start = std::chrono::steady_clock::now();
-    auto map = RunShardedSweep(env->ctx(), env->executor(), AllStudyPlans(),
-                               grid, shard_opts, &stats)
+    auto out = SweepEngine::Run(env->ctx(), env->executor(), req)
                    .ValueOrDie();
+    const ShardedSweepStats& stats = out.sharded_stats;
     ShardLeg leg;
     leg.wall_seconds = WallSecondsSince(start);
     leg.balance_ratio = stats.busy_balance_ratio();
@@ -208,7 +210,7 @@ int main() {
       leg.busy_total_seconds += busy;
     }
     leg.tiles = stats.tiles_total;
-    leg.bit_identical = MapsBitIdentical(serial_map, map);
+    leg.bit_identical = MapsBitIdentical(serial_map, out.map());
     std::printf("sharded across %u workers (%s tiles): %.2fs (%.2fx, "
                 "balance %.2f)\n",
                 shard_workers, CostModelKindName(model), leg.wall_seconds,

@@ -1,23 +1,30 @@
 // Coordinator for sharded sweeps: partitions the study grid into tiles,
 // spawns `sweep_worker` subprocesses (fork/exec) to compute the missing
-// ones, and merges the checkpointed tile files into one map — bit-identical
-// to a single-process sweep of the same grid. Rerunning against the same
-// --out-dir resumes: tiles already valid on disk are skipped, so a killed
-// paper-scale sweep restarts where it left off instead of from zero.
+// ones, and merges the checkpointed tile files into one map per study
+// layer — bit-identical to a single-process sweep of the same grid.
+// Rerunning against the same --out-dir resumes: tiles already valid on
+// disk are skipped, so a killed paper-scale sweep restarts where it left
+// off instead of from zero.
 //
 // Usage:
 //   sweep_shard [--row-bits=16] [--min-log2=-8] [--steps-per-octave=1]
 //               [--plans=all|smoke] [--workers=N] [--tiles=T]
 //               [--threads-per-worker=1] [--out-dir=shard_out]
 //               [--cost-model=uniform|analytic|measured]
+//               [--study=plain|warmcold] [--warmup=SPEC]
 //               [--worker=PATH]   # sweep_worker binary (default: next to me)
 //               [--fork]          # forked in-process workers, no exec
 //               [--serial]        # single-process reference sweep
 //               [--no-resume] [--verbose]
 //
-// Writes DIR/tile_NNNN.rmt checkpoints plus DIR/merged.rmt and
-// DIR/merged.csv. The REPRO_SHARDS env knob supplies --workers and
-// REPRO_COST_MODEL supplies --cost-model when the flags are absent.
+// Writes DIR/tile_NNNN.rmt checkpoints plus the merged artifacts:
+// DIR/merged.{rmt,csv} for the plain study, DIR/merged_<layer>.{rmt,csv}
+// (cold/warm/delta) for --study=warmcold — each a single-layer full-grid
+// tile, so `cmp` against a --serial reference run checks bit-identity per
+// layer. The REPRO_SHARDS / REPRO_COST_MODEL / REPRO_STUDY env knobs
+// supply --workers / --cost-model / --study when the flags are absent.
+// --warmup (WarmupPolicy::FromSpec grammar, e.g. resident:0.5) is the warm
+// layer's policy for warmcold and the measurement policy for plain.
 // --cost-model=measured reschedules from the wall times stamped into the
 // tile files of a previous run against the same --out-dir (combine with
 // --no-resume: moving tile boundaries invalidates old checkpoints anyway).
@@ -45,22 +52,22 @@ std::string DefaultWorkerPath(const char* argv0) {
   return self.substr(0, slash + 1) + "sweep_worker";
 }
 
-/// The merged map is persisted as a tile covering the whole grid, so the
-/// same reader (and the same byte-for-byte comparison) serves tiles and
-/// full maps alike.
-Status WriteMergedArtifacts(const std::string& dir,
-                            const ParameterSpace& space,
-                            const RobustnessMap& map) {
+/// Per-layer merged artifacts: each layer is persisted as a single-layer
+/// tile covering the whole grid, so the same reader (and the same
+/// byte-for-byte comparison) serves tiles, plain maps, and every layer of
+/// a multi-layer study alike. The plain study keeps its classic
+/// merged.{rmt,csv} names.
+Status WriteMergedArtifacts(const std::string& dir, StudyKind study,
+                            const std::vector<RobustnessMap>& layers) {
   RM_RETURN_IF_ERROR(EnsureDirectory(dir));
-  TileSpec full;
-  full.shard_id = 0;
-  full.x_begin = 0;
-  full.x_end = space.x_size();
-  full.y_begin = 0;
-  full.y_end = space.y_size();
-  RM_RETURN_IF_ERROR(
-      WriteMapTileFile(dir + "/merged.rmt", MapTile{full, space, map}));
-  return WriteMapCsvFile(dir + "/merged.csv", map);
+  const std::vector<std::string> names = StudyLayerNames(study);
+  for (size_t li = 0; li < layers.size(); ++li) {
+    const std::string base =
+        dir + "/merged" + (names.empty() ? "" : "_" + names[li]);
+    RM_RETURN_IF_ERROR(WriteMapRmt(base + ".rmt", layers[li]));
+    RM_RETURN_IF_ERROR(WriteMapCsvFile(base + ".csv", layers[li]));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -76,9 +83,10 @@ int main(int argc, char** argv) {
   bool verbose = EnvFlag("REPRO_VERBOSE");
   std::string out_dir = "shard_out";
   std::string worker_path = DefaultWorkerPath(argv[0]);
-  const char* env_model = std::getenv("REPRO_COST_MODEL");
   std::string cost_model_name =
-      env_model != nullptr && env_model[0] != '\0' ? env_model : "analytic";
+      CostModelKindName(EnvCostModel(CostModelKind::kAnalytic));
+  std::string study_name = StudyKindName(EnvStudy(StudyKind::kPlainMap));
+  std::string warmup_spec = "cold";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (ParseGridFlag(arg, &grid) || ParseIntFlag(arg, "workers", &workers) ||
@@ -86,6 +94,8 @@ int main(int argc, char** argv) {
         ParseIntFlag(arg, "threads-per-worker", &threads_per_worker) ||
         ParseFlag(arg, "out-dir", &out_dir) ||
         ParseFlag(arg, "cost-model", &cost_model_name) ||
+        ParseFlag(arg, "study", &study_name) ||
+        ParseFlag(arg, "warmup", &warmup_spec) ||
         ParseFlag(arg, "worker", &worker_path)) {
       continue;
     }
@@ -109,6 +119,27 @@ int main(int argc, char** argv) {
                  cost_model.status().message().c_str());
     return 2;
   }
+  auto study = StudyKindFromString(study_name);
+  if (!study.ok()) {
+    std::fprintf(stderr, "sweep_shard: %s\n",
+                 study.status().message().c_str());
+    return 2;
+  }
+  auto warmup = WarmupPolicy::FromSpec(warmup_spec);
+  if (!warmup.ok()) {
+    std::fprintf(stderr, "sweep_shard: %s\n",
+                 warmup.status().message().c_str());
+    return 2;
+  }
+  // A warm-cold study with a cold warm layer is two identical sweeps and
+  // an all-zero delta — a spelled-out default beats a silent no-op study.
+  if (study.value() == StudyKind::kWarmColdDelta && warmup.value().is_cold()) {
+    warmup = WarmupPolicy::FractionResident(0.5);
+    std::fprintf(stderr,
+                 "sweep_shard: --study=warmcold without --warmup; using "
+                 "%s\n",
+                 warmup.value().label().c_str());
+  }
 
   std::vector<PlanKind> plans = GridPlans(grid);
   if (plans.empty()) {
@@ -117,8 +148,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   ParameterSpace space = MakeGridSpace(grid);
-  std::printf("sweep_shard: %zux%zu grid, %zu plans, 2^%d rows\n",
-              space.x_size(), space.y_size(), plans.size(), grid.row_bits);
+  std::printf("sweep_shard: %zux%zu grid, %zu plans, 2^%d rows, %s study\n",
+              space.x_size(), space.y_size(), plans.size(), grid.row_bits,
+              StudyKindName(study.value()));
 
   // The full-scale database is only needed when *this* process computes
   // cells (--serial, or forked workers sharing its memory). Exec-mode
@@ -129,45 +161,72 @@ int main(int argc, char** argv) {
 
   auto start = std::chrono::steady_clock::now();
   if (serial) {
+    // The reference run the CI byte-diffs sharded merges against: the
+    // plain study through the serial legacy path, the warm-cold study
+    // through `RunWarmColdSweep` itself — the acceptance bar for the
+    // sharded backend is bit-identity to exactly these.
     SweepOptions opts;
     opts.num_threads = 1;
     opts.verbose = verbose;
-    auto map = SweepStudyPlans(env->ctx(), env->executor(), plans, space,
-                               opts);
-    if (!map.ok()) {
-      std::fprintf(stderr, "sweep_shard: %s\n",
-                   map.status().ToString().c_str());
-      return 1;
+    std::vector<RobustnessMap> layers;
+    if (study.value() == StudyKind::kWarmColdDelta) {
+      auto maps = RunWarmColdSweep(env->ctx(), env->executor(), plans, space,
+                                   warmup.value(), opts);
+      if (!maps.ok()) {
+        std::fprintf(stderr, "sweep_shard: %s\n",
+                     maps.status().ToString().c_str());
+        return 1;
+      }
+      layers.push_back(std::move(maps.value().cold));
+      layers.push_back(std::move(maps.value().warm));
+      layers.push_back(std::move(maps.value().delta));
+    } else {
+      env->ctx()->warmup = warmup.value();
+      auto map = SweepStudyPlans(env->ctx(), env->executor(), plans, space,
+                                 opts);
+      if (!map.ok()) {
+        std::fprintf(stderr, "sweep_shard: %s\n",
+                     map.status().ToString().c_str());
+        return 1;
+      }
+      layers.push_back(std::move(map).value());
     }
-    Status s = WriteMergedArtifacts(out_dir, space, map.value());
+    Status s = WriteMergedArtifacts(out_dir, study.value(), layers);
     if (!s.ok()) {
       std::fprintf(stderr, "sweep_shard: %s\n", s.ToString().c_str());
       return 1;
     }
-    std::printf("serial sweep: cells=%zu wall=%.2fs -> %s/merged.rmt\n",
-                plans.size() * space.num_points(), WallSecondsSince(start),
-                out_dir.c_str());
+    std::printf("serial sweep: cells=%zu layers=%zu wall=%.2fs -> "
+                "%s/merged*.rmt\n",
+                plans.size() * space.num_points(), layers.size(),
+                WallSecondsSince(start), out_dir.c_str());
     return 0;
   }
 
-  ShardedSweepOptions opts;
-  opts.tile_dir = out_dir;
-  opts.num_workers = static_cast<unsigned>(workers < 0 ? 0 : workers);
-  opts.num_tiles = tiles <= 0 ? 0 : static_cast<size_t>(tiles);
-  opts.threads_per_worker =
+  SweepRequest req;
+  req.plans = plans;
+  req.space = space;
+  req.study = study.value();
+  req.backend = BackendKind::kShardedProcess;
+  req.warm_policy = warmup.value();
+  req.sharded.tile_dir = out_dir;
+  req.sharded.num_workers = static_cast<unsigned>(workers < 0 ? 0 : workers);
+  req.sharded.num_tiles = tiles <= 0 ? 0 : static_cast<size_t>(tiles);
+  req.sharded.threads_per_worker =
       static_cast<unsigned>(threads_per_worker < 1 ? 1 : threads_per_worker);
-  opts.resume = resume;
-  opts.verbose = verbose;
-  opts.cost_model = cost_model.value();
+  req.sharded.resume = resume;
+  req.sharded.verbose = verbose;
+  req.sharded.cost_model = cost_model.value();
   if (!use_fork) {
-    // RunShardedSweep itself appends --tiles/--tile/--rect/--out, so the
-    // resolved partition is always the coordinator's own.
-    opts.worker_command = {worker_path};
+    // The engine itself appends --tiles/--tile/--rect/--study/--warmup/
+    // --out, so the resolved partition and study are always the
+    // coordinator's own.
+    req.sharded.worker_command = {worker_path};
     for (std::string& flag : GridArgs(grid)) {
-      opts.worker_command.push_back(std::move(flag));
+      req.sharded.worker_command.push_back(std::move(flag));
     }
-    opts.worker_command.push_back(
-        "--threads=" + std::to_string(opts.threads_per_worker));
+    req.sharded.worker_command.push_back(
+        "--threads=" + std::to_string(req.sharded.threads_per_worker));
   }
 
   // Exec mode touches no cells in this process: a minimal simulated
@@ -183,24 +242,30 @@ int main(int argc, char** argv) {
   Executor stub_executor{StudyDb{}};
   RunContext* ctx = env ? env->ctx() : &stub_ctx;
   const Executor& executor = env ? env->executor() : stub_executor;
+  // A plain study measured warm: the policy rides on the context (and the
+  // engine forwards it to exec workers as --warmup).
+  if (study.value() == StudyKind::kPlainMap) ctx->warmup = warmup.value();
 
-  ShardedSweepStats stats;
-  auto map = RunShardedSweep(ctx, executor, plans, space, opts, &stats);
-  if (!map.ok()) {
-    std::fprintf(stderr, "sweep_shard: %s\n", map.status().ToString().c_str());
+  auto outcome = SweepEngine::Run(ctx, executor, req);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "sweep_shard: %s\n",
+                 outcome.status().ToString().c_str());
     return 1;
   }
-  Status s = WriteMergedArtifacts(out_dir, space, map.value());
+  const ShardedSweepStats& stats = outcome.value().sharded_stats;
+  Status s = WriteMergedArtifacts(out_dir, study.value(),
+                                  outcome.value().layers);
   if (!s.ok()) {
     std::fprintf(stderr, "sweep_shard: %s\n", s.ToString().c_str());
     return 1;
   }
   std::printf(
       "sharded sweep: tiles=%zu reused=%zu computed=%zu workers=%u "
-      "mode=%s cost-model=%s balance=%.2f wall=%.2fs -> %s/merged.rmt\n",
+      "mode=%s study=%s cost-model=%s balance=%.2f wall=%.2fs -> "
+      "%s/merged*.rmt\n",
       stats.tiles_total, stats.tiles_reused, stats.tiles_computed,
       stats.workers_spawned, use_fork ? "fork" : "exec",
-      CostModelKindName(opts.cost_model), stats.busy_balance_ratio(),
-      WallSecondsSince(start), out_dir.c_str());
+      StudyKindName(study.value()), CostModelKindName(req.sharded.cost_model),
+      stats.busy_balance_ratio(), WallSecondsSince(start), out_dir.c_str());
   return 0;
 }

@@ -1,15 +1,17 @@
 // One worker of a sharded sweep: rebuilds the study environment from its
-// flags, computes exactly one grid tile, and writes it as a checkpointed
-// binary tile file (v2 — carrying the sweep's wall time, the cost feedback
-// later coordinator runs reschedule from). Normally spawned by
-// `sweep_shard` (which appends --tile/--rect/--out to its own grid flags),
-// but equally runnable by hand or from a cluster scheduler — a tile file is
-// self-describing, so tiles computed anywhere merge as long as the grid
-// flags match.
+// flags, computes exactly one grid tile of the requested study, and writes
+// it as a checkpointed binary tile file (single-layer for the plain study,
+// one named layer per study output otherwise; v2/v3 wall-time metadata is
+// the cost feedback later coordinator runs reschedule from). Normally
+// spawned by `sweep_shard` (which appends --tile/--rect/--study/--out to
+// its own grid flags), but equally runnable by hand or from a cluster
+// scheduler — a tile file is self-describing, so tiles computed anywhere
+// merge as long as the grid flags match.
 //
 // Usage:
 //   sweep_worker --tiles=N --tile=K --out=PATH
 //                [--rect=X0:X1:Y0:Y1]
+//                [--study=plain|warmcold] [--warmup=SPEC]
 //                [--row-bits=16] [--min-log2=-8] [--steps-per-octave=1]
 //                [--plans=all|smoke] [--threads=1]
 //
@@ -17,7 +19,10 @@
 // cost-weighted cuts depend on its model, so the exact boundaries are part
 // of the contract); without it the worker re-derives tile K of the uniform
 // N-way partition, the pre-cost-model contract, still honored so old
-// driver scripts keep working.
+// driver scripts keep working. --warmup (see WarmupPolicy::FromSpec for
+// the grammar) is the warm layer's policy for --study=warmcold and the
+// measurement policy for a plain study; it must be order-independent —
+// prior-run warmth cannot cross the tile boundaries sharding erases.
 //
 // On failure, writes the error to PATH.err (the coordinator reads it back)
 // and exits non-zero.
@@ -42,29 +47,6 @@ int Fail(const std::string& out, const Status& s) {
   return 1;
 }
 
-/// "X0:X1:Y0:Y1" (grid indices, half-open) into the four rectangle fields.
-bool ParseRect(const std::string& raw, TileSpec* spec) {
-  size_t* fields[4] = {&spec->x_begin, &spec->x_end, &spec->y_begin,
-                       &spec->y_end};
-  size_t pos = 0;
-  for (int f = 0; f < 4; ++f) {
-    const size_t colon = raw.find(':', pos);
-    const std::string part = raw.substr(
-        pos, colon == std::string::npos ? std::string::npos : colon - pos);
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(part.c_str(), &end, 10);
-    if (part.empty() || end == part.c_str() || *end != '\0') return false;
-    *fields[f] = static_cast<size_t>(v);
-    if (f < 3) {
-      if (colon == std::string::npos) return false;
-      pos = colon + 1;
-    } else if (colon != std::string::npos) {
-      return false;  // trailing fifth field
-    }
-  }
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,12 +56,16 @@ int main(int argc, char** argv) {
   int threads = 1;
   std::string out;
   std::string rect;
+  std::string study_name = "plain";
+  std::string warmup_spec = "cold";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (ParseGridFlag(arg, &grid) || ParseIntFlag(arg, "tiles", &tiles) ||
         ParseIntFlag(arg, "tile", &tile_id) ||
         ParseIntFlag(arg, "threads", &threads) ||
-        ParseFlag(arg, "out", &out) || ParseFlag(arg, "rect", &rect)) {
+        ParseFlag(arg, "out", &out) || ParseFlag(arg, "rect", &rect) ||
+        ParseFlag(arg, "study", &study_name) ||
+        ParseFlag(arg, "warmup", &warmup_spec)) {
       continue;
     }
     std::fprintf(stderr, "sweep_worker: unknown flag %s\n", arg.c_str());
@@ -88,10 +74,24 @@ int main(int argc, char** argv) {
   if (tiles <= 0 || tile_id < 0 || out.empty()) {
     std::fprintf(stderr,
                  "usage: sweep_worker --tiles=N --tile=K --out=PATH "
-                 "[--rect=X0:X1:Y0:Y1] [--row-bits=..] [--min-log2=..] "
+                 "[--rect=X0:X1:Y0:Y1] [--study=plain|warmcold] "
+                 "[--warmup=SPEC] [--row-bits=..] [--min-log2=..] "
                  "[--steps-per-octave=..] [--plans=all|smoke] "
                  "[--threads=..]\n");
     return 2;
+  }
+  // Every remaining rejection leaves a PATH.err for the coordinator: a
+  // worker that dies without saying why turns a config typo into a
+  // "killed?" mystery at the other end of the process boundary.
+  auto study = StudyKindFromString(study_name);
+  if (!study.ok()) return Fail(out, study.status());
+  auto warmup = WarmupPolicy::FromSpec(warmup_spec);
+  if (!warmup.ok()) return Fail(out, warmup.status());
+  if (warmup.value().is_order_dependent()) {
+    return Fail(out, Status::InvalidArgument(
+                         "--warmup=" + warmup_spec +
+                         " is order-dependent; a tile worker cannot "
+                         "inherit cache state across tile boundaries"));
   }
   std::vector<PlanKind> plans = GridPlans(grid);
   if (plans.empty()) {
@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
   if (!rect.empty()) {
     // The coordinator's exact (possibly cost-weighted) cuts; SliceSpace
     // validation below rejects a rectangle that doesn't fit this grid.
-    if (!ParseRect(rect, &spec)) {
+    if (!ParseRectSpec(rect, &spec)) {
       return Fail(out, Status::InvalidArgument(
                            "--rect=" + rect +
                            " is not X0:X1:Y0:Y1 grid indices"));
@@ -131,13 +131,20 @@ int main(int argc, char** argv) {
   }
 
   auto env = MakeGridEnvironment(grid);
+  // A plain study measures under the context's policy; a warm-cold study
+  // keeps the context cold (its cold layer) and warms only the warm layer.
+  if (study.value() == StudyKind::kPlainMap) {
+    env->ctx()->warmup = warmup.value();
+  }
   SweepOptions opts;
   opts.num_threads = static_cast<unsigned>(threads < 1 ? 1 : threads);
   Status s = ComputeAndWriteTile(env->ctx(), env->executor(), plans, space,
-                                 spec, out, opts);
+                                 spec, out, opts, study.value(),
+                                 warmup.value());
   if (!s.ok()) return Fail(out, s);
-  std::printf("sweep_worker: tile %d/%d (%zux%zu cells x %zu plans) -> %s\n",
-              tile_id, tiles, spec.x_size(), spec.y_size(), plans.size(),
-              out.c_str());
+  std::printf(
+      "sweep_worker: tile %d/%d (%zux%zu cells x %zu plans, %s) -> %s\n",
+      tile_id, tiles, spec.x_size(), spec.y_size(), plans.size(),
+      StudyKindName(study.value()), out.c_str());
   return 0;
 }

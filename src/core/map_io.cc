@@ -7,6 +7,7 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <iterator>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -180,11 +181,31 @@ Status WriteMapTile(std::ostream& os, const MapTile& tile) {
         "tile map's space is not the slice of the parent grid its spec "
         "names");
   }
+  for (const RobustnessMap& extra : tile.extra_layers) {
+    if (!(extra.space() == tile.map.space()) ||
+        extra.plan_labels() != tile.map.plan_labels()) {
+      return Status::InvalidArgument(
+          "every tile layer must cover the same slice with the same plan "
+          "labels as layer 0");
+    }
+  }
+  const size_t num_layers = tile.num_layers();
+  // Multi-layer tiles must be self-describing (one name per layer, the
+  // merge keys on them); a single unnamed layer is the classic plain tile
+  // and stays on the v2 byte stream so artifacts remain byte-comparable.
+  const bool v3 = num_layers > 1 || !tile.layer_names.empty();
+  if (v3 && tile.layer_names.size() != num_layers) {
+    return Status::InvalidArgument(
+        "multi-layer tile needs one name per layer (have " +
+        std::to_string(tile.layer_names.size()) + " names for " +
+        std::to_string(num_layers) + " layers)");
+  }
 
   std::string buf;
   buf.append(kMagic, kMagicSize);
-  PutU32(&buf, kMapTileFormatVersion);
+  PutU32(&buf, v3 ? 3 : 2);
   PutDouble(&buf, tile.wall_seconds);
+  if (v3) PutU64(&buf, num_layers);
   PutU64(&buf, tile.spec.shard_id);
   PutU64(&buf, tile.spec.x_begin);
   PutU64(&buf, tile.spec.x_end);
@@ -197,9 +218,13 @@ Status WriteMapTile(std::ostream& os, const MapTile& tile) {
   for (const std::string& label : tile.map.plan_labels()) {
     PutString(&buf, label);
   }
-  for (size_t plan = 0; plan < tile.map.num_plans(); ++plan) {
-    for (size_t pt = 0; pt < tile.map.space().num_points(); ++pt) {
-      PutMeasurement(&buf, tile.map.At(plan, pt));
+  for (size_t li = 0; li < num_layers; ++li) {
+    if (v3) PutString(&buf, tile.layer_names[li]);
+    const RobustnessMap& layer = tile.layer(li);
+    for (size_t plan = 0; plan < layer.num_plans(); ++plan) {
+      for (size_t pt = 0; pt < layer.space().num_points(); ++pt) {
+        PutMeasurement(&buf, layer.At(plan, pt));
+      }
     }
   }
   PutU64(&buf, Fnv1a64(buf.data(), buf.size()));
@@ -275,10 +300,24 @@ Result<MapTile> ReadMapTile(std::istream& is) {
            payload_size - kVersionOffset - sizeof(uint32_t));
   // v2 carries the tile sweep's wall time right after the version; a v1
   // file simply has no timing signal, which downstream cost models treat
-  // as "unmeasured", never as an error.
+  // as "unmeasured", never as an error. v3 adds the layer count; earlier
+  // versions are by definition single-layer.
   double wall_seconds = 0;
   if (version >= 2) {
     RM_RETURN_IF_ERROR(c.GetDouble(&wall_seconds));
+  }
+  uint64_t num_layers = 1;
+  if (version >= 3) {
+    RM_RETURN_IF_ERROR(c.GetU64(&num_layers));
+    // Each layer needs at least a name length and one cell; bound the
+    // count by the bytes that could back it before it sizes anything.
+    if (num_layers == 0 || num_layers > c.remaining() / sizeof(uint32_t)) {
+      return Status::Corruption("map tile claims " +
+                                std::to_string(num_layers) +
+                                " layers but only " +
+                                std::to_string(c.remaining()) +
+                                " bytes remain");
+    }
   }
   TileSpec spec;
   uint64_t v = 0;
@@ -323,29 +362,46 @@ Result<MapTile> ReadMapTile(std::istream& is) {
     RM_RETURN_IF_ERROR(c.GetString(&labels[i]));
   }
   // Every cell occupies at least 9 u64-sized fields plus a label length;
-  // reject plan x point products the remaining bytes cannot possibly back
-  // before sizing the map (divisions, so the product cannot overflow).
+  // reject plan x point x layer products the remaining bytes cannot
+  // possibly back before sizing the maps (divisions, so the product cannot
+  // overflow).
   constexpr size_t kMinCellBytes = 9 * sizeof(uint64_t) + sizeof(uint32_t);
   const size_t points = sub.value().num_points();
   if (num_plans != 0 &&
-      c.remaining() / kMinCellBytes / num_plans < points) {
+      c.remaining() / kMinCellBytes / num_plans / num_layers < points) {
     return Status::Corruption(
         "map tile claims more cells than its bytes can hold");
   }
-  RobustnessMap map(sub.value(), std::move(labels));
-  for (size_t plan = 0; plan < map.num_plans(); ++plan) {
-    for (size_t pt = 0; pt < map.space().num_points(); ++pt) {
-      Measurement m;
-      RM_RETURN_IF_ERROR(GetMeasurement(&c, &m));
-      map.Set(plan, pt, std::move(m));
+  std::vector<std::string> layer_names;
+  std::vector<RobustnessMap> layers;
+  layers.reserve(num_layers);
+  for (uint64_t li = 0; li < num_layers; ++li) {
+    if (version >= 3) {
+      std::string name;
+      RM_RETURN_IF_ERROR(c.GetString(&name));
+      layer_names.push_back(std::move(name));
     }
+    RobustnessMap layer(sub.value(), labels);
+    for (size_t plan = 0; plan < layer.num_plans(); ++plan) {
+      for (size_t pt = 0; pt < layer.space().num_points(); ++pt) {
+        Measurement m;
+        RM_RETURN_IF_ERROR(GetMeasurement(&c, &m));
+        layer.Set(plan, pt, std::move(m));
+      }
+    }
+    layers.push_back(std::move(layer));
   }
   if (c.remaining() != 0) {
     return Status::Corruption("map tile has " +
                               std::to_string(c.remaining()) +
                               " trailing bytes past its declared cells");
   }
-  return MapTile{spec, std::move(parent), std::move(map), wall_seconds};
+  MapTile tile{spec, std::move(parent), std::move(layers.front()),
+               wall_seconds};
+  tile.layer_names = std::move(layer_names);
+  tile.extra_layers.assign(std::make_move_iterator(layers.begin() + 1),
+                           std::make_move_iterator(layers.end()));
+  return tile;
 }
 
 Result<MapTile> ReadMapTileFile(const std::string& path) {
@@ -363,10 +419,15 @@ Result<MapTile> ReadMapTileFile(const std::string& path) {
   return tile;
 }
 
-Result<RobustnessMap> MergeTiles(const ParameterSpace& space,
-                                 const std::vector<std::string>& plan_labels,
-                                 const std::vector<MapTile>& tiles) {
-  RobustnessMap merged(space, plan_labels);
+Result<std::vector<RobustnessMap>> MergeTileLayers(
+    const ParameterSpace& space, const std::vector<std::string>& plan_labels,
+    const std::vector<MapTile>& tiles) {
+  const size_t num_layers = tiles.empty() ? 1 : tiles.front().num_layers();
+  std::vector<RobustnessMap> merged;
+  merged.reserve(num_layers);
+  for (size_t li = 0; li < num_layers; ++li) {
+    merged.emplace_back(space, plan_labels);
+  }
   std::vector<uint8_t> covered(space.num_points(), 0);
   for (const MapTile& tile : tiles) {
     if (!(tile.parent_space == space)) {
@@ -380,6 +441,15 @@ Result<RobustnessMap> MergeTiles(const ParameterSpace& space,
           "tile " + std::to_string(tile.spec.shard_id) +
           " covers a different plan set; refusing to merge");
     }
+    // Layers are merged positionally, so tiles must agree on the study
+    // shape exactly — a plain tile in a warm-cold merge (or layers in a
+    // different order) is a configuration mix-up, not mergeable data.
+    if (tile.num_layers() != num_layers ||
+        tile.layer_names != tiles.front().layer_names) {
+      return Status::InvalidArgument(
+          "tile " + std::to_string(tile.spec.shard_id) +
+          " carries different layers than its siblings; refusing to merge");
+    }
     // ReadMapTile-produced tiles satisfy this by construction, but merge
     // must not trust its caller: an out-of-grid rectangle or a map smaller
     // than its claimed rectangle would index out of bounds below.
@@ -389,10 +459,13 @@ Result<RobustnessMap> MergeTiles(const ParameterSpace& space,
           "tile " + std::to_string(tile.spec.shard_id) + ": " +
           sub.status().message());
     }
-    if (!(tile.map.space() == sub.value())) {
-      return Status::InvalidArgument(
-          "tile " + std::to_string(tile.spec.shard_id) +
-          "'s map does not cover the rectangle its spec names");
+    for (size_t li = 0; li < num_layers; ++li) {
+      if (!(tile.layer(li).space() == sub.value()) ||
+          tile.layer(li).plan_labels() != plan_labels) {
+        return Status::InvalidArgument(
+            "tile " + std::to_string(tile.spec.shard_id) +
+            "'s map does not cover the rectangle its spec names");
+      }
     }
     for (size_t yi = tile.spec.y_begin; yi < tile.spec.y_end; ++yi) {
       for (size_t xi = tile.spec.x_begin; xi < tile.spec.x_end; ++xi) {
@@ -406,8 +479,10 @@ Result<RobustnessMap> MergeTiles(const ParameterSpace& space,
         const size_t tile_pt =
             (yi - tile.spec.y_begin) * tile.spec.x_size() +
             (xi - tile.spec.x_begin);
-        for (size_t plan = 0; plan < merged.num_plans(); ++plan) {
-          merged.Set(plan, parent_pt, tile.map.At(plan, tile_pt));
+        for (size_t li = 0; li < num_layers; ++li) {
+          for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
+            merged[li].Set(plan, parent_pt, tile.layer(li).At(plan, tile_pt));
+          }
         }
       }
     }
@@ -421,6 +496,22 @@ Result<RobustnessMap> MergeTiles(const ParameterSpace& space,
     }
   }
   return merged;
+}
+
+Result<RobustnessMap> MergeTiles(const ParameterSpace& space,
+                                 const std::vector<std::string>& plan_labels,
+                                 const std::vector<MapTile>& tiles) {
+  for (const MapTile& tile : tiles) {
+    if (tile.num_layers() != 1) {
+      return Status::InvalidArgument(
+          "tile " + std::to_string(tile.spec.shard_id) + " carries " +
+          std::to_string(tile.num_layers()) +
+          " layers; use MergeTileLayers for multi-layer tiles");
+    }
+  }
+  auto merged = MergeTileLayers(space, plan_labels, tiles);
+  RM_RETURN_IF_ERROR(merged.status());
+  return std::move(merged.value().front());
 }
 
 }  // namespace robustmap

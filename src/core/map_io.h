@@ -11,29 +11,37 @@
 
 namespace robustmap {
 
-/// Current version of the binary tile format. Writers always emit this
-/// version; readers additionally accept every older version back to
-/// `kMinReadableMapTileFormatVersion` (missing fields default), and reject
-/// anything else outright — the format carries measured data between
-/// processes (and potentially machines), so silent misinterpretation is
-/// never an acceptable failure mode.
+/// Current version of the binary tile format. Writers emit the *lowest*
+/// version that can carry the tile — v2 for a plain single-layer tile
+/// (keeping every pre-existing artifact byte-stable), v3 only when the tile
+/// carries layer names or more than one layer. Readers additionally accept
+/// every older version back to `kMinReadableMapTileFormatVersion` (missing
+/// fields default), and reject anything else outright — the format carries
+/// measured data between processes (and potentially machines), so silent
+/// misinterpretation is never an acceptable failure mode.
 ///
 /// v1: magic, version, spec, axes, labels, cells, checksum.
 /// v2: adds `wall_seconds` (the tile sweep's measured wall time)
 ///     immediately after the version field — the per-tile cost feedback
 ///     `CostModelKind::kMeasured` reschedules from.
-inline constexpr uint32_t kMapTileFormatVersion = 2;
+/// v3: adds a layer count after `wall_seconds` and, after the plan labels,
+///     one named cell block per layer — the serialized form of a
+///     multi-output study (e.g. cold/warm/delta from a warm-cold sweep).
+inline constexpr uint32_t kMapTileFormatVersion = 3;
 inline constexpr uint32_t kMinReadableMapTileFormatVersion = 1;
 
-/// One serialized unit of a sharded sweep: a `RobustnessMap` over a
-/// rectangular slice of a parent grid, together with everything a
-/// coordinator needs to validate and merge it — the full parent space, the
-/// tile rectangle, and the plan labels. A tile whose rectangle covers the
-/// whole parent grid doubles as the serialized form of a complete map.
+/// One serialized unit of a sharded sweep: one `RobustnessMap` per study
+/// output layer over a rectangular slice of a parent grid, together with
+/// everything a coordinator needs to validate and merge it — the full
+/// parent space, the tile rectangle, and the plan labels. A plain map is
+/// the single-layer case; a warm-cold study's tiles carry three layers
+/// (cold, warm, delta) over the same rectangle and plan set. A tile whose
+/// rectangle covers the whole parent grid doubles as the serialized form
+/// of a complete map.
 struct MapTile {
   TileSpec spec;
   ParameterSpace parent_space;  ///< the grid the tile is a slice of
-  RobustnessMap map;            ///< over SliceSpace(parent_space, spec)
+  RobustnessMap map;            ///< layer 0, over SliceSpace(parent_space, spec)
 
   /// Wall-clock seconds the sweep that produced this tile took; 0 when
   /// unknown (a v1 file, or an artifact that was merged rather than
@@ -41,18 +49,42 @@ struct MapTile {
   /// bit-identity comparisons of the *map*, and merged/reference artifacts
   /// write 0 so equal maps still serialize to equal bytes.
   double wall_seconds = 0;
+
+  /// Layer names, one per layer when non-empty (e.g. {"cold", "warm",
+  /// "delta"}). May only be empty for single-layer tiles — the plain-map
+  /// case, whose files stay on the v2 byte stream.
+  std::vector<std::string> layer_names{};
+
+  /// Layers beyond `map`, in study order; every layer must cover the same
+  /// slice with the same plan labels as `map`.
+  std::vector<RobustnessMap> extra_layers{};
+
+  size_t num_layers() const { return 1 + extra_layers.size(); }
+  const RobustnessMap& layer(size_t i) const {
+    return i == 0 ? map : extra_layers[i - 1];
+  }
+  /// The name of layer `i`; "" when this tile carries no names.
+  std::string layer_name(size_t i) const {
+    return i < layer_names.size() ? layer_names[i] : std::string();
+  }
 };
 
 /// Serializes a tile. The on-disk layout is:
 ///
 ///   magic "RMAPTILE" | u32 version | f64 wall_seconds
-///   | header + axes + labels + cells
+///   | u64 layer_count (v3 only)
+///   | header + axes + labels
+///   | per layer: name (v3 only) + cells
 ///   | u64 FNV-1a checksum over everything before it
 ///
 /// All integers little-endian, doubles as IEEE-754 bit patterns, strings
 /// length-prefixed — fully deterministic, so equal tiles serialize to equal
-/// bytes (the CI byte-for-byte diff relies on this). Rejects tiles whose
-/// map space is not the slice of `parent_space` at `spec`.
+/// bytes (the CI byte-for-byte diff relies on this). Single-layer unnamed
+/// tiles are written as v2 — exactly the pre-multi-layer byte stream — so
+/// plain-map artifacts stay byte-comparable across releases. Rejects tiles
+/// whose layers disagree with each other or whose map space is not the
+/// slice of `parent_space` at `spec`, and multi-layer tiles without one
+/// name per layer.
 Status WriteMapTile(std::ostream& os, const MapTile& tile);
 
 /// Writes atomically: to `path` + a ".tmp" suffix, then rename(2), so a
@@ -65,12 +97,19 @@ Status WriteMapTileFile(const std::string& path, const MapTile& tile);
 Result<MapTile> ReadMapTile(std::istream& is);
 Result<MapTile> ReadMapTileFile(const std::string& path);
 
-/// Reassembles a full map from tiles. Every tile must agree on the parent
-/// space and plan labels, lie inside the grid, and together the rectangles
-/// must cover every point exactly once — any gap, overlap, or axis
-/// disagreement is an `InvalidArgument`. The merged map is a pure cell copy,
-/// so it is bit-identical to the map a single sweep of the parent grid
-/// would have produced.
+/// Reassembles a full map per layer from tiles. Every tile must agree on
+/// the parent space, plan labels, layer count, and layer names, lie inside
+/// the grid, and together the rectangles must cover every point exactly
+/// once — any gap, overlap, or axis/layer disagreement is an
+/// `InvalidArgument`. Each merged layer is a pure cell copy, so it is
+/// bit-identical to the map a single sweep of the parent grid would have
+/// produced for that layer.
+Result<std::vector<RobustnessMap>> MergeTileLayers(
+    const ParameterSpace& space, const std::vector<std::string>& plan_labels,
+    const std::vector<MapTile>& tiles);
+
+/// Single-layer convenience over `MergeTileLayers`: rejects multi-layer
+/// tiles (use the layer-aware form) and returns the one merged map.
 Result<RobustnessMap> MergeTiles(const ParameterSpace& space,
                                  const std::vector<std::string>& plan_labels,
                                  const std::vector<MapTile>& tiles);

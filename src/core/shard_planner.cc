@@ -1,6 +1,7 @@
 #include "core/shard_planner.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 
 #include "core/sweep_cost.h"
@@ -175,6 +176,34 @@ Result<ParameterSpace> SliceSpace(const ParameterSpace& parent,
   y.values.assign(parent.y().values.begin() + tile.y_begin,
                   parent.y().values.begin() + tile.y_end);
   return ParameterSpace::TwoD(std::move(x), std::move(y));
+}
+
+std::string RectSpecString(const TileSpec& tile) {
+  return std::to_string(tile.x_begin) + ":" + std::to_string(tile.x_end) +
+         ":" + std::to_string(tile.y_begin) + ":" +
+         std::to_string(tile.y_end);
+}
+
+bool ParseRectSpec(const std::string& raw, TileSpec* tile) {
+  size_t* fields[4] = {&tile->x_begin, &tile->x_end, &tile->y_begin,
+                       &tile->y_end};
+  size_t pos = 0;
+  for (int f = 0; f < 4; ++f) {
+    const size_t colon = raw.find(':', pos);
+    const std::string part = raw.substr(
+        pos, colon == std::string::npos ? std::string::npos : colon - pos);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(part.c_str(), &end, 10);
+    if (part.empty() || end == part.c_str() || *end != '\0') return false;
+    *fields[f] = static_cast<size_t>(v);
+    if (f < 3) {
+      if (colon == std::string::npos) return false;
+      pos = colon + 1;
+    } else if (colon != std::string::npos) {
+      return false;  // trailing fifth field
+    }
+  }
+  return true;
 }
 
 }  // namespace robustmap

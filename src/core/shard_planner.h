@@ -2,6 +2,7 @@
 #define ROBUSTMAP_CORE_SHARD_PLANNER_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -66,6 +67,19 @@ class ShardPlanner {
 /// that are empty or fall outside the parent grid.
 Result<ParameterSpace> SliceSpace(const ParameterSpace& parent,
                                   const TileSpec& tile);
+
+/// The "X0:X1:Y0:Y1" rectangle spelling of the `--rect=` worker flag
+/// (half-open grid-index ranges). One formatter and one parser, shared by
+/// the coordinator that emits the flag and the worker that consumes it, so
+/// the two can never drift on the grammar.
+std::string RectSpecString(const TileSpec& tile);
+
+/// Parses a rect spec into the four rectangle fields of `*tile` (the
+/// shard id is untouched). Returns false — leaving `*tile` unspecified —
+/// for anything that is not exactly four ':'-separated non-negative
+/// integers. Range validation against a concrete grid is `SliceSpace`'s
+/// job, not the parser's.
+bool ParseRectSpec(const std::string& raw, TileSpec* tile);
 
 }  // namespace robustmap
 

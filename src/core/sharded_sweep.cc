@@ -1,63 +1,16 @@
 #include "core/sharded_sweep.h"
 
 #include <sys/stat.h>
-#include <sys/wait.h>
-#include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
-#include <thread>
+#include <iterator>
 #include <utility>
 
 namespace robustmap {
-
-namespace {
-
-Result<std::string> ReadErrFile(const std::string& tile_path) {
-  std::ifstream f(TileErrFileName(tile_path));
-  if (!f.is_open()) return Status::NotFound("no error file");
-  std::ostringstream os;
-  os << f.rdbuf();
-  return os.str();
-}
-
-/// A checkpoint is reusable only if it parses, its checksum holds, and it
-/// describes exactly the tile the current plan expects — same rectangle,
-/// same parent grid, same plans. Anything else (a tile from an older
-/// configuration, a damaged file) must be recomputed. A tile the measured
-/// cost-model scan already read and validated is taken from `preloaded`
-/// instead of reading (and checksumming) the file a second time.
-Result<MapTile> LoadValidTile(std::map<std::string, MapTile>* preloaded,
-                              const std::string& path,
-                              const TileSpec& expected,
-                              const ParameterSpace& space,
-                              const std::vector<std::string>& labels) {
-  auto tile = [&]() -> Result<MapTile> {
-    if (auto it = preloaded->find(path); it != preloaded->end()) {
-      Result<MapTile> found(std::move(it->second));
-      preloaded->erase(it);
-      return found;
-    }
-    return ReadMapTileFile(path);
-  }();
-  RM_RETURN_IF_ERROR(tile.status());
-  const MapTile& t = tile.value();
-  if (!(t.spec == expected) || !(t.parent_space == space) ||
-      t.map.plan_labels() != labels) {
-    return Status::InvalidArgument(
-        path + " describes a different tile, grid, or plan set");
-  }
-  return tile;
-}
-
-}  // namespace
 
 std::string TileFileName(size_t shard_id) {
   char buf[32];
@@ -92,17 +45,29 @@ Status ComputeAndWriteTile(RunContext* ctx, const Executor& executor,
                            const std::vector<PlanKind>& plans,
                            const ParameterSpace& space, const TileSpec& tile,
                            const std::string& path,
-                           const SweepOptions& sweep_opts) {
+                           const SweepOptions& sweep_opts, StudyKind study,
+                           const WarmupPolicy& warm_policy) {
   auto sub = SliceSpace(space, tile);
   RM_RETURN_IF_ERROR(sub.status());
+  SweepRequest req;
+  req.plans = plans;
+  req.space = std::move(sub).value();
+  req.study = study;
+  req.backend = BackendKind::kThreaded;
+  req.warm_policy = warm_policy;
+  req.sweep = sweep_opts;
   const auto start = std::chrono::steady_clock::now();
-  auto map = SweepStudyPlans(ctx, executor, plans, sub.value(), sweep_opts);
-  RM_RETURN_IF_ERROR(map.status());
+  auto outcome = SweepEngine::Run(ctx, executor, req);
+  RM_RETURN_IF_ERROR(outcome.status());
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  return WriteMapTileFile(
-      path, MapTile{tile, space, std::move(map).value(), wall_seconds});
+  std::vector<RobustnessMap>& layers = outcome.value().layers;
+  MapTile out{tile, space, std::move(layers.front()), wall_seconds};
+  out.layer_names = StudyLayerNames(study);
+  out.extra_layers.assign(std::make_move_iterator(layers.begin() + 1),
+                          std::make_move_iterator(layers.end()));
+  return WriteMapTileFile(path, out);
 }
 
 Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
@@ -111,249 +76,16 @@ Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
                                       const ParameterSpace& space,
                                       const ShardedSweepOptions& opts,
                                       ShardedSweepStats* stats) {
-  if (opts.tile_dir.empty()) {
-    return Status::InvalidArgument("sharded sweep needs a tile_dir");
-  }
-  if (ctx->warmup.mode == WarmupPolicy::Mode::kPriorRun) {
-    return Status::InvalidArgument(
-        "sharded sweeps require an order-independent warmup policy; "
-        "kPriorRun cells inherit cache state across the tile boundaries "
-        "sharding erases");
-  }
-  const unsigned num_workers = ResolveParallelism(opts.num_workers);
-  const size_t num_tiles =
-      opts.num_tiles == 0 ? num_workers : opts.num_tiles;
-  // The scheduling model. Measured mode scans the checkpoint directory
-  // *before* anything is recomputed, so the partition reflects what the
-  // previous run's tiles actually cost; with no usable timings it degrades
-  // to the analytic prior, never to an error.
-  std::vector<std::pair<std::string, MapTile>> prescanned;
-  auto model = [&]() -> Result<CellCostModel> {
-    switch (opts.cost_model) {
-      case CostModelKind::kUniform:
-        return CellCostModel::Uniform(space);
-      case CostModelKind::kAnalytic:
-        return CellCostModel::Analytic(space);
-      case CostModelKind::kMeasured:
-        // When resuming, keep what the scan read: the checkpoint pass
-        // below can then validate those tiles from memory instead of
-        // reading and checksumming every file twice.
-        return MeasuredCostModelFromDir(opts.tile_dir, space,
-                                        opts.resume ? &prescanned : nullptr);
-    }
-    return Status::InvalidArgument("unknown cost model kind");
-  }();
-  RM_RETURN_IF_ERROR(model.status());
-  std::map<std::string, MapTile> preloaded;
-  for (auto& [path, tile] : prescanned) {
-    preloaded.emplace(path, std::move(tile));
-  }
-  prescanned.clear();
-  auto tiles = opts.cost_model == CostModelKind::kUniform
-                   ? ShardPlanner::Partition(space, num_tiles)
-                   : ShardPlanner::PartitionWeighted(space, num_tiles,
-                                                     model.value());
-  RM_RETURN_IF_ERROR(tiles.status());
-  RM_RETURN_IF_ERROR(EnsureDirectory(opts.tile_dir));
-
-  std::vector<std::string> labels;
-  labels.reserve(plans.size());
-  for (PlanKind k : plans) labels.push_back(PlanKindLabel(k));
-
-  // Scan the checkpoint directory: valid tiles are carried over in memory,
-  // the rest queue for workers.
-  std::vector<MapTile> loaded;
-  std::vector<TileSpec> todo;
-  for (const TileSpec& t : tiles.value()) {
-    const std::string path = opts.tile_dir + "/" + TileFileName(t.shard_id);
-    auto tile = opts.resume
-                    ? LoadValidTile(&preloaded, path, t, space, labels)
-                    : Result<MapTile>(Status::NotFound("resume disabled"));
-    if (tile.ok()) {
-      loaded.push_back(std::move(tile).value());
-      if (opts.verbose) {
-        std::fprintf(stderr, "  shard: tile %zu valid on disk, reused\n",
-                     t.shard_id);
-      }
-    } else {
-      std::remove(TileErrFileName(path).c_str());
-      todo.push_back(t);
-    }
-  }
-
-  // Pull-based dispatch: the pending queue is ordered heaviest-first under
-  // the cost model (LPT — the classic makespan heuristic), and every time
-  // a worker slot frees up it pulls the head of the queue. The expensive
-  // corner tiles start immediately; the cheap tail fills in around them
-  // instead of everyone waiting on a monster tile scheduled last.
-  SortTilesHeaviestFirst(&todo, model.value());
-
-  ShardedSweepStats local;
-  local.tiles_total = tiles.value().size();
-  local.tiles_reused = loaded.size();
-  local.tiles_computed = todo.size();
-  local.workers_spawned =
-      static_cast<unsigned>(std::min<size_t>(num_workers, todo.size()));
-
-  if (opts.verbose && !todo.empty()) {
-    std::fprintf(stderr,
-                 "  shard: %s cost model, %zu pending tiles "
-                 "(heaviest %.3g, lightest %.3g relative cost)\n",
-                 CostModelKindName(opts.cost_model), todo.size(),
-                 model.value().TileCost(todo.front()),
-                 model.value().TileCost(todo.back()));
-  }
-
-  // One subprocess per outstanding tile, at most num_workers in flight.
-  // stdio is flushed first so forked children do not replay the parent's
-  // buffered output. Each in-flight tile occupies a worker *slot*; per-slot
-  // busy time is what the balance metrics report.
-  std::fflush(stdout);
-  std::fflush(stderr);
-  struct InFlight {
-    size_t todo_index;
-    size_t slot;
-    std::chrono::steady_clock::time_point started;
-  };
-  std::map<pid_t, InFlight> running;
-  std::set<size_t> free_slots;
-  std::vector<size_t> failed;
-  size_t next = 0;
-  size_t computed_done = 0;
-  SweepOptions worker_opts;
-  worker_opts.num_threads = std::max(1u, opts.threads_per_worker);
-  while (next < todo.size() || !running.empty()) {
-    while (next < todo.size() && running.size() < num_workers) {
-      const TileSpec& t = todo[next];
-      const std::string path =
-          opts.tile_dir + "/" + TileFileName(t.shard_id);
-      pid_t pid = ::fork();
-      if (pid < 0) {
-        return Status::Internal(std::string("fork failed: ") +
-                                std::strerror(errno));
-      }
-      if (pid == 0) {
-        // Worker. Either exec the external worker binary, or compute the
-        // tile right here on the forked copy of the parent's environment.
-        if (!opts.worker_command.empty()) {
-          std::vector<std::string> args = opts.worker_command;
-          // The tile count is part of a tile id's meaning, and only this
-          // side knows the resolved value — the worker must never re-derive
-          // it from a default that could drift. The rectangle itself rides
-          // along too: with cost-weighted partitioning the boundaries
-          // depend on the model, so the coordinator's exact cuts are the
-          // contract, not something a worker recomputes.
-          args.push_back("--tiles=" + std::to_string(num_tiles));
-          args.push_back("--tile=" + std::to_string(t.shard_id));
-          args.push_back("--rect=" + std::to_string(t.x_begin) + ":" +
-                         std::to_string(t.x_end) + ":" +
-                         std::to_string(t.y_begin) + ":" +
-                         std::to_string(t.y_end));
-          args.push_back("--out=" + path);
-          std::vector<char*> argv;
-          argv.reserve(args.size() + 1);
-          for (std::string& a : args) argv.push_back(a.data());
-          argv.push_back(nullptr);
-          ::execvp(argv[0], argv.data());
-          WriteTileErrFile(path, Status::Internal(
-                                 std::string("cannot exec ") + args[0] +
-                                 ": " + std::strerror(errno)));
-          ::_exit(127);
-        }
-        Status s =
-            ComputeAndWriteTile(ctx, executor, plans, space, t, path,
-                                worker_opts);
-        if (!s.ok()) {
-          WriteTileErrFile(path, s);
-          ::_exit(1);
-        }
-        ::_exit(0);
-      }
-      size_t slot;
-      if (!free_slots.empty()) {
-        slot = *free_slots.begin();
-        free_slots.erase(free_slots.begin());
-      } else {
-        slot = local.worker_busy_seconds.size();
-        local.worker_busy_seconds.push_back(0);
-      }
-      running.emplace(
-          pid, InFlight{next, slot, std::chrono::steady_clock::now()});
-      ++next;
-    }
-    // Reap exactly one of *our* workers. waitpid(-1) would also consume
-    // the exit status of any unrelated child an embedding application has
-    // in flight, so poll the known pids instead; tiles take seconds, the
-    // 10 ms poll interval is noise.
-    bool reaped = false;
-    while (!reaped) {
-      for (auto it = running.begin(); it != running.end();) {
-        int wstatus = 0;
-        pid_t r = ::waitpid(it->first, &wstatus, WNOHANG);
-        if (r == 0 || (r < 0 && errno == EINTR)) {
-          ++it;
-          continue;
-        }
-        if (r < 0) {
-          return Status::Internal(std::string("waitpid failed: ") +
-                                  std::strerror(errno));
-        }
-        const size_t idx = it->second.todo_index;
-        local.worker_busy_seconds[it->second.slot] +=
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          it->second.started)
-                .count();
-        free_slots.insert(it->second.slot);
-        it = running.erase(it);
-        reaped = true;
-        if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
-          ++computed_done;
-          if (opts.verbose) {
-            std::fprintf(stderr,
-                         "  shard: tile %zu computed (%zu/%zu done)\n",
-                         todo[idx].shard_id,
-                         local.tiles_reused + computed_done,
-                         local.tiles_total);
-          }
-        } else {
-          failed.push_back(idx);
-        }
-      }
-      if (!reaped) ::usleep(10000);
-    }
-  }
-
-  if (!failed.empty()) {
-    // Report the failure of the lowest shard id — stable whatever dispatch
-    // order the cost model produced — with the worker's own Status when it
-    // managed to leave one. Completed tiles stay on disk, so the rerun
-    // that follows a fix resumes instead of restarting.
-    size_t worst = failed.front();
-    for (size_t idx : failed) {
-      if (todo[idx].shard_id < todo[worst].shard_id) worst = idx;
-    }
-    const TileSpec& t = todo[worst];
-    const std::string path = opts.tile_dir + "/" + TileFileName(t.shard_id);
-    auto msg = ReadErrFile(path);
-    return Status::Internal(
-        "sweep worker for tile " + std::to_string(t.shard_id) + " failed" +
-        (msg.ok() ? ": " + msg.value()
-                  : " without leaving an error file (killed?)"));
-  }
-
-  // Merge: freshly computed tiles are read back from disk — the same
-  // validated path a resumed coordinator takes — then stitched with the
-  // reused ones.
-  for (const TileSpec& t : todo) {
-    const std::string path = opts.tile_dir + "/" + TileFileName(t.shard_id);
-    auto tile = ReadMapTileFile(path);
-    RM_RETURN_IF_ERROR(tile.status());
-    loaded.push_back(std::move(tile).value());
-  }
-  auto merged = MergeTiles(space, labels, loaded);
-  RM_RETURN_IF_ERROR(merged.status());
-  if (stats != nullptr) *stats = local;
-  return merged;
+  SweepRequest req;
+  req.plans = plans;
+  req.space = space;
+  req.study = StudyKind::kPlainMap;
+  req.backend = BackendKind::kShardedProcess;
+  req.sharded = opts;
+  auto out = SweepEngine::Run(ctx, executor, req);
+  RM_RETURN_IF_ERROR(out.status());
+  if (stats != nullptr) *stats = std::move(out.value().sharded_stats);
+  return std::move(out.value().layers.front());
 }
 
 }  // namespace robustmap

@@ -9,90 +9,13 @@
 #include "core/shard_planner.h"
 #include "core/sweep.h"
 #include "core/sweep_cost.h"
+#include "core/sweep_engine.h"
 
 namespace robustmap {
 
-/// Options for a multi-process sharded sweep.
-struct ShardedSweepOptions {
-  /// Directory the per-tile checkpoint files live in; created if missing.
-  /// Point a rerun at the same directory to resume a killed sweep.
-  std::string tile_dir;
-
-  /// Concurrent worker processes. 0 = one per hardware thread.
-  unsigned num_workers = 0;
-
-  /// Tiles to split the grid into (work units; a worker processes several).
-  /// 0 = one per worker. More tiles than workers smooths load imbalance and
-  /// makes checkpoints finer-grained.
-  size_t num_tiles = 0;
-
-  /// Sweep threads inside each worker process (multiplies with
-  /// `num_workers`; keep at 1 unless workers are spread across machines).
-  unsigned threads_per_worker = 1;
-
-  /// When true (the default), tiles already present and valid in `tile_dir`
-  /// are trusted and only missing or invalid ones are recomputed — the
-  /// checkpoint/resume path. When false, every tile is recomputed and
-  /// existing files are overwritten.
-  bool resume = true;
-
-  /// Per-tile progress lines on stderr.
-  bool verbose = false;
-
-  /// Empty (the default): workers are forked children of this process,
-  /// computing their tiles with the already-built executor — the in-process
-  /// subprocess mode benches and tests use. Non-empty: each tile spawns
-  /// fork+exec of this argv with "--tiles=<count>", "--tile=<id>",
-  /// "--rect=<x0:x1:y0:y1>", and "--out=<path>" appended (the
-  /// `sweep_worker` contract — the resolved tile count *and its exact
-  /// rectangle* ride along so worker and coordinator can never partition
-  /// the grid differently, whatever cost model sized the tiles), for
-  /// coordinators whose workers must build their own environment.
-  std::vector<std::string> worker_command;
-
-  /// How tiles are sized and dispatched. `kUniform` reproduces the
-  /// pre-cost-layer equal-area tiles in shard-id order. `kAnalytic` (the
-  /// default) cuts cost-balanced tiles from the selectivity prior and
-  /// dispatches the heaviest pending tile first, so the sweep no longer
-  /// finishes at the speed of its unluckiest tile. `kMeasured`
-  /// additionally rebuilds the model from per-tile wall times found in
-  /// `tile_dir` before partitioning — a repeated sweep reschedules from
-  /// what cells actually cost here, not from the prior. (Changing the
-  /// model between runs usually moves tile boundaries, which resume then
-  /// treats as a reconfiguration and recomputes; measured mode is a
-  /// re-balancing run, not a resume accelerator.) The merged map is
-  /// bit-identical under every setting — scheduling never touches values.
-  CostModelKind cost_model = CostModelKind::kAnalytic;
-};
-
-/// What a sharded sweep did, for self-checks, resume tests, and the
-/// scheduling-quality metrics `robustness_benchmark` records.
-struct ShardedSweepStats {
-  size_t tiles_total = 0;
-  size_t tiles_reused = 0;    ///< valid checkpoints skipped
-  size_t tiles_computed = 0;  ///< recomputed by workers this run
-  unsigned workers_spawned = 0;
-
-  /// Wall-clock seconds each worker slot spent with a tile subprocess in
-  /// flight (slot = one of the up-to-`num_workers` concurrent lanes; one
-  /// entry per slot actually used). The makespan is dominated by the
-  /// busiest slot, so the spread here *is* the scheduling quality.
-  std::vector<double> worker_busy_seconds;
-
-  /// Busiest slot / mean slot — 1.0 is a perfectly balanced sweep, 2.0
-  /// means the slowest worker carried twice its fair share while others
-  /// idled. 1.0 when nothing was computed.
-  double busy_balance_ratio() const {
-    if (worker_busy_seconds.empty()) return 1.0;
-    double sum = 0, max = 0;
-    for (double b : worker_busy_seconds) {
-      sum += b;
-      if (b > max) max = b;
-    }
-    if (sum <= 0) return 1.0;
-    return max * static_cast<double>(worker_busy_seconds.size()) / sum;
-  }
-};
+// `ShardedSweepOptions` and `ShardedSweepStats` live in core/sweep_engine.h
+// (the sharded-process backend is one axis of the engine); this header
+// keeps the worker-side helpers and the legacy coordinator entry point.
 
 /// Checkpoint file name for a shard, e.g. "tile_0007.rmt".
 std::string TileFileName(size_t shard_id);
@@ -111,17 +34,22 @@ void WriteTileErrFile(const std::string& tile_path, const Status& s);
 /// already exist.
 Status EnsureDirectory(const std::string& path);
 
-/// Computes one tile — the standard study sweep restricted to the tile's
-/// rectangle (via `ParallelRunSweep` when `sweep_opts.num_threads != 1`) —
-/// and writes it atomically to `path`, stamping the sweep's wall-clock
-/// seconds into the tile's v2 metadata (the measured-cost feedback later
+/// Computes one tile — `study` restricted to the tile's rectangle, run
+/// through `SweepEngine::Run` on the in-process backend `sweep_opts`
+/// selects — and writes it atomically to `path`: one cell layer per study
+/// output (named per `StudyLayerNames`), stamping the sweep's wall-clock
+/// seconds into the tile's metadata (the measured-cost feedback later
 /// runs reschedule from). The body of both worker modes and of the
-/// `sweep_worker` executable.
+/// `sweep_worker` executable. `warm_policy` is the warm layer's policy for
+/// `kWarmColdDelta` and ignored for plain tiles (which sweep under
+/// `ctx->warmup`, as always).
 Status ComputeAndWriteTile(RunContext* ctx, const Executor& executor,
                            const std::vector<PlanKind>& plans,
                            const ParameterSpace& space, const TileSpec& tile,
                            const std::string& path,
-                           const SweepOptions& sweep_opts = {});
+                           const SweepOptions& sweep_opts = {},
+                           StudyKind study = StudyKind::kPlainMap,
+                           const WarmupPolicy& warm_policy = {});
 
 /// The sharded equivalent of `SweepStudyPlans`: partitions the grid with
 /// `ShardPlanner` under `opts.cost_model`, skips tiles already valid on
@@ -138,6 +66,10 @@ Status ComputeAndWriteTile(RunContext* ctx, const Executor& executor,
 /// `opts.worker_command` is set. A worker failure is reported after all
 /// workers finish; completed tiles remain on disk, so a rerun resumes
 /// rather than restarts.
+///
+/// Compatibility shim over `SweepEngine::Run` with a plain-map study on
+/// the sharded-process backend; multi-layer studies (warm/cold/delta
+/// tiles) go through the engine directly.
 Result<RobustnessMap> RunShardedSweep(RunContext* ctx,
                                       const Executor& executor,
                                       const std::vector<PlanKind>& plans,

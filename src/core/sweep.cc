@@ -1,88 +1,11 @@
 #include "core/sweep.h"
 
-#include <atomic>
-#include <cstdio>
-#include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
-#include "core/sweep_cost.h"
-#include "engine/query.h"
+#include "core/sweep_engine.h"
 
 namespace robustmap {
-
-namespace {
-
-/// Both sweep entry points reject degenerate inputs up front: a sweep over
-/// nothing is almost always a caller bug (an empty plan list, an axis that
-/// lost its values), and the alternative — silently returning a 0-cell map
-/// that every downstream analysis then has to defend against — just moves
-/// the failure somewhere less diagnosable.
-Status ValidateSweepInputs(const ParameterSpace& space,
-                           const std::vector<std::string>& plan_labels) {
-  if (plan_labels.empty()) {
-    return Status::InvalidArgument("cannot sweep an empty plan list");
-  }
-  if (space.num_points() == 0) {
-    return Status::InvalidArgument(
-        "cannot sweep an empty grid (an axis has no values)");
-  }
-  return Status::OK();
-}
-
-/// The verbose-mode progress printer: one stderr line per completed plan
-/// and per 10% step — readable for both quick smokes and hour-long studies.
-SweepProgressFn MakeDefaultPrinter() {
-  auto last_decile = std::make_shared<int>(-1);
-  auto last_plans = std::make_shared<size_t>(0);
-  return [last_decile, last_plans](const SweepProgress& p) {
-    const int decile = static_cast<int>(p.percent() / 10.0);
-    const bool plan_step = p.plans_done != *last_plans;
-    if (decile == *last_decile && !plan_step && p.cells_done != p.cells_total) {
-      return;
-    }
-    *last_decile = decile;
-    *last_plans = p.plans_done;
-    std::fprintf(stderr, "  sweep: %5.1f%% (%zu/%zu cells, %zu/%zu plans)\n",
-                 p.percent(), p.cells_done, p.cells_total, p.plans_done,
-                 p.num_plans);
-  };
-}
-
-/// Serializes progress callbacks and maintains the cumulative counts for
-/// both the serial and the parallel sweep. All updates happen under one
-/// mutex, so the callback observes cells_done = 1, 2, ..., total in order.
-class ProgressTracker {
- public:
-  ProgressTracker(const SweepOptions& opts, size_t num_plans, size_t points)
-      : points_(points), per_plan_done_(num_plans, 0) {
-    progress_.num_plans = num_plans;
-    progress_.cells_total = num_plans * points;
-    if (opts.progress) {
-      fn_ = opts.progress;
-    } else if (opts.verbose) {
-      fn_ = MakeDefaultPrinter();
-    }
-  }
-
-  void CellDone(size_t plan) {
-    if (!fn_) return;
-    std::lock_guard<std::mutex> lock(mu_);
-    ++progress_.cells_done;
-    if (++per_plan_done_[plan] == points_) ++progress_.plans_done;
-    fn_(progress_);
-  }
-
- private:
-  const size_t points_;
-  std::mutex mu_;
-  SweepProgress progress_;
-  std::vector<size_t> per_plan_done_;
-  SweepProgressFn fn_;
-};
-
-}  // namespace
 
 unsigned ResolveParallelism(unsigned requested) {
   if (requested != 0) return requested;
@@ -94,153 +17,15 @@ Result<RobustnessMap> RunSweep(const ParameterSpace& space,
                                const std::vector<std::string>& plan_labels,
                                const PointRunner& runner,
                                const SweepOptions& opts) {
-  RM_RETURN_IF_ERROR(ValidateSweepInputs(space, plan_labels));
-  RobustnessMap map(space, plan_labels);
-  ProgressTracker tracker(opts, plan_labels.size(), space.num_points());
-  for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
-    for (size_t point = 0; point < space.num_points(); ++point) {
-      auto m = runner(plan, space.x_value(point), space.y_value(point));
-      RM_RETURN_IF_ERROR(m.status());
-      map.Set(plan, point, std::move(m).value());
-      tracker.CellDone(plan);
-    }
-  }
-  return map;
+  return SweepEngine::RunCells(space, plan_labels, runner, opts);
 }
 
 Result<RobustnessMap> ParallelRunSweep(
     const ParameterSpace& space, const std::vector<std::string>& plan_labels,
     const RunContextFactory& factory, const ContextPointRunner& runner,
     const SweepOptions& opts) {
-  RM_RETURN_IF_ERROR(ValidateSweepInputs(space, plan_labels));
-  const unsigned num_threads = ResolveParallelism(opts.num_threads);
-  const size_t points = space.num_points();
-  const size_t cells = plan_labels.size() * points;
-  RobustnessMap map(space, plan_labels);
-  ProgressTracker tracker(opts, plan_labels.size(), points);
-
-  // The deterministic concurrent-contention schedule: serial execution in
-  // point-major round-robin across plans, as if one query stream per plan
-  // took turns on the machine. Shared-pool residency then evolves the same
-  // way on every run — unlike the true-parallel schedule below, whose
-  // interleaving (intentionally) depends on thread timing.
-  if (opts.deterministic_shared_schedule) {
-    if (opts.verbose) {
-      std::fprintf(stderr,
-                   "  sweep: %zu cells (%zu plans), fixed round-robin "
-                   "schedule\n",
-                   cells, plan_labels.size());
-    }
-    std::unique_ptr<OwnedRunContext> machine = factory.Create();
-    for (size_t point = 0; point < points; ++point) {
-      for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
-        auto m = runner(machine->ctx(), plan, space.x_value(point),
-                        space.y_value(point));
-        RM_RETURN_IF_ERROR(m.status());
-        map.Set(plan, point, std::move(m).value());
-        tracker.CellDone(plan);
-      }
-    }
-    return map;
-  }
-
-  // Work units are *cost-weighted cell blocks*: contiguous runs of the
-  // serial (plan-major) cell order, cut so each block carries roughly equal
-  // analytic cost. Cheap low-selectivity cells batch by the dozen (fewer
-  // atomic claims), while the expensive corner degrades to single-cell
-  // blocks (no worker is ever stuck behind a mega-block at the tail).
-  // Map writes stay keyed by (plan, point), so the result is bit-identical
-  // to a serial sweep whatever the block shapes.
-  std::vector<double> point_cost(points, 1.0);
-  if (auto model = CellCostModel::Analytic(space); model.ok()) {
-    for (size_t pt = 0; pt < points; ++pt) {
-      const auto [xi, yi] = space.CoordsOf(pt);
-      point_cost[pt] = model.value().CellCost(xi, yi);
-    }
-  }
-  double total_cost = 0;
-  for (double c : point_cost) total_cost += c;
-  total_cost *= static_cast<double>(plan_labels.size());
-  // ~16 blocks per worker bounds both the claim rate and the tail: the last
-  // block to finish holds at most 1/16th of one worker's fair share.
-  const double per_block =
-      total_cost / static_cast<double>(std::max<size_t>(
-                       size_t{num_threads} * 16, 1));
-  std::vector<size_t> block_begin;
-  block_begin.push_back(0);
-  double acc = 0;
-  for (size_t cell = 0; cell < cells; ++cell) {
-    acc += point_cost[cell % points];
-    if (acc >= per_block && cell + 1 < cells) {
-      block_begin.push_back(cell + 1);
-      acc = 0;
-    }
-  }
-  block_begin.push_back(cells);
-  const size_t num_blocks = block_begin.size() - 1;
-
-  if (opts.verbose) {
-    std::fprintf(stderr,
-                 "  sweep: %zu cells (%zu plans) in %zu cost-weighted "
-                 "blocks on %u thread(s)\n",
-                 cells, plan_labels.size(), num_blocks, num_threads);
-  }
-
-  // Blocks are claimed from a shared queue. On failure, workers skip cells
-  // above the lowest failing cell seen so far; every cell below it is in
-  // some block that runs to completion, so the error we return is exactly
-  // the one a serial sweep would have hit first.
-  std::atomic<size_t> next_block{0};
-  std::atomic<size_t> first_failed_cell{cells};
-  std::mutex error_mu;
-  Status first_error = Status::OK();
-
-  auto record_error = [&](size_t cell, const Status& s) {
-    std::lock_guard<std::mutex> lock(error_mu);
-    size_t prev = first_failed_cell.load(std::memory_order_relaxed);
-    if (cell < prev) {
-      first_failed_cell.store(cell, std::memory_order_relaxed);
-      first_error = s;
-    }
-  };
-
-  auto work = [&]() {
-    std::unique_ptr<OwnedRunContext> machine = factory.Create();
-    for (;;) {
-      const size_t block = next_block.fetch_add(1, std::memory_order_relaxed);
-      if (block >= num_blocks) break;
-      for (size_t cell = block_begin[block]; cell < block_begin[block + 1];
-           ++cell) {
-        if (cell > first_failed_cell.load(std::memory_order_relaxed)) {
-          continue;
-        }
-        const size_t plan = cell / points;
-        const size_t point = cell % points;
-        auto m = runner(machine->ctx(), plan, space.x_value(point),
-                        space.y_value(point));
-        if (!m.ok()) {
-          record_error(cell, m.status());
-          continue;
-        }
-        map.Set(plan, point, std::move(m).value());
-        tracker.CellDone(plan);
-      }
-    }
-  };
-
-  if (num_threads <= 1) {
-    work();
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t) workers.emplace_back(work);
-    for (std::thread& t : workers) t.join();
-  }
-
-  if (first_failed_cell.load(std::memory_order_relaxed) < cells) {
-    return first_error;
-  }
-  return map;
+  return SweepEngine::RunCellsParallel(space, plan_labels, factory, runner,
+                                       opts);
 }
 
 Result<RobustnessMap> SweepStudyPlans(RunContext* ctx,
@@ -248,34 +33,15 @@ Result<RobustnessMap> SweepStudyPlans(RunContext* ctx,
                                       const std::vector<PlanKind>& plans,
                                       const ParameterSpace& space,
                                       const SweepOptions& opts) {
-  std::vector<std::string> labels;
-  labels.reserve(plans.size());
-  for (PlanKind k : plans) labels.push_back(PlanKindLabel(k));
-  int64_t domain = executor.db().domain;
-  // The serial path measures on `ctx` itself; a shared pool needs the
-  // factory to attach worker views, and the round-robin schedule reorders
-  // cells, so both always take the parallel path (which degrades to
-  // in-caller-thread execution at one worker).
-  if (ResolveParallelism(opts.num_threads) <= 1 && opts.shared_pool == nullptr &&
-      !opts.deterministic_shared_schedule) {
-    return RunSweep(
-        space, labels,
-        [&](size_t plan, double sx, double sy) -> Result<Measurement> {
-          QuerySpec q = MakeStudyQuery(sx, sy, domain);
-          return executor.Run(ctx, plans[plan], q);
-        },
-        opts);
-  }
-  RunContextFactory factory(*ctx);
-  if (opts.shared_pool != nullptr) factory.ShareBufferPool(opts.shared_pool);
-  return ParallelRunSweep(
-      space, labels, factory,
-      [&](RunContext* worker_ctx, size_t plan, double sx,
-          double sy) -> Result<Measurement> {
-        QuerySpec q = MakeStudyQuery(sx, sy, domain);
-        return executor.Run(worker_ctx, plans[plan], q);
-      },
-      opts);
+  SweepRequest req;
+  req.plans = plans;
+  req.space = space;
+  req.study = StudyKind::kPlainMap;
+  req.backend = BackendKind::kThreaded;
+  req.sweep = opts;
+  auto out = SweepEngine::Run(ctx, executor, req);
+  RM_RETURN_IF_ERROR(out.status());
+  return std::move(out.value().layers.front());
 }
 
 Result<RobustnessMap> DiffMaps(const RobustnessMap& warm,
@@ -315,48 +81,16 @@ Result<WarmColdMaps> RunWarmColdSweep(RunContext* ctx,
                                       const ParameterSpace& space,
                                       const WarmupPolicy& warm_policy,
                                       const SweepOptions& opts) {
-  const WarmupPolicy saved = ctx->warmup;
-
-  // Cold half: warmup off, private per-worker pools — the classic map,
-  // bit-identical at any thread count.
-  ctx->warmup = WarmupPolicy::Cold();
-  SweepOptions cold_opts = opts;
-  cold_opts.shared_pool = nullptr;
-  auto cold = SweepStudyPlans(ctx, executor, plans, space, cold_opts);
-  if (!cold.ok()) {
-    ctx->warmup = saved;
-    return cold.status();
-  }
-
-  // Warm half under the requested policy. Two situations make warmth a
-  // product of execution order, and both run serially so that order — and
-  // with it the warm map — is the same on every invocation: prior-run
-  // cells inherit their predecessor's cache, and a shared pool is mutated
-  // by every cell's ColdStart (parallel workers would clear and re-warm
-  // the one cache out from under each other's in-flight measurements).
-  // Page-set policies on private per-worker pools are order-independent
-  // and stay parallel.
-  ctx->warmup = warm_policy;
-  SweepOptions warm_opts = opts;
-  if (warm_policy.mode == WarmupPolicy::Mode::kPriorRun ||
-      warm_opts.shared_pool != nullptr) {
-    warm_opts.num_threads = 1;
-  }
-  if (warm_policy.mode == WarmupPolicy::Mode::kPriorRun) {
-    // Prior-run cells inherit pool state, so pin the sweep's starting
-    // state: the first cell runs cold, every later cell inherits from its
-    // predecessor — the same history on every invocation.
-    ctx->pool->Clear();
-    if (warm_opts.shared_pool != nullptr) warm_opts.shared_pool->Clear();
-  }
-  auto warm = SweepStudyPlans(ctx, executor, plans, space, warm_opts);
-  ctx->warmup = saved;
-  if (!warm.ok()) return warm.status();
-
-  auto delta = DiffMaps(warm.value(), cold.value());
-  RM_RETURN_IF_ERROR(delta.status());
-  return WarmColdMaps{std::move(cold).value(), std::move(warm).value(),
-                      std::move(delta).value()};
+  SweepRequest req;
+  req.plans = plans;
+  req.space = space;
+  req.study = StudyKind::kWarmColdDelta;
+  req.backend = BackendKind::kThreaded;
+  req.warm_policy = warm_policy;
+  req.sweep = opts;
+  auto out = SweepEngine::Run(ctx, executor, req);
+  RM_RETURN_IF_ERROR(out.status());
+  return std::move(out.value()).ToWarmColdMaps();
 }
 
 }  // namespace robustmap

@@ -85,6 +85,11 @@ struct SweepOptions {
 /// run-time conditions (memory, input size, ...). An empty plan list or an
 /// empty grid is an `InvalidArgument`, here and in `ParallelRunSweep` — a
 /// sweep over nothing is a caller bug, not a map.
+///
+/// Compatibility shim over `SweepEngine::RunCells` (core/sweep_engine.h) —
+/// every entry point in this header forwards to the engine, which is the
+/// one code path that applies cost models, warmup policies, shared pools,
+/// deterministic schedules, and progress callbacks.
 using PointRunner =
     std::function<Result<Measurement>(size_t plan, double x, double y)>;
 
@@ -119,7 +124,8 @@ Result<RobustnessMap> ParallelRunSweep(
 /// `PlanKind`s executed by `executor` under `ctx`'s warmup policy (cold by
 /// default). For 1-D spaces only pred_a is active. With
 /// `opts.num_threads != 1` or `opts.shared_pool` set, runs as a
-/// `ParallelRunSweep` with `ctx` as the machine prototype.
+/// `ParallelRunSweep` with `ctx` as the machine prototype. Shim over
+/// `SweepEngine::Run` with a plain-map study on the threaded backend.
 Result<RobustnessMap> SweepStudyPlans(RunContext* ctx, const Executor& executor,
                                       const std::vector<PlanKind>& plans,
                                       const ParameterSpace& space,
@@ -148,7 +154,9 @@ Result<RobustnessMap> DiffMaps(const RobustnessMap& warm,
 /// cache state is execution-order-dependent — a `kPriorRun` policy, or any
 /// policy over a shared pool (each cell's ColdStart mutates the one shared
 /// cache) — so the warm map is reproducible run-to-run for every policy.
-/// `ctx->warmup` is restored on return.
+/// `ctx->warmup` is restored on return. Shim over `SweepEngine::Run` with
+/// a warm-cold-delta study on the threaded backend; to shard the same
+/// study across processes, call the engine with the sharded backend.
 Result<WarmColdMaps> RunWarmColdSweep(RunContext* ctx,
                                       const Executor& executor,
                                       const std::vector<PlanKind>& plans,

@@ -1,0 +1,757 @@
+#include "core/sweep_engine.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/map_io.h"
+#include "core/sharded_sweep.h"
+#include "engine/query.h"
+
+namespace robustmap {
+
+namespace {
+
+/// Every sweep entry point rejects degenerate inputs up front: a sweep
+/// over nothing is almost always a caller bug (an empty plan list, an axis
+/// that lost its values), and the alternative — silently returning a
+/// 0-cell map that every downstream analysis then has to defend against —
+/// just moves the failure somewhere less diagnosable.
+Status ValidateSweepInputs(const ParameterSpace& space,
+                           const std::vector<std::string>& plan_labels) {
+  if (plan_labels.empty()) {
+    return Status::InvalidArgument("cannot sweep an empty plan list");
+  }
+  if (space.num_points() == 0) {
+    return Status::InvalidArgument(
+        "cannot sweep an empty grid (an axis has no values)");
+  }
+  return Status::OK();
+}
+
+/// The verbose-mode progress printer: one stderr line per completed plan
+/// and per 10% step — readable for both quick smokes and hour-long studies.
+SweepProgressFn MakeDefaultPrinter() {
+  auto last_decile = std::make_shared<int>(-1);
+  auto last_plans = std::make_shared<size_t>(0);
+  return [last_decile, last_plans](const SweepProgress& p) {
+    const int decile = static_cast<int>(p.percent() / 10.0);
+    const bool plan_step = p.plans_done != *last_plans;
+    if (decile == *last_decile && !plan_step && p.cells_done != p.cells_total) {
+      return;
+    }
+    *last_decile = decile;
+    *last_plans = p.plans_done;
+    std::fprintf(stderr, "  sweep: %5.1f%% (%zu/%zu cells, %zu/%zu plans)\n",
+                 p.percent(), p.cells_done, p.cells_total, p.plans_done,
+                 p.num_plans);
+  };
+}
+
+/// Serializes progress callbacks and maintains the cumulative counts for
+/// both the serial and the parallel cell loop. All updates happen under one
+/// mutex, so the callback observes cells_done = 1, 2, ..., total in order.
+class ProgressTracker {
+ public:
+  ProgressTracker(const SweepOptions& opts, size_t num_plans, size_t points)
+      : points_(points), per_plan_done_(num_plans, 0) {
+    progress_.num_plans = num_plans;
+    progress_.cells_total = num_plans * points;
+    if (opts.progress) {
+      fn_ = opts.progress;
+    } else if (opts.verbose) {
+      fn_ = MakeDefaultPrinter();
+    }
+  }
+
+  void CellDone(size_t plan) {
+    if (!fn_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++progress_.cells_done;
+    if (++per_plan_done_[plan] == points_) ++progress_.plans_done;
+    fn_(progress_);
+  }
+
+ private:
+  const size_t points_;
+  std::mutex mu_;
+  SweepProgress progress_;
+  std::vector<size_t> per_plan_done_;
+  SweepProgressFn fn_;
+};
+
+/// The paper's standard study sweep under one in-process backend choice:
+/// axes are predicate selectivities, plans are `PlanKind`s executed under
+/// `ctx`'s warmup policy. The serial path measures on `ctx` itself; a
+/// shared pool needs the factory to attach worker views, and the
+/// round-robin schedule reorders cells, so both always take the parallel
+/// path (which degrades to in-caller-thread execution at one worker).
+Result<RobustnessMap> StudySweep(RunContext* ctx, const Executor& executor,
+                                 const std::vector<PlanKind>& plans,
+                                 const ParameterSpace& space,
+                                 const SweepOptions& opts) {
+  std::vector<std::string> labels;
+  labels.reserve(plans.size());
+  for (PlanKind k : plans) labels.push_back(PlanKindLabel(k));
+  int64_t domain = executor.db().domain;
+  if (ResolveParallelism(opts.num_threads) <= 1 &&
+      opts.shared_pool == nullptr && !opts.deterministic_shared_schedule) {
+    return SweepEngine::RunCells(
+        space, labels,
+        [&](size_t plan, double sx, double sy) -> Result<Measurement> {
+          QuerySpec q = MakeStudyQuery(sx, sy, domain);
+          return executor.Run(ctx, plans[plan], q);
+        },
+        opts);
+  }
+  RunContextFactory factory(*ctx);
+  if (opts.shared_pool != nullptr) factory.ShareBufferPool(opts.shared_pool);
+  return SweepEngine::RunCellsParallel(
+      space, labels, factory,
+      [&](RunContext* worker_ctx, size_t plan, double sx,
+          double sy) -> Result<Measurement> {
+        QuerySpec q = MakeStudyQuery(sx, sy, domain);
+        return executor.Run(worker_ctx, plans[plan], q);
+      },
+      opts);
+}
+
+/// The warm-cold study: the same plans measured twice — once cold, once
+/// under `warm_policy` — plus their per-cell delta. The cold sweep always
+/// uses private per-worker pools (cold cells must be independent); the
+/// warm sweep honors `opts.shared_pool`. The warm half is forced serial
+/// when cache state is execution-order-dependent — a `kPriorRun` policy,
+/// or any policy over a shared pool (each cell's ColdStart mutates the one
+/// shared cache) — so the warm map is reproducible run-to-run for every
+/// policy. `ctx->warmup` is restored on return.
+Result<std::vector<RobustnessMap>> WarmColdLayers(
+    RunContext* ctx, const Executor& executor,
+    const std::vector<PlanKind>& plans, const ParameterSpace& space,
+    const WarmupPolicy& warm_policy, const SweepOptions& opts) {
+  const WarmupPolicy saved = ctx->warmup;
+
+  // Cold half: warmup off, private per-worker pools — the classic map,
+  // bit-identical at any thread count.
+  ctx->warmup = WarmupPolicy::Cold();
+  SweepOptions cold_opts = opts;
+  cold_opts.shared_pool = nullptr;
+  auto cold = StudySweep(ctx, executor, plans, space, cold_opts);
+  if (!cold.ok()) {
+    ctx->warmup = saved;
+    return cold.status();
+  }
+
+  // Warm half under the requested policy. Two situations make warmth a
+  // product of execution order, and both run serially so that order — and
+  // with it the warm map — is the same on every invocation: prior-run
+  // cells inherit their predecessor's cache, and a shared pool is mutated
+  // by every cell's ColdStart (parallel workers would clear and re-warm
+  // the one cache out from under each other's in-flight measurements).
+  // Page-set policies on private per-worker pools are order-independent
+  // and stay parallel.
+  ctx->warmup = warm_policy;
+  SweepOptions warm_opts = opts;
+  if (warm_policy.is_order_dependent() || warm_opts.shared_pool != nullptr) {
+    warm_opts.num_threads = 1;
+  }
+  if (warm_policy.is_order_dependent()) {
+    // Prior-run cells inherit pool state, so pin the sweep's starting
+    // state: the first cell runs cold, every later cell inherits from its
+    // predecessor — the same history on every invocation.
+    ctx->pool->Clear();
+    if (warm_opts.shared_pool != nullptr) warm_opts.shared_pool->Clear();
+  }
+  auto warm = StudySweep(ctx, executor, plans, space, warm_opts);
+  ctx->warmup = saved;
+  if (!warm.ok()) return warm.status();
+
+  auto delta = DiffMaps(warm.value(), cold.value());
+  RM_RETURN_IF_ERROR(delta.status());
+  std::vector<RobustnessMap> layers;
+  layers.reserve(3);
+  layers.push_back(std::move(cold).value());
+  layers.push_back(std::move(warm).value());
+  layers.push_back(std::move(delta).value());
+  return layers;
+}
+
+Result<std::string> ReadErrFile(const std::string& tile_path) {
+  std::ifstream f(TileErrFileName(tile_path));
+  if (!f.is_open()) return Status::NotFound("no error file");
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+/// A checkpoint is reusable only if it parses, its checksum holds, and it
+/// describes exactly the tile the current plan expects — same rectangle,
+/// same parent grid, same plans, same study layers. Anything else (a tile
+/// from an older configuration, a plain tile in a warm-cold directory, a
+/// damaged file) must be recomputed. A tile the measured cost-model scan
+/// already read and validated is taken from `preloaded` instead of reading
+/// (and checksumming) the file a second time.
+Result<MapTile> LoadValidTile(std::map<std::string, MapTile>* preloaded,
+                              const std::string& path,
+                              const TileSpec& expected,
+                              const ParameterSpace& space,
+                              const std::vector<std::string>& labels,
+                              StudyKind study) {
+  auto tile = [&]() -> Result<MapTile> {
+    if (auto it = preloaded->find(path); it != preloaded->end()) {
+      Result<MapTile> found(std::move(it->second));
+      preloaded->erase(it);
+      return found;
+    }
+    return ReadMapTileFile(path);
+  }();
+  RM_RETURN_IF_ERROR(tile.status());
+  const MapTile& t = tile.value();
+  if (!(t.spec == expected) || !(t.parent_space == space) ||
+      t.map.plan_labels() != labels) {
+    return Status::InvalidArgument(
+        path + " describes a different tile, grid, or plan set");
+  }
+  if (t.num_layers() != StudyLayerCount(study) ||
+      t.layer_names != StudyLayerNames(study)) {
+    return Status::InvalidArgument(
+        path + " carries a different study's layers");
+  }
+  return tile;
+}
+
+/// The sharded-process backend: partitions the grid with `ShardPlanner`
+/// under the request's cost model, skips tiles already valid on disk
+/// (unless resume is off), computes the rest through a pull-based work
+/// queue — up to num_workers subprocesses in flight, each freed worker
+/// slot immediately pulling the heaviest pending tile — and merges the
+/// tile files layer by layer into maps bit-identical to an in-process
+/// sweep of the same study (every cell is an order-independent
+/// measurement, so its value cannot depend on which process ran it).
+Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
+                                     const Executor& executor,
+                                     const SweepRequest& req) {
+  const ShardedSweepOptions& opts = req.sharded;
+  const ParameterSpace& space = req.space;
+  if (opts.tile_dir.empty()) {
+    return Status::InvalidArgument("sharded sweep needs a tile_dir");
+  }
+  if (ctx->warmup.is_order_dependent() ||
+      (req.study == StudyKind::kWarmColdDelta &&
+       req.warm_policy.is_order_dependent())) {
+    return Status::InvalidArgument(
+        "sharded sweeps require an order-independent warmup policy; "
+        "kPriorRun cells inherit cache state across the tile boundaries "
+        "sharding erases");
+  }
+  if (req.sweep.shared_pool != nullptr ||
+      req.sweep.deterministic_shared_schedule) {
+    return Status::InvalidArgument(
+        "sharded sweeps cannot share one buffer pool across processes; "
+        "shared-pool (and deterministic-schedule) studies are in-process "
+        "serial features");
+  }
+  const unsigned num_workers = ResolveParallelism(opts.num_workers);
+  const size_t num_tiles =
+      opts.num_tiles == 0 ? num_workers : opts.num_tiles;
+  // The scheduling model. Measured mode scans the checkpoint directory
+  // *before* anything is recomputed, so the partition reflects what the
+  // previous run's tiles actually cost; with no usable timings it degrades
+  // to the analytic prior, never to an error.
+  std::vector<std::pair<std::string, MapTile>> prescanned;
+  auto model = [&]() -> Result<CellCostModel> {
+    switch (opts.cost_model) {
+      case CostModelKind::kUniform:
+        return CellCostModel::Uniform(space);
+      case CostModelKind::kAnalytic:
+        return CellCostModel::Analytic(space);
+      case CostModelKind::kMeasured:
+        // When resuming, keep what the scan read: the checkpoint pass
+        // below can then validate those tiles from memory instead of
+        // reading and checksumming every file twice.
+        return MeasuredCostModelFromDir(opts.tile_dir, space,
+                                        opts.resume ? &prescanned : nullptr);
+    }
+    return Status::InvalidArgument("unknown cost model kind");
+  }();
+  RM_RETURN_IF_ERROR(model.status());
+  std::map<std::string, MapTile> preloaded;
+  for (auto& [path, tile] : prescanned) {
+    preloaded.emplace(path, std::move(tile));
+  }
+  prescanned.clear();
+  auto tiles = opts.cost_model == CostModelKind::kUniform
+                   ? ShardPlanner::Partition(space, num_tiles)
+                   : ShardPlanner::PartitionWeighted(space, num_tiles,
+                                                     model.value());
+  RM_RETURN_IF_ERROR(tiles.status());
+  RM_RETURN_IF_ERROR(EnsureDirectory(opts.tile_dir));
+
+  std::vector<std::string> labels;
+  labels.reserve(req.plans.size());
+  for (PlanKind k : req.plans) labels.push_back(PlanKindLabel(k));
+
+  // Scan the checkpoint directory: valid tiles are carried over in memory,
+  // the rest queue for workers.
+  std::vector<MapTile> loaded;
+  std::vector<TileSpec> todo;
+  for (const TileSpec& t : tiles.value()) {
+    const std::string path = opts.tile_dir + "/" + TileFileName(t.shard_id);
+    auto tile = opts.resume
+                    ? LoadValidTile(&preloaded, path, t, space, labels,
+                                    req.study)
+                    : Result<MapTile>(Status::NotFound("resume disabled"));
+    if (tile.ok()) {
+      loaded.push_back(std::move(tile).value());
+      if (opts.verbose) {
+        std::fprintf(stderr, "  shard: tile %zu valid on disk, reused\n",
+                     t.shard_id);
+      }
+    } else {
+      std::remove(TileErrFileName(path).c_str());
+      todo.push_back(t);
+    }
+  }
+
+  // Pull-based dispatch: the pending queue is ordered heaviest-first under
+  // the cost model (LPT — the classic makespan heuristic), and every time
+  // a worker slot frees up it pulls the head of the queue. The expensive
+  // corner tiles start immediately; the cheap tail fills in around them
+  // instead of everyone waiting on a monster tile scheduled last.
+  SortTilesHeaviestFirst(&todo, model.value());
+
+  ShardedSweepStats local;
+  local.tiles_total = tiles.value().size();
+  local.tiles_reused = loaded.size();
+  local.tiles_computed = todo.size();
+  local.workers_spawned =
+      static_cast<unsigned>(std::min<size_t>(num_workers, todo.size()));
+
+  if (opts.verbose && !todo.empty()) {
+    std::fprintf(stderr,
+                 "  shard: %s cost model, %s study, %zu pending tiles "
+                 "(heaviest %.3g, lightest %.3g relative cost)\n",
+                 CostModelKindName(opts.cost_model),
+                 StudyKindName(req.study), todo.size(),
+                 model.value().TileCost(todo.front()),
+                 model.value().TileCost(todo.back()));
+  }
+
+  // The policy an exec-mode worker must reconstruct: the warm layer's for
+  // a warm-cold study, the context's own for a plain study measured warm.
+  const WarmupPolicy& flag_policy = req.study == StudyKind::kWarmColdDelta
+                                        ? req.warm_policy
+                                        : ctx->warmup;
+
+  // One subprocess per outstanding tile, at most num_workers in flight.
+  // stdio is flushed first so forked children do not replay the parent's
+  // buffered output. Each in-flight tile occupies a worker *slot*; per-slot
+  // busy time is what the balance metrics report.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  struct InFlight {
+    size_t todo_index;
+    size_t slot;
+    std::chrono::steady_clock::time_point started;
+  };
+  std::map<pid_t, InFlight> running;
+  std::set<size_t> free_slots;
+  std::vector<size_t> failed;
+  size_t next = 0;
+  size_t computed_done = 0;
+  SweepOptions worker_opts;
+  worker_opts.num_threads = std::max(1u, opts.threads_per_worker);
+  while (next < todo.size() || !running.empty()) {
+    while (next < todo.size() && running.size() < num_workers) {
+      const TileSpec& t = todo[next];
+      const std::string path =
+          opts.tile_dir + "/" + TileFileName(t.shard_id);
+      pid_t pid = ::fork();
+      if (pid < 0) {
+        return Status::Internal(std::string("fork failed: ") +
+                                std::strerror(errno));
+      }
+      if (pid == 0) {
+        // Worker. Either exec the external worker binary, or compute the
+        // tile right here on the forked copy of the parent's environment.
+        if (!opts.worker_command.empty()) {
+          std::vector<std::string> args = opts.worker_command;
+          // The tile count is part of a tile id's meaning, and only this
+          // side knows the resolved value — the worker must never re-derive
+          // it from a default that could drift. The rectangle itself rides
+          // along too: with cost-weighted partitioning the boundaries
+          // depend on the model, so the coordinator's exact cuts are the
+          // contract, not something a worker recomputes. The study (and
+          // its warmup policy, when not cold) completes the contract: a
+          // worker computing a different study under the right tile name
+          // would poison the merge.
+          args.push_back("--tiles=" + std::to_string(num_tiles));
+          args.push_back("--tile=" + std::to_string(t.shard_id));
+          args.push_back("--rect=" + RectSpecString(t));
+          args.push_back("--study=" + std::string(StudyKindName(req.study)));
+          if (!flag_policy.is_cold()) {
+            args.push_back("--warmup=" + flag_policy.ToSpec());
+          }
+          args.push_back("--out=" + path);
+          std::vector<char*> argv;
+          argv.reserve(args.size() + 1);
+          for (std::string& a : args) argv.push_back(a.data());
+          argv.push_back(nullptr);
+          ::execvp(argv[0], argv.data());
+          WriteTileErrFile(path, Status::Internal(
+                                 std::string("cannot exec ") + args[0] +
+                                 ": " + std::strerror(errno)));
+          ::_exit(127);
+        }
+        Status s = ComputeAndWriteTile(ctx, executor, req.plans, space, t,
+                                       path, worker_opts, req.study,
+                                       req.warm_policy);
+        if (!s.ok()) {
+          WriteTileErrFile(path, s);
+          ::_exit(1);
+        }
+        ::_exit(0);
+      }
+      size_t slot;
+      if (!free_slots.empty()) {
+        slot = *free_slots.begin();
+        free_slots.erase(free_slots.begin());
+      } else {
+        slot = local.worker_busy_seconds.size();
+        local.worker_busy_seconds.push_back(0);
+      }
+      running.emplace(
+          pid, InFlight{next, slot, std::chrono::steady_clock::now()});
+      ++next;
+    }
+    // Reap exactly one of *our* workers. waitpid(-1) would also consume
+    // the exit status of any unrelated child an embedding application has
+    // in flight, so poll the known pids instead; tiles take seconds, the
+    // 10 ms poll interval is noise.
+    bool reaped = false;
+    while (!reaped) {
+      for (auto it = running.begin(); it != running.end();) {
+        int wstatus = 0;
+        pid_t r = ::waitpid(it->first, &wstatus, WNOHANG);
+        if (r == 0 || (r < 0 && errno == EINTR)) {
+          ++it;
+          continue;
+        }
+        if (r < 0) {
+          return Status::Internal(std::string("waitpid failed: ") +
+                                  std::strerror(errno));
+        }
+        const size_t idx = it->second.todo_index;
+        local.worker_busy_seconds[it->second.slot] +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          it->second.started)
+                .count();
+        free_slots.insert(it->second.slot);
+        it = running.erase(it);
+        reaped = true;
+        if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
+          ++computed_done;
+          if (opts.verbose) {
+            std::fprintf(stderr,
+                         "  shard: tile %zu computed (%zu/%zu done)\n",
+                         todo[idx].shard_id,
+                         local.tiles_reused + computed_done,
+                         local.tiles_total);
+          }
+        } else {
+          failed.push_back(idx);
+        }
+      }
+      if (!reaped) ::usleep(10000);
+    }
+  }
+
+  if (!failed.empty()) {
+    // Report the failure of the lowest shard id — stable whatever dispatch
+    // order the cost model produced — with the worker's own Status when it
+    // managed to leave one. Completed tiles stay on disk, so the rerun
+    // that follows a fix resumes instead of restarting.
+    size_t worst = failed.front();
+    for (size_t idx : failed) {
+      if (todo[idx].shard_id < todo[worst].shard_id) worst = idx;
+    }
+    const TileSpec& t = todo[worst];
+    const std::string path = opts.tile_dir + "/" + TileFileName(t.shard_id);
+    auto msg = ReadErrFile(path);
+    return Status::Internal(
+        "sweep worker for tile " + std::to_string(t.shard_id) + " failed" +
+        (msg.ok() ? ": " + msg.value()
+                  : " without leaving an error file (killed?)"));
+  }
+
+  // Merge: freshly computed tiles are read back from disk — the same
+  // validated path a resumed coordinator takes — then stitched with the
+  // reused ones, layer by layer.
+  for (const TileSpec& t : todo) {
+    const std::string path = opts.tile_dir + "/" + TileFileName(t.shard_id);
+    auto tile = ReadMapTileFile(path);
+    RM_RETURN_IF_ERROR(tile.status());
+    loaded.push_back(std::move(tile).value());
+  }
+  auto merged = MergeTileLayers(space, labels, loaded);
+  RM_RETURN_IF_ERROR(merged.status());
+  if (merged.value().size() != StudyLayerCount(req.study)) {
+    return Status::Internal("merged " + std::to_string(merged.value().size()) +
+                            " layers for a " +
+                            std::to_string(StudyLayerCount(req.study)) +
+                            "-layer study");
+  }
+  SweepOutcome out;
+  out.study = req.study;
+  out.layers = std::move(merged).value();
+  out.sharded_stats = std::move(local);
+  return out;
+}
+
+}  // namespace
+
+Result<StudyKind> StudyKindFromString(const std::string& name) {
+  if (name == "plain") return StudyKind::kPlainMap;
+  if (name == "warmcold") return StudyKind::kWarmColdDelta;
+  return Status::InvalidArgument("unknown study '" + name +
+                                 "' (want plain or warmcold)");
+}
+
+const char* StudyKindName(StudyKind kind) {
+  switch (kind) {
+    case StudyKind::kPlainMap:
+      return "plain";
+    case StudyKind::kWarmColdDelta:
+      return "warmcold";
+  }
+  return "?";
+}
+
+size_t StudyLayerCount(StudyKind kind) {
+  return kind == StudyKind::kWarmColdDelta ? 3 : 1;
+}
+
+std::vector<std::string> StudyLayerNames(StudyKind kind) {
+  switch (kind) {
+    case StudyKind::kPlainMap:
+      return {};  // unnamed single layer: plain tiles stay on v2 bytes
+    case StudyKind::kWarmColdDelta:
+      return {"cold", "warm", "delta"};
+  }
+  return {};
+}
+
+Result<BackendKind> BackendKindFromString(const std::string& name) {
+  if (name == "serial") return BackendKind::kSerial;
+  if (name == "threaded") return BackendKind::kThreaded;
+  if (name == "sharded") return BackendKind::kShardedProcess;
+  return Status::InvalidArgument("unknown backend '" + name +
+                                 "' (want serial, threaded, or sharded)");
+}
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSerial:
+      return "serial";
+    case BackendKind::kThreaded:
+      return "threaded";
+    case BackendKind::kShardedProcess:
+      return "sharded";
+  }
+  return "?";
+}
+
+Result<RobustnessMap> SweepEngine::RunCells(
+    const ParameterSpace& space, const std::vector<std::string>& plan_labels,
+    const PointRunner& runner, const SweepOptions& opts) {
+  RM_RETURN_IF_ERROR(ValidateSweepInputs(space, plan_labels));
+  RobustnessMap map(space, plan_labels);
+  ProgressTracker tracker(opts, plan_labels.size(), space.num_points());
+  for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
+    for (size_t point = 0; point < space.num_points(); ++point) {
+      auto m = runner(plan, space.x_value(point), space.y_value(point));
+      RM_RETURN_IF_ERROR(m.status());
+      map.Set(plan, point, std::move(m).value());
+      tracker.CellDone(plan);
+    }
+  }
+  return map;
+}
+
+Result<RobustnessMap> SweepEngine::RunCellsParallel(
+    const ParameterSpace& space, const std::vector<std::string>& plan_labels,
+    const RunContextFactory& factory, const ContextPointRunner& runner,
+    const SweepOptions& opts) {
+  RM_RETURN_IF_ERROR(ValidateSweepInputs(space, plan_labels));
+  const unsigned num_threads = ResolveParallelism(opts.num_threads);
+  const size_t points = space.num_points();
+  const size_t cells = plan_labels.size() * points;
+  RobustnessMap map(space, plan_labels);
+  ProgressTracker tracker(opts, plan_labels.size(), points);
+
+  // The deterministic concurrent-contention schedule: serial execution in
+  // point-major round-robin across plans, as if one query stream per plan
+  // took turns on the machine. Shared-pool residency then evolves the same
+  // way on every run — unlike the true-parallel schedule below, whose
+  // interleaving (intentionally) depends on thread timing.
+  if (opts.deterministic_shared_schedule) {
+    if (opts.verbose) {
+      std::fprintf(stderr,
+                   "  sweep: %zu cells (%zu plans), fixed round-robin "
+                   "schedule\n",
+                   cells, plan_labels.size());
+    }
+    std::unique_ptr<OwnedRunContext> machine = factory.Create();
+    for (size_t point = 0; point < points; ++point) {
+      for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
+        auto m = runner(machine->ctx(), plan, space.x_value(point),
+                        space.y_value(point));
+        RM_RETURN_IF_ERROR(m.status());
+        map.Set(plan, point, std::move(m).value());
+        tracker.CellDone(plan);
+      }
+    }
+    return map;
+  }
+
+  // Work units are *cost-weighted cell blocks*: contiguous runs of the
+  // serial (plan-major) cell order, cut so each block carries roughly equal
+  // analytic cost. Cheap low-selectivity cells batch by the dozen (fewer
+  // atomic claims), while the expensive corner degrades to single-cell
+  // blocks (no worker is ever stuck behind a mega-block at the tail).
+  // Map writes stay keyed by (plan, point), so the result is bit-identical
+  // to a serial sweep whatever the block shapes.
+  std::vector<double> point_cost(points, 1.0);
+  if (auto model = CellCostModel::Analytic(space); model.ok()) {
+    for (size_t pt = 0; pt < points; ++pt) {
+      const auto [xi, yi] = space.CoordsOf(pt);
+      point_cost[pt] = model.value().CellCost(xi, yi);
+    }
+  }
+  double total_cost = 0;
+  for (double c : point_cost) total_cost += c;
+  total_cost *= static_cast<double>(plan_labels.size());
+  // ~16 blocks per worker bounds both the claim rate and the tail: the last
+  // block to finish holds at most 1/16th of one worker's fair share.
+  const double per_block =
+      total_cost / static_cast<double>(std::max<size_t>(
+                       size_t{num_threads} * 16, 1));
+  std::vector<size_t> block_begin;
+  block_begin.push_back(0);
+  double acc = 0;
+  for (size_t cell = 0; cell < cells; ++cell) {
+    acc += point_cost[cell % points];
+    if (acc >= per_block && cell + 1 < cells) {
+      block_begin.push_back(cell + 1);
+      acc = 0;
+    }
+  }
+  block_begin.push_back(cells);
+  const size_t num_blocks = block_begin.size() - 1;
+
+  if (opts.verbose) {
+    std::fprintf(stderr,
+                 "  sweep: %zu cells (%zu plans) in %zu cost-weighted "
+                 "blocks on %u thread(s)\n",
+                 cells, plan_labels.size(), num_blocks, num_threads);
+  }
+
+  // Blocks are claimed from a shared queue. On failure, workers skip cells
+  // above the lowest failing cell seen so far; every cell below it is in
+  // some block that runs to completion, so the error we return is exactly
+  // the one a serial sweep would have hit first.
+  std::atomic<size_t> next_block{0};
+  std::atomic<size_t> first_failed_cell{cells};
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+
+  auto record_error = [&](size_t cell, const Status& s) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    size_t prev = first_failed_cell.load(std::memory_order_relaxed);
+    if (cell < prev) {
+      first_failed_cell.store(cell, std::memory_order_relaxed);
+      first_error = s;
+    }
+  };
+
+  auto work = [&]() {
+    std::unique_ptr<OwnedRunContext> machine = factory.Create();
+    for (;;) {
+      const size_t block = next_block.fetch_add(1, std::memory_order_relaxed);
+      if (block >= num_blocks) break;
+      for (size_t cell = block_begin[block]; cell < block_begin[block + 1];
+           ++cell) {
+        if (cell > first_failed_cell.load(std::memory_order_relaxed)) {
+          continue;
+        }
+        const size_t plan = cell / points;
+        const size_t point = cell % points;
+        auto m = runner(machine->ctx(), plan, space.x_value(point),
+                        space.y_value(point));
+        if (!m.ok()) {
+          record_error(cell, m.status());
+          continue;
+        }
+        map.Set(plan, point, std::move(m).value());
+        tracker.CellDone(plan);
+      }
+    }
+  };
+
+  if (num_threads <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) workers.emplace_back(work);
+    for (std::thread& t : workers) t.join();
+  }
+
+  if (first_failed_cell.load(std::memory_order_relaxed) < cells) {
+    return first_error;
+  }
+  return map;
+}
+
+Result<SweepOutcome> SweepEngine::Run(RunContext* ctx,
+                                      const Executor& executor,
+                                      const SweepRequest& req) {
+  if (req.backend == BackendKind::kShardedProcess) {
+    return RunShardedStudy(ctx, executor, req);
+  }
+  SweepOptions opts = req.sweep;
+  if (req.backend == BackendKind::kSerial) opts.num_threads = 1;
+  SweepOutcome out;
+  out.study = req.study;
+  switch (req.study) {
+    case StudyKind::kPlainMap: {
+      auto map = StudySweep(ctx, executor, req.plans, req.space, opts);
+      RM_RETURN_IF_ERROR(map.status());
+      out.layers.push_back(std::move(map).value());
+      return out;
+    }
+    case StudyKind::kWarmColdDelta: {
+      auto layers = WarmColdLayers(ctx, executor, req.plans, req.space,
+                                   req.warm_policy, opts);
+      RM_RETURN_IF_ERROR(layers.status());
+      out.layers = std::move(layers).value();
+      return out;
+    }
+  }
+  return Status::InvalidArgument("unknown study kind");
+}
+
+}  // namespace robustmap

@@ -1,0 +1,220 @@
+#ifndef ROBUSTMAP_CORE_SWEEP_ENGINE_H_
+#define ROBUSTMAP_CORE_SWEEP_ENGINE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/robustness_map.h"
+#include "core/sweep.h"
+#include "core/sweep_cost.h"
+#include "engine/plan.h"
+#include "io/run_context.h"
+
+namespace robustmap {
+
+/// The *study* axis of a sweep: what is measured at every grid cell, and
+/// how many output maps ("layers") the sweep therefore produces. Studies
+/// compose orthogonally with every `BackendKind` — the §3.2 buffer-contents
+/// study runs sharded across processes exactly as the plain map does.
+enum class StudyKind {
+  kPlainMap,       ///< one layer: each cell measured once under ctx->warmup
+  kWarmColdDelta,  ///< three layers: cold, warm (under the request's
+                   ///< warm policy), and their per-cell delta (warm − cold)
+};
+
+/// "plain" / "warmcold" — the spelling of the `--study` flag and the
+/// REPRO_STUDY env knob.
+Result<StudyKind> StudyKindFromString(const std::string& name);
+const char* StudyKindName(StudyKind kind);
+
+/// How many maps the study produces (1 for plain, 3 for warm-cold).
+size_t StudyLayerCount(StudyKind kind);
+
+/// The layer names stored in this study's tiles, in output order. Empty
+/// for single-layer studies: plain tiles carry no names, which keeps them
+/// on the v2 byte stream (byte-stable artifacts).
+std::vector<std::string> StudyLayerNames(StudyKind kind);
+
+/// The *execution* axis of a sweep: which machinery measures the cells.
+/// Every backend produces bit-identical layers for order-independent
+/// studies — the backend may only change wall-clock time, never values.
+enum class BackendKind {
+  kSerial,          ///< in the caller's thread, on `ctx` itself
+  kThreaded,        ///< thread pool of private simulated machines
+  kShardedProcess,  ///< checkpointed worker processes merging tile files
+};
+
+/// "serial" / "threaded" / "sharded" — the string spelling of a backend.
+Result<BackendKind> BackendKindFromString(const std::string& name);
+const char* BackendKindName(BackendKind kind);
+
+/// Options for the sharded-process backend (also the configuration of the
+/// `RunShardedSweep` compatibility shim).
+struct ShardedSweepOptions {
+  /// Directory the per-tile checkpoint files live in; created if missing.
+  /// Point a rerun at the same directory to resume a killed sweep.
+  std::string tile_dir;
+
+  /// Concurrent worker processes. 0 = one per hardware thread.
+  unsigned num_workers = 0;
+
+  /// Tiles to split the grid into (work units; a worker processes several).
+  /// 0 = one per worker. More tiles than workers smooths load imbalance and
+  /// makes checkpoints finer-grained.
+  size_t num_tiles = 0;
+
+  /// Sweep threads inside each worker process (multiplies with
+  /// `num_workers`; keep at 1 unless workers are spread across machines).
+  unsigned threads_per_worker = 1;
+
+  /// When true (the default), tiles already present and valid in `tile_dir`
+  /// are trusted and only missing or invalid ones are recomputed — the
+  /// checkpoint/resume path. When false, every tile is recomputed and
+  /// existing files are overwritten.
+  bool resume = true;
+
+  /// Per-tile progress lines on stderr.
+  bool verbose = false;
+
+  /// Empty (the default): workers are forked children of this process,
+  /// computing their tiles with the already-built executor — the in-process
+  /// subprocess mode benches and tests use. Non-empty: each tile spawns
+  /// fork+exec of this argv with "--tiles=<count>", "--tile=<id>",
+  /// "--rect=<x0:x1:y0:y1>", "--study=<name>", "--out=<path>" — and
+  /// "--warmup=<spec>" when the study's policy is not cold — appended (the
+  /// `sweep_worker` contract — the resolved tile count, its exact
+  /// rectangle, and the study ride along so worker and coordinator can
+  /// never compute different things under the same tile name), for
+  /// coordinators whose workers must build their own environment.
+  std::vector<std::string> worker_command;
+
+  /// How tiles are sized and dispatched. `kUniform` reproduces the
+  /// pre-cost-layer equal-area tiles in shard-id order. `kAnalytic` (the
+  /// default) cuts cost-balanced tiles from the selectivity prior and
+  /// dispatches the heaviest pending tile first, so the sweep no longer
+  /// finishes at the speed of its unluckiest tile. `kMeasured`
+  /// additionally rebuilds the model from per-tile wall times found in
+  /// `tile_dir` before partitioning — a repeated sweep reschedules from
+  /// what cells actually cost here, not from the prior. (Changing the
+  /// model between runs usually moves tile boundaries, which resume then
+  /// treats as a reconfiguration and recomputes; measured mode is a
+  /// re-balancing run, not a resume accelerator.) The merged map is
+  /// bit-identical under every setting — scheduling never touches values.
+  CostModelKind cost_model = CostModelKind::kAnalytic;
+};
+
+/// What a sharded sweep did, for self-checks, resume tests, and the
+/// scheduling-quality metrics `robustness_benchmark` records.
+struct ShardedSweepStats {
+  size_t tiles_total = 0;
+  size_t tiles_reused = 0;    ///< valid checkpoints skipped
+  size_t tiles_computed = 0;  ///< recomputed by workers this run
+  unsigned workers_spawned = 0;
+
+  /// Wall-clock seconds each worker slot spent with a tile subprocess in
+  /// flight (slot = one of the up-to-`num_workers` concurrent lanes; one
+  /// entry per slot actually used). The makespan is dominated by the
+  /// busiest slot, so the spread here *is* the scheduling quality.
+  std::vector<double> worker_busy_seconds;
+
+  /// Busiest slot / mean slot — 1.0 is a perfectly balanced sweep, 2.0
+  /// means the slowest worker carried twice its fair share while others
+  /// idled. 1.0 when nothing was computed.
+  double busy_balance_ratio() const {
+    if (worker_busy_seconds.empty()) return 1.0;
+    double sum = 0, max = 0;
+    for (double b : worker_busy_seconds) {
+      sum += b;
+      if (b > max) max = b;
+    }
+    if (sum <= 0) return 1.0;
+    return max * static_cast<double>(worker_busy_seconds.size()) / sum;
+  }
+};
+
+/// One fully-specified sweep: *what* to measure (plans × space × study)
+/// and *how* to execute it (backend + its configuration). Every sweep in
+/// the repo — every fig bench, the scorecard, the shard coordinator, each
+/// worker's single tile — is one of these, so cost models, warmup
+/// policies, shared pools, deterministic schedules, and progress callbacks
+/// are applied by exactly one code path.
+struct SweepRequest {
+  std::vector<PlanKind> plans;
+  ParameterSpace space;
+  StudyKind study = StudyKind::kPlainMap;
+  BackendKind backend = BackendKind::kThreaded;
+
+  /// The warm layer's policy (kWarmColdDelta only; the cold layer is
+  /// always `WarmupPolicy::Cold()`, and a plain study sweeps under the
+  /// context's own `ctx->warmup`). Must be order-independent for the
+  /// sharded backend.
+  WarmupPolicy warm_policy;
+
+  /// Thread count, shared pool, deterministic schedule, verbosity, and the
+  /// progress callback. The sharded backend takes its parallelism from
+  /// `sharded` instead and rejects shared pools (one process cannot share
+  /// cache residency with another).
+  SweepOptions sweep;
+
+  /// Sharded-process backend configuration (ignored by the in-process
+  /// backends).
+  ShardedSweepOptions sharded;
+};
+
+/// The maps a sweep produced: `StudyLayerCount(study)` layers, in study
+/// order, plus the sharded backend's scheduling stats (zeroed for
+/// in-process backends).
+struct SweepOutcome {
+  StudyKind study = StudyKind::kPlainMap;
+  std::vector<RobustnessMap> layers;
+  ShardedSweepStats sharded_stats;
+
+  const RobustnessMap& map() const { return layers.front(); }
+  const RobustnessMap& cold() const { return layers[0]; }
+  const RobustnessMap& warm() const { return layers[1]; }
+  const RobustnessMap& delta() const { return layers[2]; }
+
+  /// Unpacks a kWarmColdDelta outcome into the legacy struct.
+  WarmColdMaps ToWarmColdMaps() && {
+    return WarmColdMaps{std::move(layers[0]), std::move(layers[1]),
+                        std::move(layers[2])};
+  }
+};
+
+/// The composable sweep engine: any study × any backend, one entry point.
+///
+/// Guarantees, for order-independent configurations (no prior-run warmth,
+/// no shared pool): every (study, backend) pair produces layers
+/// bit-identical to the serial reference of the same study — the backend
+/// axis only ever changes wall-clock time. Order-dependent configurations
+/// are confined to the in-process backends (serialized as the legacy
+/// entry points always did) and rejected with `InvalidArgument` by the
+/// sharded backend.
+class SweepEngine {
+ public:
+  /// Executes `req`. The legacy entry points (`SweepStudyPlans`,
+  /// `RunWarmColdSweep`, `RunShardedSweep`) are thin shims over this.
+  static Result<SweepOutcome> Run(RunContext* ctx, const Executor& executor,
+                                  const SweepRequest& req);
+
+  /// The generic serial cell loop (the engine's substrate, exposed for
+  /// sweeps over arbitrary runners — ablations mapping memory budgets or
+  /// spill behavior rather than study plans). `RunSweep` shims here.
+  static Result<RobustnessMap> RunCells(
+      const ParameterSpace& space, const std::vector<std::string>& plan_labels,
+      const PointRunner& runner, const SweepOptions& opts = {});
+
+  /// The generic thread-pool cell loop over per-worker simulated machines
+  /// built by `factory`; bit-identical to `RunCells` at any thread count.
+  /// `ParallelRunSweep` shims here.
+  static Result<RobustnessMap> RunCellsParallel(
+      const ParameterSpace& space, const std::vector<std::string>& plan_labels,
+      const RunContextFactory& factory, const ContextPointRunner& runner,
+      const SweepOptions& opts = {});
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_SWEEP_ENGINE_H_

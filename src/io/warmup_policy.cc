@@ -1,0 +1,114 @@
+#include "io/warmup_policy.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace robustmap {
+
+namespace {
+
+/// Parses one non-negative integer out of [*pos, end of `s`), advancing
+/// *pos past it. Rejects empty / non-numeric / out-of-range tokens — and
+/// signs: strtoull would happily wrap "-2" to ~2^64, turning a typo'd
+/// range into a multi-exabyte page-list allocation.
+bool ParsePage(const std::string& s, size_t* pos, uint64_t* out) {
+  if (*pos >= s.size() ||
+      !std::isdigit(static_cast<unsigned char>(s[*pos]))) {
+    return false;
+  }
+  const char* begin = s.c_str() + *pos;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(begin, &end, 10);
+  if (end == begin || errno == ERANGE) return false;
+  *pos += static_cast<size_t>(end - begin);
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string WarmupPolicy::ToSpec() const {
+  switch (mode) {
+    case Mode::kCold:
+      return "cold";
+    case Mode::kPriorRun:
+      return "prior-run";
+    case Mode::kFractionResident: {
+      // %.17g round-trips any double, so FromSpec(ToSpec()) is exact.
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "resident:%.17g", fraction);
+      return buf;
+    }
+    case Mode::kExplicitPages: {
+      std::string spec = "pages:";
+      for (size_t i = 0; i < pages.size();) {
+        size_t j = i;
+        while (j + 1 < pages.size() && pages[j + 1] == pages[j] + 1) ++j;
+        if (spec.back() != ':') spec += ',';
+        spec += std::to_string(pages[i]);
+        if (j > i) {
+          spec += '-';
+          spec += std::to_string(pages[j]);
+        }
+        i = j + 1;
+      }
+      return spec;
+    }
+  }
+  return "cold";
+}
+
+Result<WarmupPolicy> WarmupPolicy::FromSpec(const std::string& spec) {
+  if (spec == "cold") return Cold();
+  if (spec == "prior-run") return PriorRun();
+  if (spec.rfind("resident:", 0) == 0) {
+    const std::string raw = spec.substr(9);
+    char* end = nullptr;
+    errno = 0;
+    double f = std::strtod(raw.c_str(), &end);
+    // The negated form, not `f < 0 || f > 1`: both of those compare false
+    // for NaN, and "resident:nan" must be rejected, not swept under.
+    if (raw.empty() || end != raw.c_str() + raw.size() || errno == ERANGE ||
+        !(f >= 0.0 && f <= 1.0)) {
+      return Status::InvalidArgument("warmup spec '" + spec +
+                                     "': resident fraction must be a number "
+                                     "in [0, 1]");
+    }
+    return FractionResident(f);
+  }
+  if (spec.rfind("pages:", 0) == 0) {
+    std::vector<uint64_t> pages;
+    size_t pos = 6;
+    if (pos == spec.size()) return ExplicitPages({});  // "pages:" = none
+    for (;;) {
+      uint64_t a = 0;
+      if (!ParsePage(spec, &pos, &a)) {
+        return Status::InvalidArgument("warmup spec '" + spec +
+                                       "': bad page number");
+      }
+      uint64_t b = a;
+      if (pos < spec.size() && spec[pos] == '-') {
+        ++pos;
+        if (!ParsePage(spec, &pos, &b) || b < a) {
+          return Status::InvalidArgument("warmup spec '" + spec +
+                                         "': bad page range");
+        }
+      }
+      for (uint64_t p = a; p <= b; ++p) pages.push_back(p);
+      if (pos == spec.size()) break;
+      if (spec[pos] != ',') {
+        return Status::InvalidArgument("warmup spec '" + spec +
+                                       "': expected ',' between pages");
+      }
+      ++pos;
+    }
+    return ExplicitPages(std::move(pages));
+  }
+  return Status::InvalidArgument(
+      "unknown warmup spec '" + spec +
+      "' (want cold, prior-run, resident:<fraction>, or pages:<list>)");
+}
+
+}  // namespace robustmap

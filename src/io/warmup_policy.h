@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace robustmap {
 
 /// What the buffer pool contains when a measurement starts — the §3.2
@@ -58,6 +60,23 @@ struct WarmupPolicy {
   }
 
   bool is_cold() const { return mode == Mode::kCold; }
+
+  /// A policy's cells depend on what ran before it exactly when it is
+  /// `kPriorRun` — the one mode whose pool state is inherited rather than
+  /// reconstructed at every ColdStart. Order-dependent policies cannot be
+  /// sharded or parallelized without changing the map.
+  bool is_order_dependent() const { return mode == Mode::kPriorRun; }
+
+  /// The flag-sized round-trippable spelling of a policy — the value of
+  /// the `--warmup=` worker flag:
+  ///
+  ///   cold | prior-run | resident:<fraction> | pages:<a>[-<b>][,...]
+  ///
+  /// Explicit page lists compress consecutive runs into a-b ranges, so the
+  /// common "leading N pages" policies stay one short token however large
+  /// N grows. `FromSpec(ToSpec())` reproduces the policy exactly.
+  std::string ToSpec() const;
+  static Result<WarmupPolicy> FromSpec(const std::string& spec);
 
   /// Human-readable tag for figure titles and file names.
   std::string label() const {

@@ -261,6 +261,148 @@ TEST(MapIoTest, FileRoundTripAndMissingFile) {
   EXPECT_TRUE(ReadMapTileFile(path).status().IsNotFound());
 }
 
+/// A three-layer warm-cold-shaped tile: layer 0 plus two derived layers
+/// over the same slice and plan set, all named.
+MapTile MultiLayerTile(const ParameterSpace& space,
+                       const std::vector<std::string>& labels) {
+  MapTile tile = FullTile(space, labels);
+  tile.layer_names = {"cold", "warm", "delta"};
+  RobustnessMap warm = tile.map;
+  RobustnessMap delta = tile.map;
+  for (size_t pl = 0; pl < warm.num_plans(); ++pl) {
+    for (size_t pt = 0; pt < warm.space().num_points(); ++pt) {
+      Measurement w = warm.At(pl, pt);
+      w.seconds *= 0.25;
+      warm.Set(pl, pt, std::move(w));
+      Measurement d = delta.At(pl, pt);
+      d.seconds *= -0.75;
+      delta.Set(pl, pt, std::move(d));
+    }
+  }
+  tile.extra_layers = {std::move(warm), std::move(delta)};
+  return tile;
+}
+
+TEST(MapIoTest, MultiLayerTileRoundTrips) {
+  ParameterSpace space = SmallSpace();
+  MapTile tile = MultiLayerTile(space, {"scan", "idx.a"});
+  tile.wall_seconds = 4.5;
+  const std::string bytes = Serialize(tile);
+  // Multi-layer tiles are the v3 byte stream (version word follows the
+  // 8-byte magic, little-endian).
+  EXPECT_EQ(bytes[8], 3);
+  auto back = Deserialize(bytes).ValueOrDie();
+  ASSERT_EQ(back.num_layers(), 3u);
+  EXPECT_EQ(back.layer_names, tile.layer_names);
+  EXPECT_DOUBLE_EQ(back.wall_seconds, 4.5);
+  for (size_t li = 0; li < 3; ++li) {
+    SCOPED_TRACE(li);
+    ExpectMapsBitIdentical(back.layer(li), tile.layer(li));
+  }
+  // Deterministic bytes, layer cells included — the per-layer CI byte
+  // diffs rely on this exactly as the single-layer ones do.
+  EXPECT_EQ(bytes, Serialize(tile));
+}
+
+TEST(MapIoTest, SingleLayerTilesStayOnVersionTwoBytes) {
+  // The byte-stability contract of the multi-layer change: a plain
+  // single-layer tile serializes to exactly the pre-multi-layer v2 stream,
+  // so artifacts produced before and after the layer field merge compare
+  // equal under cmp(1).
+  const std::string bytes = Serialize(FullTile(SmallSpace(), {"scan"}));
+  EXPECT_EQ(bytes[8], 2);
+}
+
+TEST(MapIoTest, MultiLayerTruncationAndCorruptionStayDistinct) {
+  const std::string v3 = Serialize(MultiLayerTile(SmallSpace(), {"scan"}));
+  for (size_t keep : {size_t{13}, v3.size() / 2, v3.size() - 1}) {
+    auto r = Deserialize(v3.substr(0, keep));
+    ASSERT_FALSE(r.ok()) << "kept " << keep;
+    EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+  }
+  std::string damaged = v3;
+  damaged[damaged.size() / 2] ^= 0x01;
+  auto r = Deserialize(damaged);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(MapIoTest, WriterRejectsMalformedLayerSets) {
+  ParameterSpace space = SmallSpace();
+  // Multi-layer without names: the merge keys on layer names, so an
+  // anonymous multi-layer tile is unwritable by construction.
+  MapTile unnamed = MultiLayerTile(space, {"scan"});
+  unnamed.layer_names.clear();
+  std::ostringstream os;
+  EXPECT_TRUE(WriteMapTile(os, unnamed).IsInvalidArgument());
+
+  // One name too few.
+  MapTile short_names = MultiLayerTile(space, {"scan"});
+  short_names.layer_names.pop_back();
+  EXPECT_TRUE(WriteMapTile(os, short_names).IsInvalidArgument());
+
+  // A layer over a different plan set than layer 0.
+  MapTile mixed = MultiLayerTile(space, {"scan"});
+  mixed.extra_layers[0] = FillMap(mixed.map.space(), {"other"});
+  EXPECT_TRUE(WriteMapTile(os, mixed).IsInvalidArgument());
+}
+
+TEST(MergeTilesTest, MergesEveryLayerAndChecksLayerAgreement) {
+  ParameterSpace space = SmallSpace();
+  std::vector<std::string> labels = {"scan", "idx.a"};
+  MapTile full = MultiLayerTile(space, labels);
+  // Slice the three full-grid layers into per-tile pieces, then merge the
+  // pieces back: every layer must reassemble bit-identically.
+  auto tiles = ShardPlanner::Partition(space, 4).ValueOrDie();
+  std::vector<MapTile> pieces;
+  for (const TileSpec& t : tiles) {
+    ParameterSpace sub = SliceSpace(space, t).ValueOrDie();
+    MapTile piece{t, space, RobustnessMap(sub, labels)};
+    piece.layer_names = full.layer_names;
+    piece.extra_layers = {RobustnessMap(sub, labels),
+                          RobustnessMap(sub, labels)};
+    for (size_t li = 0; li < 3; ++li) {
+      RobustnessMap& layer =
+          li == 0 ? piece.map : piece.extra_layers[li - 1];
+      for (size_t pl = 0; pl < labels.size(); ++pl) {
+        for (size_t yi = 0; yi < sub.y_size(); ++yi) {
+          for (size_t xi = 0; xi < sub.x_size(); ++xi) {
+            layer.Set(pl, sub.IndexOf(xi, yi),
+                      full.layer(li).At(
+                          pl, space.IndexOf(t.x_begin + xi, t.y_begin + yi)));
+          }
+        }
+      }
+    }
+    pieces.push_back(std::move(piece));
+  }
+  auto merged = MergeTileLayers(space, labels, pieces).ValueOrDie();
+  ASSERT_EQ(merged.size(), 3u);
+  for (size_t li = 0; li < 3; ++li) {
+    SCOPED_TRACE(li);
+    ExpectMapsBitIdentical(merged[li], full.layer(li));
+  }
+
+  // The single-layer entry point must refuse multi-layer tiles rather
+  // than silently merging layer 0.
+  auto single = MergeTiles(space, labels, {full});
+  ASSERT_FALSE(single.ok());
+  EXPECT_TRUE(single.status().IsInvalidArgument());
+
+  // Tiles disagreeing on the study shape never merge.
+  std::vector<MapTile> mixed;
+  mixed.push_back(std::move(pieces[0]));
+  for (size_t i = 1; i < pieces.size(); ++i) {
+    MapTile plain{pieces[i].spec, space, std::move(pieces[i].map)};
+    mixed.push_back(std::move(plain));
+  }
+  auto bad = MergeTileLayers(space, labels, mixed);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("different layers"),
+            std::string::npos);
+}
+
 TEST(MergeTilesTest, ReassemblesPartitionedMap) {
   ParameterSpace space = SmallSpace();
   std::vector<std::string> labels = {"scan", "idx.a", "idx.b"};

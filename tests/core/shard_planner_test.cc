@@ -82,7 +82,10 @@ TEST(ShardPlannerTest, ZeroTilesIsAnError) {
 }
 
 TEST(ShardPlannerTest, EmptyGridIsAnError) {
-  ParameterSpace empty = ParameterSpace::OneD(Axis{});
+  // A default-constructed space is the 0-point grid; the OneD/TwoD
+  // factories assert non-empty axes in Debug builds, so the Status-based
+  // rejection must be reachable without them.
+  ParameterSpace empty;
   auto plan = ShardPlanner::Partition(empty, 4);
   EXPECT_FALSE(plan.ok());
   EXPECT_TRUE(plan.status().IsInvalidArgument());

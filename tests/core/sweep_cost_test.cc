@@ -91,7 +91,10 @@ TEST(CellCostModelTest, TileCostIsAdditiveOverAPartition) {
 }
 
 TEST(CellCostModelTest, RejectsEmptyGrid) {
-  ParameterSpace empty = ParameterSpace::OneD(Axis{});
+  // A default-constructed space is the 0-point grid; the OneD/TwoD
+  // factories assert non-empty axes in Debug builds, so the Status-based
+  // rejection must be reachable without them.
+  ParameterSpace empty;
   EXPECT_TRUE(
       CellCostModel::Uniform(empty).status().IsInvalidArgument());
   EXPECT_TRUE(

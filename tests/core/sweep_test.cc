@@ -41,7 +41,10 @@ TEST(RunSweepTest, EmptyPlanListOrEmptyGridIsAnError) {
   ASSERT_FALSE(no_plans.ok());
   EXPECT_TRUE(no_plans.status().IsInvalidArgument());
 
-  ParameterSpace empty = ParameterSpace::OneD(Axis{});
+  // A default-constructed space is the 0-point grid; the OneD/TwoD
+  // factories assert non-empty axes in Debug builds, so the Status-based
+  // rejection must be reachable without them.
+  ParameterSpace empty;
   auto no_points = RunSweep(empty, {"p"}, runner);
   ASSERT_FALSE(no_points.ok());
   EXPECT_TRUE(no_points.status().IsInvalidArgument());
@@ -60,7 +63,10 @@ TEST(ParallelRunSweepTest, EmptyPlanListOrEmptyGridIsAnError) {
   ASSERT_FALSE(no_plans.ok());
   EXPECT_TRUE(no_plans.status().IsInvalidArgument());
 
-  ParameterSpace empty = ParameterSpace::OneD(Axis{});
+  // A default-constructed space is the 0-point grid; the OneD/TwoD
+  // factories assert non-empty axes in Debug builds, so the Status-based
+  // rejection must be reachable without them.
+  ParameterSpace empty;
   auto no_points = ParallelRunSweep(empty, {"p"}, factory, runner);
   ASSERT_FALSE(no_points.ok());
   EXPECT_TRUE(no_points.status().IsInvalidArgument());
