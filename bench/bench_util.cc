@@ -10,7 +10,6 @@
 #include "shard_cli.h"
 #include "core/landmarks.h"
 #include "core/map_io.h"
-#include "viz/csv_export.h"
 #include "viz/gnuplot_export.h"
 #include "viz/ppm_writer.h"
 
@@ -160,22 +159,35 @@ Status WriteWarmColdRmt(const std::string& path, const WarmColdMaps& maps) {
   return WriteMapTileFile(path, tile);
 }
 
+void WarnArtifact(const Status& s, const std::string& path) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "[artifacts] %s not written: %s\n", path.c_str(),
+                 s.ToString().c_str());
+  }
+}
+
 void ExportMap(const std::string& figure_name, const RobustnessMap& map,
                bool relative) {
   std::string base = OutDir() + "/" + figure_name;
-  (void)WriteMapRmt(base + ".rmt", map);
-  (void)WriteMapCsvFile(base + ".csv", map);
-  (void)WriteGnuplot(base, map);
+  WarnArtifact(WriteMapRmt(base + ".rmt", map), base + ".rmt");
+  // The .plt pipes its data straight out of the canonical .rmt, so there is
+  // no ready-made .csv/.dat copy to drift out of sync with it — derive
+  // either on demand with `map_cat --csv` / `--dat`.
+  WarnArtifact(WriteGnuplotPlt(base, map,
+                               "< bench/map_cat --dat " + base + ".rmt"),
+               base + ".plt");
   if (map.space().is_2d()) {
     ColorScale scale = relative ? ColorScale::RelativeFactor()
                                 : ColorScale::AbsoluteSeconds();
     for (size_t pl = 0; pl < map.num_plans(); ++pl) {
       std::string path = base + "_plan" + std::to_string(pl) + ".ppm";
-      (void)WritePpm(path, map.space(), map.SecondsOfPlan(pl), scale);
+      WarnArtifact(WritePpm(path, map.space(), map.SecondsOfPlan(pl), scale),
+                   path);
     }
   }
-  std::printf("[artifacts] %s.rmt, %s.csv, %s.plt written\n", base.c_str(),
-              base.c_str(), base.c_str());
+  std::printf("[artifacts] %s.rmt, %s.plt written (csv/dat: `map_cat "
+              "--csv|--dat %s.rmt`)\n",
+              base.c_str(), base.c_str(), base.c_str());
 }
 
 void ExportWarmColdMaps(const std::string& figure_name,
@@ -183,18 +195,22 @@ void ExportWarmColdMaps(const std::string& figure_name,
   ExportMap(figure_name + "_cold", maps.cold);
   ExportMap(figure_name + "_warm", maps.warm);
   std::string base = OutDir() + "/" + figure_name;
-  (void)WriteWarmColdRmt(base + "_warmcold.rmt", maps);
+  WarnArtifact(WriteWarmColdRmt(base + "_warmcold.rmt", maps),
+               base + "_warmcold.rmt");
   if (maps.delta.space().is_2d()) {
     ColorScale diverging = ColorScale::DivergingSeconds();
     for (size_t pl = 0; pl < maps.delta.num_plans(); ++pl) {
       std::string path = base + "_delta_plan" + std::to_string(pl) + ".ppm";
-      (void)WritePpm(path, maps.delta.space(), maps.delta.SecondsOfPlan(pl),
-                     diverging);
+      WarnArtifact(WritePpm(path, maps.delta.space(),
+                            maps.delta.SecondsOfPlan(pl), diverging),
+                   path);
     }
-    (void)WriteLegendPpm(base + "_delta_legend.ppm", diverging);
+    WarnArtifact(WriteLegendPpm(base + "_delta_legend.ppm", diverging),
+                 base + "_delta_legend.ppm");
   }
-  (void)WriteWarmColdCsvFile(base + "_warmcold.csv", maps.cold, maps.warm);
-  std::printf("[artifacts] %s_warmcold.{rmt,csv}%s written\n", base.c_str(),
+  std::printf("[artifacts] %s_warmcold.rmt%s written (per-layer csv: "
+              "`map_cat --csv --layer=L`)\n",
+              base.c_str(),
               maps.delta.space().is_2d() ? ", *_delta_plan*.ppm" : "");
 }
 

@@ -85,8 +85,13 @@ SweepRequest StudyRequest(const BenchScale& scale,
 RobustnessMap RunStudyMap(StudyEnvironment* env, std::vector<PlanKind> plans,
                           ParameterSpace space, const BenchScale& scale);
 
-/// Output directory for CSV/PPM/gnuplot artifacts (created on demand).
+/// Output directory for bench artifacts (created on demand).
 std::string OutDir();
+
+/// Logs a failed best-effort artifact write to stderr, naming the path.
+/// Benches keep running — a missing plot is not a failed study — but the
+/// failure is visible instead of swallowed by a `(void)` cast.
+void WarnArtifact(const Status& s, const std::string& path);
 
 /// Serializes a map as a full-grid single-layer tile file — the canonical
 /// binary artifact (`map_cat` derives CSV/ASCII/PPM from it on demand).
@@ -96,13 +101,16 @@ Status WriteMapRmt(const std::string& path, const RobustnessMap& map);
 /// The multi-layer form: cold/warm/delta as one three-layer tile file.
 Status WriteWarmColdRmt(const std::string& path, const WarmColdMaps& maps);
 
-/// Writes csv, gnuplot, (2-D) per-plan PPM, and .rmt artifacts for a map.
+/// Writes the artifact set for a map: the canonical `.rmt`, a gnuplot
+/// `.plt` whose data is piped from that `.rmt` via `map_cat --dat`, and
+/// (2-D) per-plan PPMs. No ready-made CSV/dat copies — derive them on
+/// demand with `map_cat --csv` / `--dat FILE.rmt`.
 void ExportMap(const std::string& figure_name, const RobustnessMap& map,
                bool relative = false);
 
 /// Writes the full artifact set of a paired cold/warm study:
-/// `<figure>_cold.*` and `<figure>_warm.*` via ExportMap, per-plan delta
-/// PPMs on the diverging scale, the combined warm/cold CSV, and the
+/// `<figure>_cold.*` and `<figure>_warm.*` via ExportMap, the three-layer
+/// `_warmcold.rmt`, per-plan delta PPMs on the diverging scale, and the
 /// diverging-legend strip.
 void ExportWarmColdMaps(const std::string& figure_name,
                         const WarmColdMaps& maps);

@@ -26,8 +26,10 @@ int main() {
   std::printf("%s\n", RenderLegend(counts).c_str());
 
   std::string dir = OutDir();
-  (void)WriteLegendPpm(dir + "/fig03_absolute_legend.ppm", absolute);
-  (void)WriteLegendPpm(dir + "/fig06_relative_legend.ppm", relative);
+  WarnArtifact(WriteLegendPpm(dir + "/fig03_absolute_legend.ppm", absolute),
+               dir + "/fig03_absolute_legend.ppm");
+  WarnArtifact(WriteLegendPpm(dir + "/fig06_relative_legend.ppm", relative),
+               dir + "/fig06_relative_legend.ppm");
   std::printf("[artifacts] %s/fig03_absolute_legend.ppm, "
               "%s/fig06_relative_legend.ppm written\n",
               dir.c_str(), dir.c_str());

@@ -1,14 +1,16 @@
 // map_cat — make binary .rmt tile and merged-map files self-serving: print
-// what a file contains, render it as an ASCII heatmap, convert it to the
-// same CSV the figure benches export, or rasterize it to the same per-plan
-// PPM images — without re-running any sweep. With the benches emitting
-// .rmt as the canonical artifact, all three derived formats (CSV, ASCII,
-// PPM) come from here on demand.
+// what a file contains, render it as an ASCII heatmap, convert it to CSV
+// or gnuplot data, or rasterize it to the same per-plan PPM images the
+// figure benches export — without re-running any sweep. With the benches
+// emitting .rmt as the canonical artifact, all derived formats (CSV,
+// gnuplot dat, ASCII, PPM) come from here on demand; bench .plt scripts
+// pipe their data through `--dat` rather than carrying a ready-made copy.
 //
 // Usage:
 //   map_cat [--info] FILE...        # header summary (default)
 //   map_cat --ascii [--plan=K] [--layer=L] FILE...  # terminal heatmap
 //   map_cat --csv [--layer=L] FILE...    # CSV on stdout (files concatenated)
+//   map_cat --dat [--layer=L] FILE...    # gnuplot data on stdout
 //   map_cat --ppm [--plan=K] [--layer=L] FILE...  # FILE_[layer_]planK.ppm
 //   map_cat --selftest              # write+read+render round trip, exit 0/1
 //
@@ -31,6 +33,7 @@
 #include "shard_cli.h"
 #include "viz/ascii_heatmap.h"
 #include "viz/csv_export.h"
+#include "viz/gnuplot_export.h"
 #include "viz/ppm_writer.h"
 
 using namespace robustmap;
@@ -190,6 +193,15 @@ int SelfTest() {
                          "trip\n");
     return 1;
   }
+  std::ostringstream dat_original, dat_roundtrip;
+  WriteGnuplotDat(dat_original, tile.map);
+  WriteGnuplotDat(dat_roundtrip, back.value().map);
+  if (dat_original.str() != dat_roundtrip.str() ||
+      dat_original.str().empty()) {
+    std::fprintf(stderr, "selftest: gnuplot dat conversion differs after "
+                         "round trip\n");
+    return 1;
+  }
   HeatmapOptions hopts;
   if (RenderHeatmap(back.value().map.space(),
                     back.value().map.SecondsOfPlan(0),
@@ -243,15 +255,15 @@ int SelfTest() {
     std::remove((OutDir() + "/map_cat_selftest_wc_" + layer + "_plan0.ppm")
                     .c_str());
   }
-  std::printf("map_cat selftest: write/read/csv/ascii/ppm round trips OK "
-              "(single and multi-layer)\n");
+  std::printf("map_cat selftest: write/read/csv/dat/ascii/ppm round trips "
+              "OK (single and multi-layer)\n");
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kInfo, kAscii, kCsv, kPpm } mode = Mode::kInfo;
+  enum class Mode { kInfo, kAscii, kCsv, kDat, kPpm } mode = Mode::kInfo;
   int only_plan = -1;
   int layer = 0;
   std::vector<std::string> files;
@@ -263,6 +275,8 @@ int main(int argc, char** argv) {
       mode = Mode::kAscii;
     } else if (arg == "--csv") {
       mode = Mode::kCsv;
+    } else if (arg == "--dat") {
+      mode = Mode::kDat;
     } else if (arg == "--ppm") {
       mode = Mode::kPpm;
     } else if (arg == "--selftest") {
@@ -280,8 +294,9 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: map_cat [--info|--ascii|--csv|--ppm] [--plan=K] "
-                 "[--layer=L] FILE.rmt...\n       map_cat --selftest\n");
+                 "usage: map_cat [--info|--ascii|--csv|--dat|--ppm] "
+                 "[--plan=K] [--layer=L] FILE.rmt...\n"
+                 "       map_cat --selftest\n");
     return 2;
   }
 
@@ -306,6 +321,12 @@ int main(int argc, char** argv) {
       case Mode::kCsv: {
         std::ostringstream os;
         WriteMapCsv(os, tile.value().layer(static_cast<size_t>(layer)));
+        std::fputs(os.str().c_str(), stdout);
+        break;
+      }
+      case Mode::kDat: {
+        std::ostringstream os;
+        WriteGnuplotDat(os, tile.value().layer(static_cast<size_t>(layer)));
         std::fputs(os.str().c_str(), stdout);
         break;
       }

@@ -1,9 +1,9 @@
 #ifndef ROBUSTMAP_CATALOG_CATALOG_H_
 #define ROBUSTMAP_CATALOG_CATALOG_H_
 
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "catalog/schema.h"
@@ -36,15 +36,19 @@ class Catalog {
   Result<const TableInfo*> GetTable(const std::string& name) const;
   Result<const IndexInfo*> GetIndex(const std::string& name) const;
 
-  /// All indexes declared over `table_name`.
+  /// All indexes declared over `table_name`, in index-name order.
   std::vector<const IndexInfo*> IndexesOn(const std::string& table_name) const;
 
   size_t num_tables() const { return tables_.size(); }
   size_t num_indexes() const { return indexes_.size(); }
 
  private:
-  std::unordered_map<std::string, TableInfo> tables_;
-  std::unordered_map<std::string, IndexInfo> indexes_;
+  // Ordered maps, deliberately: `IndexesOn` feeds plan enumeration, so the
+  // directory's iteration order is observable downstream. Hash order would
+  // make it salt- and allocation-dependent (the determinism lint bans
+  // exactly that); name order costs nothing at catalog size.
+  std::map<std::string, TableInfo> tables_;
+  std::map<std::string, IndexInfo> indexes_;
 };
 
 }  // namespace robustmap

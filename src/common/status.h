@@ -11,7 +11,14 @@ namespace robustmap {
 ///
 /// The library does not throw exceptions across public API boundaries; every
 /// operation that can fail returns a `Status` (or a `Result<T>`, see below).
-class Status {
+///
+/// The class itself is `[[nodiscard]]`: any function returning a `Status`
+/// by value inherits the warning, so a silently dropped error is a compile
+/// error under `-Werror` (the CI default) everywhere in the tree — not just
+/// on the handful of APIs that remembered to annotate themselves. Callers
+/// that genuinely cannot act on a failure (best-effort artifact writers)
+/// must say so explicitly with a `(void)` cast or a logging helper.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -75,8 +82,10 @@ class Status {
 };
 
 /// Value-or-status result, for operations that produce a value on success.
+/// `[[nodiscard]]` for the same reason as `Status`: discarding a `Result`
+/// discards the error it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value: `return 42;`.
   Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT

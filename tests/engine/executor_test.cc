@@ -113,7 +113,7 @@ TEST(ExecutorTest, RunsAreColdAndReproducible) {
   QuerySpec q = MakeStudyQuery(0.03, 0.4, env.domain());
   auto m1 = executor.Run(env.ctx(), PlanKind::kIndexAImproved, q).ValueOrDie();
   // A different plan in between would warm the pool without cold-run resets.
-  (void)executor.Run(env.ctx(), PlanKind::kTableScan, q);
+  ASSERT_TRUE(executor.Run(env.ctx(), PlanKind::kTableScan, q).ok());
   auto m2 = executor.Run(env.ctx(), PlanKind::kIndexAImproved, q).ValueOrDie();
   EXPECT_DOUBLE_EQ(m1.seconds, m2.seconds);
   EXPECT_EQ(m1.io.total_reads(), m2.io.total_reads());

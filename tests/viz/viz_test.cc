@@ -164,6 +164,28 @@ TEST(GnuplotExportTest, WritesDatAndPlt) {
   EXPECT_NE(pltc.str().find("pm3d"), std::string::npos);
 }
 
+TEST(GnuplotExportTest, PltCanPipeFromMapCat) {
+  // The bench artifact shape: no .dat copy on disk, the .plt pipes its
+  // data straight out of the canonical .rmt via `map_cat --dat`.
+  RobustnessMap map = SmallMap(true);
+  std::string base = TempPath("figpipe");
+  const std::string pipe = "< bench/map_cat --dat " + base + ".rmt";
+  ASSERT_TRUE(WriteGnuplotPlt(base, map, pipe).ok());
+  std::ifstream dat(base + ".dat");
+  EXPECT_FALSE(dat.is_open());
+  std::ifstream plt(base + ".plt");
+  ASSERT_TRUE(plt.is_open());
+  std::stringstream pltc;
+  pltc << plt.rdbuf();
+  EXPECT_NE(pltc.str().find("'" + pipe + "'"), std::string::npos);
+
+  // The piped data is the same bytes WriteGnuplot would have put in the
+  // .dat file.
+  std::ostringstream direct;
+  WriteGnuplotDat(direct, map);
+  EXPECT_FALSE(direct.str().empty());
+}
+
 TEST(GnuplotExportTest, OneDUsesLinespoints) {
   RobustnessMap map = SmallMap(false);
   std::string base = TempPath("fig1d");

@@ -1,0 +1,364 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism lint for the robustmap tree.
+
+Every map this repository produces is contractually bit-identical across
+backends (serial / threaded / sharded-process) — CI diffs merged maps byte
+for byte. That guarantee dies quietly the moment simulation code consults a
+wall clock, a hardware RNG, hash-table iteration order, or pointer values:
+the maps still *look* right, they just stop reproducing. This lint bans the
+known hazard patterns from the map-producing paths under src/:
+
+  random-source          rand()/srand()/random()/drand48()/lrand48(),
+                         std::random_device — nondeterministic or
+                         process-global randomness. Simulation code draws
+                         from the seeded, per-use-site robustmap RNG
+                         (src/common/rng.h) instead.
+  wall-clock             std::chrono::system_clock /
+                         high_resolution_clock, time(...), clock() — wall
+                         time leaking into simulated results. The virtual
+                         clock (common/clock.h) is the only clock measured
+                         values may read; steady_clock is allowed because
+                         it only ever feeds *scheduling* metadata
+                         (tile wall_seconds), never cell values.
+  unordered-iteration    iterating an unordered container (range-for,
+                         .begin()/.end(), or whole-container copy into an
+                         output) — libstdc++ hash order is salt- and
+                         layout-dependent, so anything built from the
+                         iteration order is nondeterministic. Sort first,
+                         or use an ordered container.
+  pointer-keyed-order    std::map/std::set keyed on a pointer type (or
+                         sorting by pointer value) — addresses change run
+                         to run under ASLR, so the order is noise.
+  unchecked-write-map-tile
+                         a WriteMapTile / WriteMapTileFile / WriteMapRmt /
+                         WriteWarmColdRmt call whose Status is discarded
+                         (including `(void)` casts) — a silently failed
+                         tile write turns into a corrupt or stale map at
+                         merge time, far from the cause.
+
+Waivers: a finding is suppressed by a comment on the same line or the line
+directly above:
+
+    // determinism-lint: allow(<rule-id>) <justification>
+
+The justification is mandatory; a bare allow() is itself an error. Waivers
+are for provably-safe patterns (e.g. an unordered iteration whose result is
+sorted before anything observes it), not for making red CI green.
+
+Usage:
+    determinism_lint.py [PATH...]     lint files / directories (default: src)
+    determinism_lint.py --selftest    run against the seeded-violation
+                                      fixtures in tools/testdata/
+
+Exit codes: 0 = clean, 1 = violations found, 2 = tool error (bad usage,
+unreadable input, malformed waiver).
+"""
+
+import os
+import re
+import sys
+
+RULE_IDS = (
+    "random-source",
+    "wall-clock",
+    "unordered-iteration",
+    "pointer-keyed-order",
+    "unchecked-write-map-tile",
+)
+
+# Sources the determinism contract covers. bench/ and tests/ may measure
+# wall time and seed ad-hoc RNGs (self-timing drivers do); src/ may not.
+CXX_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
+
+WAIVER_RE = re.compile(
+    r"//\s*determinism-lint:\s*allow\(([a-z-]+)\)\s*(.*)$")
+
+RANDOM_RE = re.compile(
+    r"(?<![\w:])(?:std::|::)?(?:s?rand|random|[dl]rand48)\s*\(|"
+    r"std::random_device")
+WALL_CLOCK_RE = re.compile(
+    r"system_clock|high_resolution_clock|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0|&)|"
+    r"std::clock\s*\(")
+POINTER_KEY_RE = re.compile(
+    r"std::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[A-Za-z_][\w:<>]*\s*\*")
+UNORDERED_DECL_RE = re.compile(
+    r"(?:std::)?unordered_(?:multi)?(?:map|set)\s*<[^;={]*>\s+(\w+)\s*[;={(]")
+WRITE_TILE_CALL_RE = re.compile(
+    r"(?:^|[\s(])(?:\(void\)\s*)?(?:robustmap::|bench::)?"
+    r"(WriteMapTileFile|WriteMapTile|WriteMapRmt|WriteWarmColdRmt)\s*\(")
+# A checked call: the Status participates in a declaration, assignment,
+# return, macro, comparison, or member call on the temporary — or is passed
+# straight into another function (`WarnArtifact(WriteMapRmt(...), ...)`),
+# which hands the value to a handler rather than dropping it. A prefix that
+# is exactly a return type (`Status WriteMapTile(...)`) is the function's
+# own declaration or definition, not a call.
+CHECKED_PREFIX_RE = re.compile(
+    r"(=|return\b|RM_RETURN_IF_ERROR|EXPECT_|ASSERT_|if\b|\bStatus\s+\w+|"
+    r"\bauto\s+\w+|[!|&?:]|<<|\w\s*\()\s*[^;]*$|\bStatus\s*$")
+
+
+class Finding:
+    def __init__(self, path, line_no, rule, message):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def strip_strings_and_comments(line):
+    """Blanks out string/char literals and // comments so their contents
+    never match a hazard pattern (the waiver comment is parsed separately,
+    from the raw line)."""
+    out = []
+    i, n = 0, len(line)
+    quote = None
+    while i < n:
+        c = line[i]
+        if quote:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                quote = None
+            out.append(" ")
+            i += 1
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest is a comment
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def find_waiver(raw_lines, idx):
+    """Returns (rule, justification, error) for a waiver covering line idx
+    (same line or the line above)."""
+    for probe in (idx, idx - 1):
+        if probe < 0:
+            continue
+        m = WAIVER_RE.search(raw_lines[probe])
+        if m:
+            rule, justification = m.group(1), m.group(2).strip()
+            if rule not in RULE_IDS:
+                return None, None, (
+                    f"waiver names unknown rule '{rule}' "
+                    f"(want one of {', '.join(RULE_IDS)})")
+            if not justification:
+                return None, None, (
+                    f"waiver for '{rule}' has no justification — say why "
+                    "the pattern is safe")
+            return rule, justification, None
+    return None, None, None
+
+
+def lint_file(path, rel_path=None):
+    """Lints one file. Returns (findings, tool_errors)."""
+    shown = rel_path or path
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        return [], [f"{shown}: cannot read: {e}"]
+
+    findings = []
+    tool_errors = []
+    unordered_names = set()
+    # Pass 1: collect identifiers declared with an unordered container type.
+    # A .cc file also inherits the declarations of its sibling header, so a
+    # member declared in foo.h and iterated in foo.cc is still caught.
+    decl_sources = [raw_lines]
+    root, ext = os.path.splitext(path)
+    if ext in (".cc", ".cpp"):
+        for header_ext in (".h", ".hpp"):
+            try:
+                with open(root + header_ext, encoding="utf-8",
+                          errors="replace") as hf:
+                    decl_sources.append(hf.read().splitlines())
+            except OSError:
+                pass
+    for source in decl_sources:
+        for raw in source:
+            code = strip_strings_and_comments(raw)
+            for m in UNORDERED_DECL_RE.finditer(code):
+                unordered_names.add(m.group(1))
+
+    unordered_iter_res = []
+    for name in unordered_names:
+        # Range-for over the container, or a `.begin()` that starts a manual
+        # iteration / whole-container copy. A bare `.end()` is deliberately
+        # not matched: `find(x) != c.end()` is the lookup idiom, and every
+        # real traversal also names `.begin()`.
+        unordered_iter_res.append(re.compile(
+            rf"for\s*\([^;)]*:\s*{re.escape(name)}\s*\)|"
+            rf"\b{re.escape(name)}\s*\.\s*c?begin\s*\("))
+
+    def report(idx, rule, message):
+        waived_rule, _justification, waiver_err = find_waiver(raw_lines, idx)
+        if waiver_err:
+            tool_errors.append(f"{shown}:{idx + 1}: {waiver_err}")
+            return
+        if waived_rule == rule:
+            return
+        findings.append(Finding(shown, idx + 1, rule, message))
+
+    for idx, raw in enumerate(raw_lines):
+        code = strip_strings_and_comments(raw)
+        if RANDOM_RE.search(code):
+            report(idx, "random-source",
+                   "nondeterministic randomness in simulation code; use the "
+                   "seeded RNG in src/common/rng.h")
+        if WALL_CLOCK_RE.search(code):
+            report(idx, "wall-clock",
+                   "wall-clock time in simulation code; measured values may "
+                   "only read the virtual clock (common/clock.h)")
+        for rx in unordered_iter_res:
+            if rx.search(code):
+                report(idx, "unordered-iteration",
+                       "iteration over an unordered container; hash order "
+                       "is not deterministic — sort first or use an "
+                       "ordered container")
+                break
+        if POINTER_KEY_RE.search(code):
+            report(idx, "pointer-keyed-order",
+                   "ordered container keyed on a pointer; addresses vary "
+                   "run to run under ASLR — key on a stable id instead")
+        m = WRITE_TILE_CALL_RE.search(code)
+        if m:
+            prefix = code[:m.start(1)]
+            if "(void)" in prefix or not CHECKED_PREFIX_RE.search(prefix):
+                report(idx, "unchecked-write-map-tile",
+                       f"{m.group(1)} result discarded; a failed tile "
+                       "write must propagate, not surface as a corrupt "
+                       "merge later")
+    return findings, tool_errors
+
+
+def collect_files(paths):
+    files, errors = [], []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(CXX_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        else:
+            errors.append(f"{p}: no such file or directory")
+    return sorted(files), errors
+
+
+def run_lint(paths):
+    files, errors = collect_files(paths)
+    all_findings = []
+    for f in files:
+        findings, tool_errors = lint_file(f)
+        all_findings.extend(findings)
+        errors.extend(tool_errors)
+    for e in errors:
+        print(f"determinism_lint: error: {e}", file=sys.stderr)
+    for finding in all_findings:
+        print(finding)
+    if errors:
+        return 2
+    if all_findings:
+        print(f"determinism_lint: {len(all_findings)} violation(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def selftest():
+    """Checks the lint against the seeded-violation fixtures: every bad_*
+    fixture must produce exactly its named rule, clean fixtures must pass,
+    and the malformed-waiver fixture must be a tool error (exit 2), keeping
+    the three exit codes observably distinct."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    fixtures = os.path.join(here, "testdata", "determinism_lint")
+    if not os.path.isdir(fixtures):
+        print(f"selftest: fixture directory missing: {fixtures}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+
+    def expect(cond, what):
+        if not cond:
+            failures.append(what)
+
+    cases = {
+        "bad_random_source.cc": "random-source",
+        "bad_wall_clock.cc": "wall-clock",
+        "bad_unordered_iteration.cc": "unordered-iteration",
+        "bad_pointer_keyed_order.cc": "pointer-keyed-order",
+        "bad_unchecked_write_map_tile.cc": "unchecked-write-map-tile",
+    }
+    for name, rule in cases.items():
+        path = os.path.join(fixtures, name)
+        findings, tool_errors = lint_file(path)
+        expect(not tool_errors, f"{name}: unexpected tool errors "
+                                f"{tool_errors}")
+        expect(findings, f"{name}: seeded '{rule}' violation not caught")
+        expect(all(f.rule == rule for f in findings),
+               f"{name}: expected only '{rule}', got "
+               f"{[f.rule for f in findings]}")
+
+    for name in ("clean.cc", "clean_waiver.cc"):
+        path = os.path.join(fixtures, name)
+        findings, tool_errors = lint_file(path)
+        expect(not tool_errors, f"{name}: unexpected tool errors "
+                                f"{tool_errors}")
+        expect(not findings,
+               f"{name}: false positives {[str(f) for f in findings]}")
+
+    bad_waiver = os.path.join(fixtures, "bad_waiver.cc")
+    findings, tool_errors = lint_file(bad_waiver)
+    expect(tool_errors, "bad_waiver.cc: malformed waiver not reported as a "
+                        "tool error")
+
+    # The three exit codes, end to end.
+    expect(run_lint([os.path.join(fixtures, "clean.cc")]) == 0,
+           "exit code for a clean file is not 0")
+    expect(run_lint([os.path.join(fixtures, "bad_random_source.cc")]) == 1,
+           "exit code for a violation is not 1")
+    expect(run_lint([os.path.join(fixtures, "no_such_file.cc")]) == 2,
+           "exit code for a tool error is not 2")
+
+    if failures:
+        for f in failures:
+            print(f"selftest FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"determinism_lint selftest: {len(cases)} rules caught, clean and "
+          "waived fixtures pass, exit codes 0/1/2 distinct")
+    return 0
+
+
+def main(argv):
+    args = argv[1:]
+    if "--help" in args or "-h" in args:
+        print(__doc__)
+        return 0
+    if "--selftest" in args:
+        if len(args) != 1:
+            print("determinism_lint: --selftest takes no other arguments",
+                  file=sys.stderr)
+            return 2
+        return selftest()
+    if not args:
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        args = [os.path.join(repo_root, "src")]
+    return run_lint(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Check-only clang-format gate with a grandfather clause.
+#
+# The tree predates .clang-format, so a strict tree-wide gate would force a
+# mass reformat that buries real history. Instead:
+#   * a file that is clean, or within EPSILON changed lines of clean, must
+#     BE clean — small drift is fixable in place and failing it keeps new
+#     code formatted;
+#   * a file whose diff exceeds EPSILON lines is *deferred*: listed (so the
+#     backlog is visible as the follow-up note) but not failing. Reformat
+#     deferred files in dedicated commits, never alongside logic changes.
+#
+# Usage: tools/format_check.sh [FILE...]
+#   With no arguments, checks every tracked C++ file. CI passes the changed
+#   files of a pull request, the full tree on main.
+#
+# Exit codes: 0 clean (deferred files allowed), 1 fixable formatting
+# violations, 2 tool error (no clang-format, unreadable file).
+
+set -u
+EPSILON=10
+FMT="${CLANG_FORMAT:-clang-format}"
+
+if ! command -v "$FMT" > /dev/null 2>&1; then
+  echo "format_check: '$FMT' not found (set CLANG_FORMAT to override)" >&2
+  exit 2
+fi
+
+cd "$(dirname "$0")/.." || exit 2
+
+if [ "$#" -gt 0 ]; then
+  files=("$@")
+else
+  # Lint fixtures are excluded: they exist to seed violations, not to be
+  # exemplary code.
+  mapfile -t files < <(git ls-files '*.cc' '*.cpp' '*.h' '*.hpp' \
+                       | grep -v '^tools/testdata/')
+fi
+
+fail=0
+deferred=()
+for f in "${files[@]}"; do
+  case "$f" in
+    tools/testdata/*) continue ;;
+    *.cc | *.cpp | *.h | *.hpp) ;;
+    *) continue ;;
+  esac
+  [ -f "$f" ] || continue
+  if ! formatted=$("$FMT" --style=file "$f" 2> /dev/null); then
+    echo "format_check: $FMT failed on $f" >&2
+    exit 2
+  fi
+  # Changed lines on either side of the diff.
+  n=$(printf '%s\n' "$formatted" | diff "$f" - | grep -c '^[<>]')
+  if [ "$n" -eq 0 ]; then
+    continue
+  elif [ "$n" -le "$EPSILON" ]; then
+    echo "format_check: $f differs by $n line(s) — run: $FMT -i $f" >&2
+    fail=1
+  else
+    deferred+=("$f ($n lines)")
+  fi
+done
+
+if [ "${#deferred[@]}" -gt 0 ]; then
+  echo "format_check: deferred (pre-.clang-format files; reformat in a" >&2
+  echo "dedicated commit, not alongside logic changes):" >&2
+  printf '  %s\n' "${deferred[@]}" >&2
+fi
+
+exit "$fail"

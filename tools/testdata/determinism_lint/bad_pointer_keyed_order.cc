@@ -1,0 +1,20 @@
+// Fixture: seeded `pointer-keyed-order` violations — container order from
+// ASLR-dependent addresses.
+#include <map>
+#include <set>
+
+namespace robustmap {
+
+struct PlanNode {
+  int id;
+};
+
+int PointerOrdered(PlanNode* a, PlanNode* b) {
+  std::map<PlanNode*, int> cost_by_node;
+  std::set<const PlanNode*> visited;
+  cost_by_node[a] = 1;
+  visited.insert(b);
+  return static_cast<int>(cost_by_node.size() + visited.size());
+}
+
+}  // namespace robustmap

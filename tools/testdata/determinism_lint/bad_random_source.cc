@@ -1,0 +1,15 @@
+// Fixture: seeded `random-source` violations. Each line below must be
+// caught — process-global or hardware randomness makes map cells
+// irreproducible.
+#include <cstdlib>
+#include <random>
+
+namespace robustmap {
+
+double NoisyCost() {
+  std::random_device rd;
+  ::srand(42);
+  return static_cast<double>(rand()) + static_cast<double>(rd());
+}
+
+}  // namespace robustmap

@@ -1,0 +1,14 @@
+// Fixture: seeded `unchecked-write-map-tile` violations — tile writes whose
+// Status is dropped (including the (void)-cast spelling).
+namespace robustmap {
+
+struct MapTile;
+struct Status;
+Status WriteMapTileFile(const char* path, const MapTile& tile);
+
+void CheckpointTile(const MapTile& tile) {
+  WriteMapTileFile("tile_0000.rmt", tile);
+  (void)WriteMapTileFile("tile_0001.rmt", tile);
+}
+
+}  // namespace robustmap

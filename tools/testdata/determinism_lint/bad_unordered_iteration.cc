@@ -1,0 +1,19 @@
+// Fixture: seeded `unordered-iteration` violations — emitting values in
+// hash order.
+#include <unordered_map>
+#include <vector>
+
+namespace robustmap {
+
+std::vector<long> GroupsInHashOrder() {
+  std::unordered_map<long, long> counts;
+  counts[1] = 2;
+  std::vector<long> out;
+  for (const auto& [key, value] : counts) {
+    out.push_back(key + value);
+  }
+  out.assign(counts.begin(), counts.end() != counts.begin() ? 1 : 0);
+  return out;
+}
+
+}  // namespace robustmap

@@ -1,0 +1,12 @@
+// Fixture: a waiver with no justification is a tool error (exit 2), never
+// a silent suppression.
+#include <cstdlib>
+
+namespace robustmap {
+
+int Unjustified() {
+  // determinism-lint: allow(random-source)
+  return rand();
+}
+
+}  // namespace robustmap

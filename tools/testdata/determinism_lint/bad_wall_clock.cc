@@ -1,0 +1,16 @@
+// Fixture: seeded `wall-clock` violations — wall time leaking into
+// simulated measurements.
+#include <chrono>
+#include <ctime>
+
+namespace robustmap {
+
+double WallSeconds() {
+  auto now = std::chrono::system_clock::now();
+  auto hr = std::chrono::high_resolution_clock::now();
+  long t = time(nullptr);
+  return static_cast<double>(now.time_since_epoch().count() +
+                             hr.time_since_epoch().count() + t);
+}
+
+}  // namespace robustmap

@@ -1,0 +1,42 @@
+// Fixture: a file using every *sanctioned* counterpart of the banned
+// patterns — none of these may be flagged.
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace robustmap {
+
+struct Status {
+  bool ok() const { return true; }
+};
+struct MapTile;
+Status WriteMapTileFile(const std::string& path, const MapTile& tile);
+
+// steady_clock is scheduling metadata, not a simulated value — allowed.
+double ScheduleSeconds() {
+  auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Unordered lookups (no iteration) are fine; so is an ordered map keyed on
+// a value type, and a checked tile write.
+Status Lookups(const MapTile& tile) {
+  std::unordered_map<long, long> counts;
+  counts[7] = 1;
+  bool present = counts.find(7) != counts.end();
+  std::map<std::string, int> by_name;
+  by_name["scan"] = static_cast<int>(present);
+  Status s = WriteMapTileFile("tile.rmt", tile);
+  if (!s.ok()) return s;
+  return Status{};
+}
+
+// Identifiers merely *containing* banned substrings must not match.
+int operand(int strand) { return strand; }
+
+}  // namespace robustmap

@@ -1,0 +1,20 @@
+// Fixture: a justified waiver suppresses exactly its rule — the sanctioned
+// iterate-then-sort idiom.
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace robustmap {
+
+std::vector<std::pair<long, long>> SortedGroups() {
+  std::unordered_map<long, long> counts;
+  counts[3] = 1;
+  std::vector<std::pair<long, long>> out;
+  // determinism-lint: allow(unordered-iteration) sorted below before any caller observes the order
+  out.assign(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace robustmap
