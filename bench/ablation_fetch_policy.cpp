@@ -89,9 +89,12 @@ int main() {
                "sorted (small pool)"});
   for (int lg = scale.grid_min_log2; lg <= 0; lg += 4) {
     double s = std::exp2(lg);
-    auto small_naive = RunFetchPlan(env->ctx(), env.get(), s, FetchPolicy::kNaive);
-    auto large_naive = RunFetchPlan(env_big->ctx(), env_big.get(), s, FetchPolicy::kNaive);
-    auto small_sorted = RunFetchPlan(env->ctx(), env.get(), s, FetchPolicy::kSorted);
+    auto small_naive =
+        RunFetchPlan(env->ctx(), env.get(), s, FetchPolicy::kNaive);
+    auto large_naive =
+        RunFetchPlan(env_big->ctx(), env_big.get(), s, FetchPolicy::kNaive);
+    auto small_sorted =
+        RunFetchPlan(env->ctx(), env.get(), s, FetchPolicy::kSorted);
     t.AddRow({FormatSelectivity(s),
               FormatSeconds(small_naive.ValueOrDie().seconds),
               FormatSeconds(large_naive.ValueOrDie().seconds),

@@ -55,7 +55,8 @@ int main() {
   ColorScale cs = ColorScale::AbsoluteSeconds();
   HeatmapOptions hopts;
   hopts.title = "\nhash join cost over (build selectivity, memory)";
-  std::printf("%s", RenderHeatmap(space, map.SecondsOfPlan(0), cs, hopts).c_str());
+  std::printf(
+      "%s", RenderHeatmap(space, map.SecondsOfPlan(0), cs, hopts).c_str());
   std::printf("%s", RenderLegend(cs).c_str());
 
   // Along the memory axis (for the largest build), cost must be monotone

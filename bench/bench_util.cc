@@ -233,13 +233,15 @@ void PrintCurveTable(const RobustnessMap& map) {
 
 void PrintHeader(const std::string& figure, const std::string& claim,
                  const BenchScale& scale) {
-  std::printf("==============================================================\n");
+  std::printf(
+      "==============================================================\n");
   std::printf("%s\n", figure.c_str());
   std::printf("Paper claim: %s\n", claim.c_str());
   std::printf("Scale: 2^%d rows (%s), value domain 2^%d\n", scale.row_bits,
               FormatCount(uint64_t{1} << scale.row_bits).c_str(),
               scale.value_bits);
-  std::printf("==============================================================\n");
+  std::printf(
+      "==============================================================\n");
 }
 
 void PrintCurveLandmarks(const RobustnessMap& map) {

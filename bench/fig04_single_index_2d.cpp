@@ -36,7 +36,8 @@ int main() {
   ColorScale cs = ColorScale::AbsoluteSeconds();
   HeatmapOptions hopts;
   hopts.title = "\nFigure 4: idx(a) + fetch + residual(b), absolute time";
-  std::printf("%s", RenderHeatmap(space, map.SecondsOfPlan(0), cs, hopts).c_str());
+  std::printf(
+      "%s", RenderHeatmap(space, map.SecondsOfPlan(0), cs, hopts).c_str());
   std::printf("%s", RenderLegend(cs).c_str());
 
   // Quantify "one dimension dominates": spread across b at fixed a vs.

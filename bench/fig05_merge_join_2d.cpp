@@ -33,7 +33,8 @@ int main() {
   ColorScale cs = ColorScale::AbsoluteSeconds();
   HeatmapOptions hopts;
   hopts.title = "\nFigure 5: idx(a) merge-join idx(b), absolute time";
-  std::printf("%s", RenderHeatmap(space, map.SecondsOfPlan(0), cs, hopts).c_str());
+  std::printf(
+      "%s", RenderHeatmap(space, map.SecondsOfPlan(0), cs, hopts).c_str());
   std::printf("%s", RenderLegend(cs).c_str());
 
   SymmetryScore mj = ComputeSymmetry(space, map.SecondsOfPlan(0));

@@ -63,9 +63,10 @@ int main() {
               "rows; grows with scale)\n",
               WorstQuotient(rel, target));
 
-  std::printf("\nper-plan robustness summary (System A):\n%s",
-              RenderSummaryTable(SummarizePlans(map, ToleranceSpec{abs_tol, 1.0}))
-                  .c_str());
+  std::printf(
+      "\nper-plan robustness summary (System A):\n%s",
+      RenderSummaryTable(SummarizePlans(map, ToleranceSpec{abs_tol, 1.0}))
+          .c_str());
 
   ExportMap("fig07_relative_best7", map, /*relative=*/true);
   return 0;

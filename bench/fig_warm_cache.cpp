@@ -83,7 +83,8 @@ int main() {
   std::vector<uint64_t> warm_pages(table_pages / 2);
   std::iota(warm_pages.begin(), warm_pages.end(), env->table().base_page());
   WarmupPolicy warm_policy = WarmupPolicy::ExplicitPages(warm_pages);
-  std::printf("warm policy: %s (half the table)\n", warm_policy.label().c_str());
+  std::printf("warm policy: %s (half the table)\n",
+              warm_policy.label().c_str());
 
   ParameterSpace space = ParameterSpace::TwoD(
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0),

@@ -94,7 +94,8 @@ void BM_ProceduralIndexEntryAt(benchmark::State& state) {
   auto table = ProceduralTable::Create(&device, topts).ValueOrDie();
   ProceduralIndexOptions iopts;
   iopts.key_columns = {0};
-  auto index = ProceduralIndex::Create(&device, table.get(), iopts).ValueOrDie();
+  auto index =
+      ProceduralIndex::Create(&device, table.get(), iopts).ValueOrDie();
   uint64_t k = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(index->EntryAt(k++ & ((1u << 20) - 1)));

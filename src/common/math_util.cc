@@ -18,8 +18,8 @@ std::vector<double> Log2GridFine(int min_log2, int max_log2,
   int total_steps = (max_log2 - min_log2) * steps_per_octave;
   grid.reserve(static_cast<size_t>(total_steps) + 1);
   for (int i = 0; i <= total_steps; ++i) {
-    double exponent =
-        min_log2 + static_cast<double>(i) / static_cast<double>(steps_per_octave);
+    double exponent = min_log2 + static_cast<double>(i) /
+                                     static_cast<double>(steps_per_octave);
     grid.push_back(std::exp2(exponent));
   }
   return grid;
@@ -63,7 +63,8 @@ double GeometricMean(const std::vector<double>& values) {
 double Percentile(std::vector<double> values, double p) {
   assert(!values.empty());
   std::sort(values.begin(), values.end());
-  double rank = Clamp(p, 0, 100) / 100.0 * static_cast<double>(values.size() - 1);
+  double rank =
+      Clamp(p, 0, 100) / 100.0 * static_cast<double>(values.size() - 1);
   size_t lo = static_cast<size_t>(rank);
   size_t hi = std::min(lo + 1, values.size() - 1);
   return Lerp(values[lo], values[hi], rank - static_cast<double>(lo));

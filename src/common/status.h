@@ -89,7 +89,7 @@ class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value: `return 42;`.
   Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
-  /// Implicit construction from an error status: `return Status::NotFound(...)`.
+  /// Implicit construction from an error: `return Status::NotFound(...)`.
   Result(Status status) : status_(std::move(status)) {}  // NOLINT
 
   bool ok() const { return status_.ok(); }

@@ -41,7 +41,7 @@ inline constexpr uint32_t kMinReadableMapTileFormatVersion = 1;
 struct MapTile {
   TileSpec spec;
   ParameterSpace parent_space;  ///< the grid the tile is a slice of
-  RobustnessMap map;            ///< layer 0, over SliceSpace(parent_space, spec)
+  RobustnessMap map;            ///< layer 0 over SliceSpace(parent_space, spec)
 
   /// Wall-clock seconds the sweep that produced this tile took; 0 when
   /// unknown (a v1 file, or an artifact that was merged rather than

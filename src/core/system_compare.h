@@ -58,8 +58,8 @@ struct SystemComparison {
 
 /// `systems` index into the map's plans by label; plans a system lacks are
 /// simply absent from its profile.
-Result<SystemComparison> CompareSystems(const RobustnessMap& map,
-                                        const std::vector<SystemConfig>& systems);
+Result<SystemComparison> CompareSystems(
+    const RobustnessMap& map, const std::vector<SystemConfig>& systems);
 
 /// Plain-text comparison table.
 std::string RenderSystemComparison(const SystemComparison& cmp);

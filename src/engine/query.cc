@@ -38,11 +38,13 @@ std::string QuerySpec::ToString() const {
                   static_cast<long long>(pred_b.lo),
                   static_cast<long long>(pred_b.hi), pred_b.selectivity);
   } else if (pred_a.active) {
-    std::snprintf(buf, sizeof(buf), "SELECT a,b WHERE a in [%lld,%lld] (s=%.3g)",
+    std::snprintf(buf, sizeof(buf),
+                  "SELECT a,b WHERE a in [%lld,%lld] (s=%.3g)",
                   static_cast<long long>(pred_a.lo),
                   static_cast<long long>(pred_a.hi), pred_a.selectivity);
   } else if (pred_b.active) {
-    std::snprintf(buf, sizeof(buf), "SELECT a,b WHERE b in [%lld,%lld] (s=%.3g)",
+    std::snprintf(buf, sizeof(buf),
+                  "SELECT a,b WHERE b in [%lld,%lld] (s=%.3g)",
                   static_cast<long long>(pred_b.lo),
                   static_cast<long long>(pred_b.hi), pred_b.selectivity);
   } else {

@@ -39,7 +39,7 @@ Status HashAggregateOp::Open(RunContext* ctx) {
     spill_pages_ = pages;
   }
 
-  // determinism-lint: allow(unordered-iteration) copied out in hash order, then sorted before any caller observes it
+  // determinism-lint: allow(unordered-iteration) copy is sorted just below
   groups_.assign(counts.begin(), counts.end());
   std::sort(groups_.begin(), groups_.end());
   return Status::OK();

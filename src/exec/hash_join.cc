@@ -78,8 +78,8 @@ Status HashJoinOp::Open(RunContext* ctx) {
       ++levels;
     }
     uint64_t probe_bytes = probe_rows.size() * kRowBytes;
-    uint64_t pages =
-        (build_bytes + probe_bytes + page - 1) / page * std::max<uint64_t>(1, levels);
+    uint64_t pages = (build_bytes + probe_bytes + page - 1) / page *
+                     std::max<uint64_t>(1, levels);
     if (pages > 0) {
       uint64_t temp = ctx->device->AllocateExtent(pages);
       ctx->device->WriteRun(temp, pages);

@@ -105,13 +105,15 @@ void BTree::RebuildSeparators() {
   }
   // Equivalent height: leaves + ceil(log_fanout(num_leaves)) internal levels.
   double n = static_cast<double>(std::max<size_t>(1, separators_.size()));
-  height_ = 1 + std::max(1, static_cast<int>(std::ceil(
-                                std::log(n) / std::log(opts_.internal_fanout))));
+  height_ =
+      1 + std::max(1, static_cast<int>(std::ceil(
+                          std::log(n) / std::log(opts_.internal_fanout))));
 }
 
 int32_t BTree::FindLeaf(RunContext* ctx, const IndexEntry& probe) const {
   // Internal levels: cached; charge comparison CPU per level.
-  ctx->ChargeCpuOps(static_cast<uint64_t>(height_) * 8, ctx->cpu.compare_seconds);
+  ctx->ChargeCpuOps(static_cast<uint64_t>(height_) * 8,
+                    ctx->cpu.compare_seconds);
   if (separators_.empty()) return first_leaf_;
   // Last separator <= probe.
   auto it = std::upper_bound(separators_.begin(), separators_.end(), probe,

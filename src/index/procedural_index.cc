@@ -110,8 +110,9 @@ ProceduralIndex::ProceduralIndex(SimDevice* device,
   num_leaf_pages_ =
       (table->num_rows() + opts_.entries_per_leaf - 1) / opts_.entries_per_leaf;
   double n = static_cast<double>(std::max<uint64_t>(1, num_leaf_pages_));
-  height_ = 1 + std::max(1, static_cast<int>(std::ceil(
-                                std::log(n) / std::log(opts_.internal_fanout))));
+  height_ =
+      1 + std::max(1, static_cast<int>(std::ceil(
+                          std::log(n) / std::log(opts_.internal_fanout))));
 }
 
 const std::vector<IndexEntry>& ProceduralIndex::Group(uint64_t g) const {
@@ -176,7 +177,8 @@ uint64_t ProceduralIndex::OrdinalLowerBound(int64_t k0, int64_t k1) const {
 std::unique_ptr<IndexCursor> ProceduralIndex::Seek(RunContext* ctx, int64_t k0,
                                                    int64_t k1) {
   // Internal levels modeled as cached: CPU per level; then one leaf read.
-  ctx->ChargeCpuOps(static_cast<uint64_t>(height_) * 8, ctx->cpu.compare_seconds);
+  ctx->ChargeCpuOps(static_cast<uint64_t>(height_) * 8,
+                    ctx->cpu.compare_seconds);
   uint64_t ordinal = OrdinalLowerBound(k0, k1);
   if (ordinal < num_entries()) {
     ctx->ReadPage(LeafPageOf(ordinal), /*cacheable=*/true);

@@ -21,8 +21,9 @@ double DiskModel::ReadCostSeconds(int64_t last_page, int64_t page) const {
       return transfer;
     case Pattern::kSkip: {
       int64_t gap = page - (last_page + 1);
-      double seek_over = params_.skip_settle_seconds +
-                         static_cast<double>(gap) * params_.skip_per_page_seconds;
+      double seek_over =
+          params_.skip_settle_seconds +
+          static_cast<double>(gap) * params_.skip_per_page_seconds;
       // A short forward gap can also be crossed by simply reading through it
       // (drives/controllers do this below the settle threshold); the device
       // takes whichever is cheaper, bounded by a full random access.

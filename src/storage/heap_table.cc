@@ -25,8 +25,8 @@ Result<std::unique_ptr<HeapTable>> HeapTable::Create(
     return Status::InvalidArgument("row_size_bytes too small for columns");
   }
   uint32_t page_size = device->model().params().page_size_bytes;
-  uint32_t rpp =
-      (page_size - static_cast<uint32_t>(kPageHeaderBytes)) / opts.row_size_bytes;
+  uint32_t rpp = (page_size - static_cast<uint32_t>(kPageHeaderBytes)) /
+                 opts.row_size_bytes;
   if (rpp == 0) {
     return Status::InvalidArgument("row_size_bytes exceeds page capacity");
   }

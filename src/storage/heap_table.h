@@ -26,9 +26,8 @@ class HeapTable : public Table {
  public:
   /// Creates an empty table with capacity for `max_rows` rows (the extent is
   /// allocated eagerly so page ids are stable).
-  static Result<std::unique_ptr<HeapTable>> Create(SimDevice* device,
-                                                   uint64_t max_rows,
-                                                   const HeapTableOptions& opts);
+  static Result<std::unique_ptr<HeapTable>> Create(
+      SimDevice* device, uint64_t max_rows, const HeapTableOptions& opts);
 
   /// Appends a row; charges a page write each time a page fills (and on
   /// `Finish()` for the final partial page).

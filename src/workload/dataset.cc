@@ -27,11 +27,12 @@ Result<std::unique_ptr<StudyEnvironment>> StudyEnvironment::Create(
   }
   env->pool_ = std::make_unique<LruBufferPool>(env->device_.get(), pool_pages);
 
-  auto make_index =
-      [&](std::vector<uint32_t> cols) -> Result<std::shared_ptr<ProceduralIndex>> {
+  auto make_index = [&](std::vector<uint32_t> cols)
+      -> Result<std::shared_ptr<ProceduralIndex>> {
     ProceduralIndexOptions io;
     io.key_columns = std::move(cols);
-    auto idx = ProceduralIndex::Create(env->device_.get(), env->table_.get(), io);
+    auto idx =
+        ProceduralIndex::Create(env->device_.get(), env->table_.get(), io);
     RM_RETURN_IF_ERROR(idx.status());
     return std::shared_ptr<ProceduralIndex>(std::move(idx).value());
   };

@@ -234,8 +234,9 @@ TEST(RunShardedSweepTest, ResumeRejectsTilesFromADifferentConfiguration) {
 
   // Same directory, finer grid: every stale tile describes the old grid
   // and must be recomputed, not merged.
-  ParameterSpace fine = ParameterSpace::TwoD(
-      Axis::SelectivityFine("a", -5, 0, 2), Axis::SelectivityFine("b", -5, 0, 2));
+  ParameterSpace fine =
+      ParameterSpace::TwoD(Axis::SelectivityFine("a", -5, 0, 2),
+                           Axis::SelectivityFine("b", -5, 0, 2));
   ShardedSweepStats stats;
   auto fine_map = RunShardedSweep(env.ctx(), executor, StudySubset(), fine,
                                   opts, &stats)

@@ -95,7 +95,8 @@ TEST(FetchCostTest, RowsFetchedCountsPreResidual) {
   FetchOp fetch(MakeScan(&env, 0, 31), &env.table(), FetchPolicy::kSorted,
                 {{1, 0, 0}});
   (void)DrainCount(env.ctx(), &fetch);
-  EXPECT_EQ(fetch.rows_fetched(), env.CountMatching(0, 31, INT64_MIN, INT64_MAX));
+  EXPECT_EQ(fetch.rows_fetched(),
+            env.CountMatching(0, 31, INT64_MIN, INT64_MAX));
 }
 
 }  // namespace

@@ -43,7 +43,8 @@ TEST_P(BTreeParamTest, BulkLoadScanReturnsAllInOrder) {
   BTreeOptions opts;
   opts.leaf_capacity = GetParam();
   opts.key_columns = {0};
-  auto tree = BTree::BulkLoad(env.device(), MakeEntries(1000), opts).ValueOrDie();
+  auto tree =
+      BTree::BulkLoad(env.device(), MakeEntries(1000), opts).ValueOrDie();
   ASSERT_TRUE(tree->CheckInvariants().ok());
   EXPECT_EQ(tree->num_entries(), 1000u);
 
@@ -85,7 +86,8 @@ TEST_P(BTreeParamTest, SeekPastEndIsInvalid) {
   BTreeOptions opts;
   opts.leaf_capacity = GetParam();
   opts.key_columns = {0};
-  auto tree = BTree::BulkLoad(env.device(), MakeEntries(100), opts).ValueOrDie();
+  auto tree =
+      BTree::BulkLoad(env.device(), MakeEntries(100), opts).ValueOrDie();
   EXPECT_FALSE(tree->Seek(env.ctx(), 1000, 0)->Valid());
 }
 
@@ -179,7 +181,8 @@ TEST(BTreeTest, HeightGrowsWithSize) {
   opts.key_columns = {0};
   opts.leaf_capacity = 8;
   opts.internal_fanout = 4;
-  auto small = BTree::BulkLoad(env.device(), MakeEntries(16), opts).ValueOrDie();
+  auto small =
+      BTree::BulkLoad(env.device(), MakeEntries(16), opts).ValueOrDie();
   auto large =
       BTree::BulkLoad(env.device(), MakeEntries(4000), opts).ValueOrDie();
   EXPECT_GT(large->height(), small->height());

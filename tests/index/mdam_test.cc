@@ -22,7 +22,8 @@ class MdamTest : public ::testing::Test {
     ProceduralIndexOptions iopts;
     iopts.key_columns = {0, 1};
     iopts.entries_per_leaf = 64;
-    index_ = ProceduralIndex::Create(&device_, table_.get(), iopts).ValueOrDie();
+    index_ =
+        ProceduralIndex::Create(&device_, table_.get(), iopts).ValueOrDie();
   }
 
   // Brute-force reference: rids with a in [a_lo,a_hi] and b in [b_lo,b_hi].

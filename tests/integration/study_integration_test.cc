@@ -101,7 +101,8 @@ TEST_F(StudyIntegrationTest, Fig7SingleIndexPlanFragileOutsideItsRegion) {
   double worst_vs_a = 1;
   for (size_t pt = 0; pt < map_->space().num_points(); ++pt) {
     double best_a = 1e300;
-    for (size_t pl : system_a) best_a = std::min(best_a, map_->At(pl, pt).seconds);
+    for (size_t pl : system_a)
+      best_a = std::min(best_a, map_->At(pl, pt).seconds);
     double mine = map_->At(plan, pt).seconds;
     if (mine <= best_a * 1.0001) ++wins;
     worst_vs_a = std::max(worst_vs_a, mine / best_a);

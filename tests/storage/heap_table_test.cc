@@ -19,7 +19,8 @@ class HeapTableTest : public ::testing::Test {
 };
 
 TEST_F(HeapTableTest, AppendAndReadBack) {
-  auto table = HeapTable::Create(&device_, 1000, HeapTableOptions{}).ValueOrDie();
+  auto table =
+      HeapTable::Create(&device_, 1000, HeapTableOptions{}).ValueOrDie();
   for (int64_t i = 0; i < 500; ++i) {
     ASSERT_TRUE(table->Append(&ctx_, {i, i * 2, 0, 0}).ok());
   }
@@ -39,7 +40,8 @@ TEST_F(HeapTableTest, AppendAndReadBack) {
 }
 
 TEST_F(HeapTableTest, FetchRowMatchesAppended) {
-  auto table = HeapTable::Create(&device_, 300, HeapTableOptions{}).ValueOrDie();
+  auto table =
+      HeapTable::Create(&device_, 300, HeapTableOptions{}).ValueOrDie();
   for (int64_t i = 0; i < 300; ++i) {
     ASSERT_TRUE(table->Append(&ctx_, {i * 7, -i, 0, 0}).ok());
   }
@@ -65,12 +67,15 @@ TEST_F(HeapTableTest, RowsPerPageFromRowSize) {
 TEST_F(HeapTableTest, RejectsBadOptions) {
   HeapTableOptions opts;
   opts.num_columns = 0;
-  EXPECT_TRUE(HeapTable::Create(&device_, 10, opts).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      HeapTable::Create(&device_, 10, opts).status().IsInvalidArgument());
   opts.num_columns = 5;
-  EXPECT_TRUE(HeapTable::Create(&device_, 10, opts).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      HeapTable::Create(&device_, 10, opts).status().IsInvalidArgument());
   opts.num_columns = 4;
   opts.row_size_bytes = 8;  // too small for 4 columns
-  EXPECT_TRUE(HeapTable::Create(&device_, 10, opts).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      HeapTable::Create(&device_, 10, opts).status().IsInvalidArgument());
 }
 
 TEST_F(HeapTableTest, RejectsOverflowAndBadRids) {
@@ -88,7 +93,8 @@ TEST_F(HeapTableTest, RejectsOverflowAndBadRids) {
 }
 
 TEST_F(HeapTableTest, AppendsChargeWrites) {
-  auto table = HeapTable::Create(&device_, 200, HeapTableOptions{}).ValueOrDie();
+  auto table =
+      HeapTable::Create(&device_, 200, HeapTableOptions{}).ValueOrDie();
   for (int64_t i = 0; i < 200; ++i) {
     ASSERT_TRUE(table->Append(&ctx_, {i, i, 0, 0}).ok());
   }
@@ -98,7 +104,8 @@ TEST_F(HeapTableTest, AppendsChargeWrites) {
 
 TEST_F(HeapTableTest, PageOfRidUsesExtentBase) {
   device_.AllocateExtent(17);  // shift the next extent
-  auto table = HeapTable::Create(&device_, 300, HeapTableOptions{}).ValueOrDie();
+  auto table =
+      HeapTable::Create(&device_, 300, HeapTableOptions{}).ValueOrDie();
   EXPECT_EQ(table->base_page(), 17u);
   EXPECT_EQ(table->PageOfRid(0), 17u);
   EXPECT_EQ(table->PageOfRid(table->rows_per_page()), 18u);

@@ -9,7 +9,8 @@ namespace {
 
 class ProceduralTableTest : public ::testing::Test {
  protected:
-  ProceduralTableTest() : device_(DiskParameters{}, &clock_), pool_(&device_, 64) {
+  ProceduralTableTest()
+      : device_(DiskParameters{}, &clock_), pool_(&device_, 64) {
     ctx_.clock = &clock_;
     ctx_.device = &device_;
     ctx_.pool = &pool_;

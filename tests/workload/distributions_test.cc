@@ -40,7 +40,8 @@ TEST(ZipfTest, SamplesFollowPmf) {
 
 class HeapDatasetTest : public ::testing::Test {
  protected:
-  HeapDatasetTest() : device_(DiskParameters{}, &clock_), pool_(&device_, 1024) {
+  HeapDatasetTest()
+      : device_(DiskParameters{}, &clock_), pool_(&device_, 1024) {
     ctx_.clock = &clock_;
     ctx_.device = &device_;
     ctx_.pool = &pool_;
