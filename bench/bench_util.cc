@@ -31,6 +31,7 @@ TileSpec FullGridSpec(const ParameterSpace& space) {
 }  // namespace
 
 int EnvInt(const char* name, int def, int lo, int hi) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read in single-threaded setup
   const char* raw = std::getenv(name);
   if (raw == nullptr || raw[0] == '\0') return def;
   char* end = nullptr;
@@ -44,11 +45,13 @@ int EnvInt(const char* name, int def, int lo, int hi) {
 }
 
 bool EnvFlag(const char* name) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read in single-threaded setup
   const char* raw = std::getenv(name);
   return raw != nullptr && raw[0] == '1';
 }
 
 std::string EnvString(const char* name) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read in single-threaded setup
   const char* raw = std::getenv(name);
   return raw == nullptr ? std::string() : raw;
 }

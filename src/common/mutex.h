@@ -1,0 +1,83 @@
+#ifndef ROBUSTMAP_COMMON_MUTEX_H_
+#define ROBUSTMAP_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace robustmap {
+
+/// The tree's only mutex type: `std::mutex` wrapped as a Clang Thread
+/// Safety Analysis *capability*, so `GUARDED_BY(mu_)` members and
+/// `REQUIRES(mu_)` functions are compile-time checked wherever Clang
+/// builds the tree (see common/thread_annotations.h for the policy).
+/// Raw `std::mutex` members are rejected by tools/determinism_lint.py —
+/// the analysis cannot see through an unannotated type.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  // determinism-lint: allow(unannotated-mutex) the one wrapper owning the raw primitive
+  std::mutex mu_;
+};
+
+/// RAII lock for `Mutex`, annotated as a scoped capability: holding one
+/// satisfies `REQUIRES(mu)` for the scope, and the analysis rejects a
+/// scope that re-acquires or fails to cover a guarded access.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable over `Mutex`. `Wait` adopts the already-held lock
+/// for the duration of the underlying wait and hands it back on return,
+/// so to the analysis (and the caller) the capability is simply held
+/// across the call — exactly the `REQUIRES(mu)` contract says so.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    // determinism-lint: allow(unannotated-mutex) adopts the caller's already-held capability
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still owns the capability
+  }
+
+  template <typename Predicate>
+  void Wait(Mutex* mu, Predicate pred) REQUIRES(mu) {
+    // determinism-lint: allow(unannotated-mutex) adopts the caller's already-held capability
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  // determinism-lint: allow(unannotated-mutex) implementation of the annotated wrapper itself
+  std::condition_variable cv_;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_COMMON_MUTEX_H_

@@ -2,8 +2,27 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace robustmap {
+
+namespace {
+// strerror_r comes in two flavors: XSI returns int and fills the buffer,
+// GNU returns the message pointer directly (which may ignore the buffer).
+// Overloading on the actual return type accepts whichever libc provides.
+[[maybe_unused]] const char* AdaptStrerror(int rc, const char* buf) {
+  return rc == 0 ? buf : "Unknown error";
+}
+[[maybe_unused]] const char* AdaptStrerror(const char* msg,
+                                           const char* /*buf*/) {
+  return msg;
+}
+}  // namespace
+
+std::string ErrnoString(int errnum) {
+  char buf[256] = {};
+  return AdaptStrerror(strerror_r(errnum, buf, sizeof(buf)), buf);
+}
 
 std::string Status::ToString() const {
   const char* name = nullptr;

@@ -124,6 +124,12 @@ T&& Result<T>::ValueOrDie() && {
   return *std::move(value_);
 }
 
+/// Thread-safe `std::strerror` replacement for building Status messages:
+/// `strerror` returns an internal static buffer (clang-tidy
+/// concurrency-mt-unsafe, an error in this tree), so errno formatting
+/// goes through `strerror_r` here instead.
+std::string ErrnoString(int errnum);
+
 /// Propagates a non-OK status to the caller.
 #define RM_RETURN_IF_ERROR(expr)               \
   do {                                         \

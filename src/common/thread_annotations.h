@@ -1,0 +1,90 @@
+#ifndef ROBUSTMAP_COMMON_THREAD_ANNOTATIONS_H_
+#define ROBUSTMAP_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros.
+///
+/// These turn the tree's locking discipline into compile-time checked
+/// contracts: a `Mutex` (common/mutex.h) is a *capability*, data it
+/// protects is declared `GUARDED_BY(mu_)`, and functions state what they
+/// acquire (`ACQUIRE`), release (`RELEASE`), require already held
+/// (`REQUIRES`), or must be called without (`EXCLUDES`). On Clang,
+/// `-Wthread-safety -Wthread-safety-beta` (promoted to errors in the
+/// default build, see the root CMakeLists) rejects any access that
+/// violates a declared contract — an unguarded read, a missing lock, a
+/// double acquire, a lock-escape by reference — before the code ever
+/// runs. On every other compiler the macros expand to nothing, so the
+/// annotations cost zero and gate nothing.
+///
+/// Policy (see README "Static analysis"):
+///   * new mutexes must be `robustmap::Mutex`, never raw `std::mutex` —
+///     the analysis only sees annotated types (machine-enforced by the
+///     `unannotated-mutex` rule in tools/determinism_lint.py);
+///   * every data member a mutex protects carries `GUARDED_BY`;
+///   * `NO_THREAD_SAFETY_ANALYSIS` requires a comment justifying why the
+///     analysis cannot see the invariant;
+///   * a change that introduces a new attribute must come with a
+///     negative-compile fixture under tools/testdata/thread_safety/
+///     proving the analysis actually rejects its violation.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RM_THREAD_ANNOTATION_(x)  // no-op: analysis is Clang-only
+#endif
+
+/// Declares a class to be a capability (lockable) type; the string names
+/// the capability kind in diagnostics ("mutex 'mu_' is still held ...").
+#define CAPABILITY(x) RM_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability
+/// (constructor ACQUIRE, destructor RELEASE), like `MutexLock`.
+#define SCOPED_CAPABILITY RM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the named capability.
+#define GUARDED_BY(x) RM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the named capability
+/// (the pointer itself may be read freely).
+#define PT_GUARDED_BY(x) RM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that may only be called while holding the named capabilities
+/// exclusively / shared; it does not acquire or release them.
+#define REQUIRES(...) \
+  RM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  RM_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the named capabilities (held on return) or
+/// releases them (must be held on entry).
+#define ACQUIRE(...) RM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  RM_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) RM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  RM_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when it returns the given
+/// boolean value (TryLock-style APIs).
+#define TRY_ACQUIRE(...) \
+  RM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called while holding the named capabilities
+/// (deadlock prevention: it acquires them itself, or it blocks on work
+/// that does).
+#define EXCLUDES(...) RM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function asserting (at runtime) that the capability is held; teaches
+/// the analysis about invariants it cannot derive.
+#define ASSERT_CAPABILITY(x) RM_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returning a reference to the named capability (lock
+/// accessors).
+#define RETURN_CAPABILITY(x) RM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment justifying why the invariant is invisible to the analysis
+/// (init/teardown code, lock handoff across threads, ...).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // ROBUSTMAP_COMMON_THREAD_ANNOTATIONS_H_

@@ -5,7 +5,6 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iterator>
 #include <utility>
@@ -35,7 +34,7 @@ Status EnsureDirectory(const std::string& path) {
     if (prefix.empty()) continue;
     if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
       return Status::Internal("cannot create directory " + prefix + ": " +
-                              std::strerror(errno));
+                              ErrnoString(errno));
     }
   }
   return Status::OK();

@@ -8,16 +8,15 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <sstream>
 #include <thread>
 #include <utility>
 
+#include "common/mutex.h"
 #include "core/map_io.h"
 #include "core/sharded_sweep.h"
 #include "engine/query.h"
@@ -80,18 +79,21 @@ class ProgressTracker {
 
   void CellDone(size_t plan) {
     if (!fn_) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++progress_.cells_done;
     if (++per_plan_done_[plan] == points_) ++progress_.plans_done;
     fn_(progress_);
   }
 
  private:
+  // points_ and fn_ are immutable after construction, so workers may read
+  // them without the capability; the cumulative counts are the shared
+  // mutable state and live under mu_.
   const size_t points_;
-  std::mutex mu_;
-  SweepProgress progress_;
-  std::vector<size_t> per_plan_done_;
   SweepProgressFn fn_;
+  Mutex mu_;
+  SweepProgress progress_ GUARDED_BY(mu_);
+  std::vector<size_t> per_plan_done_ GUARDED_BY(mu_);
 };
 
 /// The paper's standard study sweep under one in-process backend choice:
@@ -381,8 +383,7 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
           opts.tile_dir + "/" + TileFileName(t.shard_id);
       pid_t pid = ::fork();
       if (pid < 0) {
-        return Status::Internal(std::string("fork failed: ") +
-                                std::strerror(errno));
+        return Status::Internal("fork failed: " + ErrnoString(errno));
       }
       if (pid == 0) {
         // Worker. Either exec the external worker binary, or compute the
@@ -411,9 +412,8 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
           for (std::string& a : args) argv.push_back(a.data());
           argv.push_back(nullptr);
           ::execvp(argv[0], argv.data());
-          WriteTileErrFile(path, Status::Internal(
-                                 std::string("cannot exec ") + args[0] +
-                                 ": " + std::strerror(errno)));
+          WriteTileErrFile(path, Status::Internal("cannot exec " + args[0] +
+                                                  ": " + ErrnoString(errno)));
           ::_exit(127);
         }
         Status s = ComputeAndWriteTile(ctx, executor, req.plans, space, t,
@@ -451,8 +451,7 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
           continue;
         }
         if (r < 0) {
-          return Status::Internal(std::string("waitpid failed: ") +
-                                  std::strerror(errno));
+          return Status::Internal("waitpid failed: " + ErrnoString(errno));
         }
         const size_t idx = it->second.todo_index;
         local.worker_busy_seconds[it->second.slot] +=
@@ -675,15 +674,20 @@ Result<RobustnessMap> SweepEngine::RunCellsParallel(
   // the one a serial sweep would have hit first.
   std::atomic<size_t> next_block{0};
   std::atomic<size_t> first_failed_cell{cells};
-  std::mutex error_mu;
-  Status first_error = Status::OK();
+  // The Status itself lives under a capability (atomics carry the cell
+  // index; the Status payload cannot be atomic), so a worker publishing a
+  // lower failing cell and a worker reading the final error are ordered.
+  struct ErrorState {
+    Mutex mu;
+    Status first_error GUARDED_BY(mu) = Status::OK();
+  } err;
 
   auto record_error = [&](size_t cell, const Status& s) {
-    std::lock_guard<std::mutex> lock(error_mu);
+    MutexLock lock(&err.mu);
     size_t prev = first_failed_cell.load(std::memory_order_relaxed);
     if (cell < prev) {
       first_failed_cell.store(cell, std::memory_order_relaxed);
-      first_error = s;
+      err.first_error = s;
     }
   };
 
@@ -721,7 +725,8 @@ Result<RobustnessMap> SweepEngine::RunCellsParallel(
   }
 
   if (first_failed_cell.load(std::memory_order_relaxed) < cells) {
-    return first_error;
+    MutexLock lock(&err.mu);
+    return err.first_error;
   }
   return map;
 }

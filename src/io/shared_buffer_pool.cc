@@ -6,7 +6,7 @@ bool SharedBufferPool::Access(SimDevice* device, uint64_t page,
                               bool cacheable) {
   bool hit;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     hit = pages_.Touch(page);
     if (hit) {
       ++hits_;
@@ -27,38 +27,38 @@ bool SharedBufferPool::Access(SimDevice* device, uint64_t page,
 }
 
 bool SharedBufferPool::Contains(uint64_t page) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pages_.Contains(page);
 }
 
 void SharedBufferPool::Warm(uint64_t page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pages_.Warm(page);
 }
 
 void SharedBufferPool::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pages_.Clear();
 }
 
 void SharedBufferPool::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   hits_ = 0;
   misses_ = 0;
 }
 
 uint64_t SharedBufferPool::resident_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pages_.size();
 }
 
 uint64_t SharedBufferPool::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return hits_;
 }
 
 uint64_t SharedBufferPool::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return misses_;
 }
 

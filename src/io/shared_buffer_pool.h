@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "io/buffer_pool.h"
 #include "io/sim_device.h"
 
@@ -49,7 +49,10 @@ class SharedBufferPool {
   /// attached `SharedBufferPoolView`s).
   void ResetStats();
 
-  uint64_t capacity_pages() const { return pages_.capacity(); }
+  uint64_t capacity_pages() const {
+    MutexLock lock(&mu_);
+    return pages_.capacity();
+  }
   uint64_t resident_pages() const;
 
   /// Pool-wide totals across all attached machines.
@@ -57,10 +60,12 @@ class SharedBufferPool {
   uint64_t misses() const;
 
  private:
-  mutable std::mutex mu_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  LruPageSet pages_;  ///< the same LRU core BufferPool uses, mutex-guarded
+  mutable Mutex mu_;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  /// The same LRU core BufferPool uses; every touch/admit/evict/query of
+  /// residency state happens under mu_ — enforced at compile time.
+  LruPageSet pages_ GUARDED_BY(mu_);
 };
 
 /// A per-machine `BufferPool` facade over a `SharedBufferPool`: residency
@@ -102,6 +107,10 @@ class SharedBufferPoolView : public BufferPool {
   }
 
  private:
+  /// Per-machine state needs no capability: a view belongs to exactly one
+  /// simulated machine, and each machine runs on one worker thread (the
+  /// inherited hits_/misses_ counters are per-view for the same reason —
+  /// only the *residency* state behind shared_ is cross-thread).
   SimDevice* device_;
   SharedBufferPool* shared_;
 };

@@ -119,6 +119,65 @@ TEST_F(SharedBufferPoolTest, SerialAccessSequenceIsDeterministic) {
   EXPECT_EQ(first, second);
 }
 
+// The deterministic shared schedule (point-major round-robin over the
+// machines — the order the sweep engine uses when a sweep shares one
+// pool) yields exact, reproducible per-view attribution: at every point
+// the leading view takes the miss and every follower hits, so each
+// view's counters are a function of the schedule alone — and the
+// pool-wide totals are exactly their sum.
+TEST_F(SharedBufferPoolTest, DeterministicSharedScheduleAttribution) {
+  constexpr uint64_t kPoints = 8;  // fits the 8-page pool: no eviction
+  for (uint64_t p = 0; p < kPoints; ++p) {
+    // Point-major: every machine touches point p before anyone moves on.
+    EXPECT_FALSE(view_a_.Access(p));  // leader misses and admits
+    EXPECT_TRUE(view_b_.Access(p));   // follower hits the resident page
+  }
+  EXPECT_EQ(view_a_.hits(), 0u);
+  EXPECT_EQ(view_a_.misses(), kPoints);
+  EXPECT_EQ(view_b_.hits(), kPoints);
+  EXPECT_EQ(view_b_.misses(), 0u);
+  EXPECT_EQ(shared_.hits(), view_a_.hits() + view_b_.hits());
+  EXPECT_EQ(shared_.misses(), view_a_.misses() + view_b_.misses());
+
+  // A second pass is all hits, each attributed to its calling view even
+  // when the within-point order flips.
+  for (uint64_t p = 0; p < kPoints; ++p) {
+    EXPECT_TRUE(view_b_.Access(p));
+    EXPECT_TRUE(view_a_.Access(p));
+  }
+  EXPECT_EQ(view_a_.hits(), kPoints);
+  EXPECT_EQ(view_b_.hits(), 2 * kPoints);
+  EXPECT_EQ(shared_.hits(), 3 * kPoints);
+  EXPECT_EQ(shared_.misses(), kPoints);
+}
+
+// The same schedule at a capacity that forces eviction between rounds:
+// round-robin order makes the eviction sequence — and with it every
+// view's exact hit/miss split — identical run to run.
+TEST_F(SharedBufferPoolTest, SharedScheduleAttributionUnderEviction) {
+  auto run = [](SimDevice* da, SimDevice* db) {
+    SharedBufferPool pool(2);
+    SharedBufferPoolView a(da, &pool);
+    SharedBufferPoolView b(db, &pool);
+    for (int round = 0; round < 3; ++round) {
+      for (uint64_t p = 0; p < 3; ++p) {  // 3 pages through 2 slots
+        a.Access(p);
+        b.Access(p);
+      }
+    }
+    EXPECT_EQ(pool.hits(), a.hits() + b.hits());
+    EXPECT_EQ(pool.misses(), a.misses() + b.misses());
+    return std::make_tuple(a.hits(), a.misses(), b.hits(), b.misses());
+  };
+  auto first = run(&device_a_, &device_b_);
+  // A leads every point, so every capacity miss lands on A while B
+  // always hits the page A just (re)admitted.
+  EXPECT_EQ(first, std::make_tuple(uint64_t{0}, uint64_t{9}, uint64_t{9},
+                                   uint64_t{0}));
+  auto second = run(&device_a_, &device_b_);
+  EXPECT_EQ(first, second);
+}
+
 // Thread-safety smoke: machines hammer overlapping pages concurrently.
 // Residency must respect capacity and no access may be lost or double
 // counted; per-machine counters need no lock because each view is only

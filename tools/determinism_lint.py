@@ -35,6 +35,19 @@ known hazard patterns from the map-producing paths under src/:
                          (including `(void)` casts) — a silently failed
                          tile write turns into a corrupt or stale map at
                          merge time, far from the cause.
+  unannotated-mutex      (a) any raw standard locking type — std::mutex,
+                         std::lock_guard, std::condition_variable, ... —
+                         instead of the annotated robustmap::Mutex /
+                         MutexLock / CondVar wrappers (common/mutex.h):
+                         Clang Thread Safety Analysis only checks lock
+                         discipline it can see, and it cannot see through
+                         an unannotated type. (b) a data member declared
+                         directly below a `Mutex` member without a
+                         GUARDED_BY / PT_GUARDED_BY annotation: by
+                         convention a mutex's protected state sits
+                         immediately after it, so an unannotated sibling
+                         is either missing its annotation or filed in the
+                         wrong place.
 
 Waivers: a finding is suppressed by a comment on the same line or the line
 directly above:
@@ -64,6 +77,7 @@ RULE_IDS = (
     "unordered-iteration",
     "pointer-keyed-order",
     "unchecked-write-map-tile",
+    "unannotated-mutex",
 )
 
 # Sources the determinism contract covers. bench/ and tests/ may measure
@@ -95,6 +109,31 @@ WRITE_TILE_CALL_RE = re.compile(
 CHECKED_PREFIX_RE = re.compile(
     r"(=|return\b|RM_RETURN_IF_ERROR|EXPECT_|ASSERT_|if\b|\bStatus\s+\w+|"
     r"\bauto\s+\w+|[!|&?:]|<<|\w\s*\()\s*[^;]*$|\bStatus\s*$")
+# Raw standard locking vocabulary: all of it must go through the annotated
+# wrappers in src/common/mutex.h (which waives its own internals) so Clang
+# Thread Safety Analysis sees every acquire/release in the tree.
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock)\b")
+# A robustmap::Mutex data member; the contiguous data members after it
+# must carry GUARDED_BY / PT_GUARDED_BY (rule unannotated-mutex (b)).
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:robustmap::)?Mutex\s+\w+\s*;")
+ACCESS_SPECIFIER_RE = re.compile(r"^\s*(?:public|protected|private)\s*:")
+GUARD_ANNOTATION_RE = re.compile(r"\b(?:PT_)?GUARDED_BY\s*\([^)]*\)")
+
+
+def is_data_member_decl(code):
+    """True when a (string/comment-stripped) line looks like a single-line
+    data member declaration: `Type name_ [GUARDED_BY(x)] [= init];`. The
+    annotation and any initializer are stripped first, so paren-free is a
+    usable proxy for "not a function declaration"."""
+    stripped = GUARD_ANNOTATION_RE.sub("", code)
+    stripped = re.sub(r"=[^;]*;", ";", stripped)
+    if "(" in stripped or ")" in stripped:
+        return False
+    return re.search(r"[\w>&*]\s+\w+\s*;", stripped) is not None
 
 
 class Finding:
@@ -239,6 +278,47 @@ def lint_file(path, rel_path=None):
                        f"{m.group(1)} result discarded; a failed tile "
                        "write must propagate, not surface as a corrupt "
                        "merge later")
+        if RAW_MUTEX_RE.search(code):
+            report(idx, "unannotated-mutex",
+                   "raw standard locking type; use the annotated "
+                   "robustmap::Mutex / MutexLock / CondVar wrappers "
+                   "(common/mutex.h) so Clang Thread Safety Analysis "
+                   "sees the lock discipline")
+
+    # Rule unannotated-mutex (b): the contiguous data members directly
+    # below a `Mutex` member must each carry GUARDED_BY / PT_GUARDED_BY.
+    # The scan skips comment lines and stops at the first blank line,
+    # access specifier, or non-member-looking line, so state filed away
+    # from its mutex is simply out of scope (and out of the convention).
+    flagged_siblings = set()
+    for idx, raw in enumerate(raw_lines):
+        if not MUTEX_MEMBER_RE.search(strip_strings_and_comments(raw)):
+            continue
+        for j in range(idx + 1, len(raw_lines)):
+            sibling = strip_strings_and_comments(raw_lines[j])
+            if sibling.strip() and all(
+                    not c.isalnum() for c in sibling.strip()):
+                break  # closing brace or similar punctuation-only line
+            if not sibling.strip():
+                # A comment-only or blank source line: comments continue
+                # the member block, true blank lines end it.
+                if raw_lines[j].strip():
+                    continue
+                break
+            if ACCESS_SPECIFIER_RE.search(sibling):
+                break
+            if not is_data_member_decl(sibling):
+                break
+            if GUARD_ANNOTATION_RE.search(sibling):
+                continue
+            if MUTEX_MEMBER_RE.search(sibling):
+                continue
+            if j not in flagged_siblings:
+                flagged_siblings.add(j)
+                report(j, "unannotated-mutex",
+                       "data member adjacent to a Mutex lacks GUARDED_BY "
+                       "/ PT_GUARDED_BY; annotate it (or move state that "
+                       "the mutex does not protect away from it)")
     return findings, tool_errors
 
 
@@ -301,6 +381,8 @@ def selftest():
         "bad_unordered_iteration.cc": "unordered-iteration",
         "bad_pointer_keyed_order.cc": "pointer-keyed-order",
         "bad_unchecked_write_map_tile.cc": "unchecked-write-map-tile",
+        "bad_raw_mutex.cc": "unannotated-mutex",
+        "bad_unguarded_mutex_member.cc": "unannotated-mutex",
     }
     for name, rule in cases.items():
         path = os.path.join(fixtures, name)

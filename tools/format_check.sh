@@ -1,24 +1,18 @@
 #!/usr/bin/env bash
-# Check-only clang-format gate with a grandfather clause.
+# Check-only clang-format gate, strict over the whole tree.
 #
-# The tree predates .clang-format, so a strict tree-wide gate would force a
-# mass reformat that buries real history. Instead:
-#   * a file that is clean, or within EPSILON changed lines of clean, must
-#     BE clean — small drift is fixable in place and failing it keeps new
-#     code formatted;
-#   * a file whose diff exceeds EPSILON lines is *deferred*: listed (so the
-#     backlog is visible as the follow-up note) but not failing. Reformat
-#     deferred files in dedicated commits, never alongside logic changes.
+# The pre-.clang-format backlog has been reformatted (in dedicated commits,
+# separate from logic changes), so the grandfather clause is gone: ANY
+# formatting diff on a tracked C++ file fails, tree-wide.
 #
 # Usage: tools/format_check.sh [FILE...]
 #   With no arguments, checks every tracked C++ file. CI passes the changed
 #   files of a pull request, the full tree on main.
 #
-# Exit codes: 0 clean (deferred files allowed), 1 fixable formatting
-# violations, 2 tool error (no clang-format, unreadable file).
+# Exit codes: 0 clean, 1 formatting violations, 2 tool error (no
+# clang-format, unreadable file).
 
 set -u
-EPSILON=10
 FMT="${CLANG_FORMAT:-clang-format}"
 
 if ! command -v "$FMT" > /dev/null 2>&1; then
@@ -38,7 +32,6 @@ else
 fi
 
 fail=0
-deferred=()
 for f in "${files[@]}"; do
   case "$f" in
     tools/testdata/*) continue ;;
@@ -52,20 +45,10 @@ for f in "${files[@]}"; do
   fi
   # Changed lines on either side of the diff.
   n=$(printf '%s\n' "$formatted" | diff "$f" - | grep -c '^[<>]')
-  if [ "$n" -eq 0 ]; then
-    continue
-  elif [ "$n" -le "$EPSILON" ]; then
+  if [ "$n" -gt 0 ]; then
     echo "format_check: $f differs by $n line(s) — run: $FMT -i $f" >&2
     fail=1
-  else
-    deferred+=("$f ($n lines)")
   fi
 done
-
-if [ "${#deferred[@]}" -gt 0 ]; then
-  echo "format_check: deferred (pre-.clang-format files; reformat in a" >&2
-  echo "dedicated commit, not alongside logic changes):" >&2
-  printf '  %s\n' "${deferred[@]}" >&2
-fi
 
 exit "$fail"

@@ -1,0 +1,65 @@
+# Negative-compile driver for the Clang Thread Safety Analysis fixtures.
+#
+# Compiles one fixture with the same thread-safety flags the tree builds
+# with and asserts the outcome:
+#   WANT=fail  the compile must FAIL and its stderr must contain EXPECT —
+#              the exact diagnostic the seeded violation plants;
+#   WANT=pass  the compile must SUCCEED with empty stderr — the clean
+#              fixture under -Wall -Wextra -Werror, which on GCC proves
+#              the no-op macro path builds warning-free and on Clang
+#              proves a fully annotated file satisfies the analysis.
+#
+# Required -D parameters: CXX, FIXTURE, INCLUDE_DIR, WANT; EXPECT when
+# WANT=fail. FLAGS is a space-separated extra flag string.
+#
+# Invoked by the ctest entries registered in tests/CMakeLists.txt,
+# mirroring tools/determinism_lint.py --selftest: a gate that cannot be
+# shown to fire on a seeded violation is not a gate.
+
+foreach(var CXX FIXTURE INCLUDE_DIR WANT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "negative_compile: missing -D${var}=...")
+  endif()
+endforeach()
+if(WANT STREQUAL "fail" AND NOT DEFINED EXPECT)
+  message(FATAL_ERROR
+    "negative_compile: WANT=fail needs -DEXPECT=<diagnostic substring>")
+endif()
+
+separate_arguments(flag_list UNIX_COMMAND "${FLAGS}")
+execute_process(
+  COMMAND ${CXX} -std=c++20 -fsyntax-only -I${INCLUDE_DIR}
+          ${flag_list} ${FIXTURE}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(WANT STREQUAL "pass")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "negative_compile: expected a clean compile of ${FIXTURE}, "
+      "got rc=${rc}:\n${err}")
+  endif()
+  if(NOT "${err}" STREQUAL "")
+    message(FATAL_ERROR
+      "negative_compile: expected a warning-free compile of ${FIXTURE}, "
+      "got:\n${err}")
+  endif()
+  message(STATUS "clean fixture compiled warning-free")
+elseif(WANT STREQUAL "fail")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+      "negative_compile: the seeded violation in ${FIXTURE} compiled "
+      "cleanly — the thread-safety analysis did not fire")
+  endif()
+  string(FIND "${err}" "${EXPECT}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "negative_compile: ${FIXTURE} failed to compile, but without the "
+      "expected diagnostic\n  expected substring: ${EXPECT}\n"
+      "  actual stderr:\n${err}")
+  endif()
+  message(STATUS "rejected as expected: ${EXPECT}")
+else()
+  message(FATAL_ERROR "negative_compile: WANT must be pass or fail")
+endif()

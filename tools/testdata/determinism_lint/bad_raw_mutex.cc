@@ -1,0 +1,16 @@
+// Seeded violation for rule `unannotated-mutex` (a): raw std::mutex and
+// std::lock_guard instead of the annotated robustmap::Mutex / MutexLock
+// wrappers — Clang Thread Safety Analysis cannot see this lock at all.
+#include <mutex>
+
+class Tally {
+ public:
+  void Add(long v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += v;
+  }
+
+ private:
+  std::mutex mu_;
+  long total_ = 0;
+};

@@ -1,0 +1,16 @@
+// Seeded violation for rule `unannotated-mutex` (b): the data member
+// directly below a Mutex carries no GUARDED_BY — either the annotation is
+// missing or unrelated state is filed under the wrong lock.
+#include "common/mutex.h"
+
+class Tracker {
+ public:
+  void Bump() {
+    robustmap::MutexLock lock(&mu_);
+    ++done_;
+  }
+
+ private:
+  robustmap::Mutex mu_;
+  long done_ = 0;
+};

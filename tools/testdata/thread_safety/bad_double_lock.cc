@@ -1,0 +1,24 @@
+// Seeded violation: acquires a mutex it already holds (self-deadlock on a
+// non-recursive mutex).
+// Expected: acquiring mutex 'mu_' that is already held
+#include "common/mutex.h"
+
+class Counter {
+ public:
+  void Touch() {
+    mu_.Lock();
+    mu_.Lock();  // BUG: already held
+    ++count_;
+    mu_.Unlock();
+  }
+
+ private:
+  robustmap::Mutex mu_;
+  long count_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Touch();
+  return 0;
+}

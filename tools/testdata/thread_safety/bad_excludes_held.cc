@@ -1,0 +1,26 @@
+// Seeded violation: calls an EXCLUDES(mu_) function while holding mu_ —
+// the callee acquires the mutex itself, so this self-deadlocks.
+// Expected: cannot call function 'Reload' while mutex 'mu_' is held
+#include "common/mutex.h"
+
+class Cache {
+ public:
+  void Reload() EXCLUDES(mu_) {
+    robustmap::MutexLock lock(&mu_);
+    entries_ = 0;
+  }
+  void Tick() {
+    robustmap::MutexLock lock(&mu_);
+    Reload();  // BUG: mu_ is held here
+  }
+
+ private:
+  robustmap::Mutex mu_;
+  int entries_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Cache c;
+  c.Tick();
+  return 0;
+}

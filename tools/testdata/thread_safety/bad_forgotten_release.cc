@@ -1,0 +1,21 @@
+// Seeded violation: a manual Lock() with no matching Unlock() on one path.
+// Expected: mutex 'mu_' is still held at the end of function
+#include "common/mutex.h"
+
+class Counter {
+ public:
+  void Touch() {
+    mu_.Lock();
+    ++count_;
+  }  // BUG: never released
+
+ private:
+  robustmap::Mutex mu_;
+  long count_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Touch();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Seeded violation: a GUARDED_BY member escapes the capability by
+// non-const reference — the callee can mutate it long after the caller's
+// lock is gone.
+// Expected: passing variable 'values_' by reference requires holding
+// mutex 'mu_'
+#include <vector>
+
+#include "common/mutex.h"
+
+void Compact(std::vector<long>& values) { values.clear(); }
+
+class Staging {
+ public:
+  void Add(long v) {
+    robustmap::MutexLock lock(&mu_);
+    values_.push_back(v);
+  }
+  void Leak() { Compact(values_); }  // BUG: guarded state escapes unlocked
+
+ private:
+  robustmap::Mutex mu_;
+  std::vector<long> values_ GUARDED_BY(mu_);
+};
+
+int main() {
+  Staging s;
+  s.Add(1);
+  s.Leak();
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Seeded violation: calls a REQUIRES(mu_) function without the lock.
+// Expected: calling function 'FlushLocked' requires holding mutex 'mu_'
+// exclusively
+#include "common/mutex.h"
+
+class Pool {
+ public:
+  void FlushLocked() REQUIRES(mu_) { dirty_ = 0; }
+  void Flush() { FlushLocked(); }  // BUG: precondition not established
+
+ private:
+  robustmap::Mutex mu_;
+  int dirty_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Pool p;
+  p.Flush();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Seeded violation: releases a mutex the function never acquired.
+// Expected: releasing mutex 'mu_' that was not held
+#include "common/mutex.h"
+
+class Counter {
+ public:
+  void Drop() { mu_.Unlock(); }  // BUG: not held
+
+ private:
+  robustmap::Mutex mu_;
+};
+
+int main() {
+  Counter c;
+  c.Drop();
+  return 0;
+}

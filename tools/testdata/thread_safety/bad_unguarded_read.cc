@@ -1,0 +1,22 @@
+// Seeded violation: reads a GUARDED_BY member without holding its mutex.
+// Expected: reading variable 'count_' requires holding mutex 'mu_'
+#include "common/mutex.h"
+
+class Counter {
+ public:
+  void Increment() {
+    robustmap::MutexLock lock(&mu_);
+    ++count_;
+  }
+  long Get() const { return count_; }  // BUG: no capability held
+
+ private:
+  mutable robustmap::Mutex mu_;
+  long count_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Increment();
+  return static_cast<int>(c.Get());
+}

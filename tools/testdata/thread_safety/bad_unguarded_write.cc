@@ -1,0 +1,19 @@
+// Seeded violation: writes a GUARDED_BY member without holding its mutex.
+// Expected: writing variable 'count_' requires holding mutex 'mu_'
+// exclusively
+#include "common/mutex.h"
+
+class Counter {
+ public:
+  void Set(long v) { count_ = v; }  // BUG: no capability held
+
+ private:
+  robustmap::Mutex mu_;
+  long count_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Set(7);
+  return 0;
+}

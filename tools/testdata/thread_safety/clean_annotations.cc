@@ -1,0 +1,87 @@
+// Positive control for the thread-safety harness: every annotation macro
+// in common/thread_annotations.h used correctly, in one translation unit.
+//
+// Two jobs (see tools/negative_compile.cmake):
+//   * under GCC, with -Wall -Wextra -Werror: proves the no-op macro path
+//     expands to nothing and builds warning-free;
+//   * under Clang, with the analysis promoted to errors: proves a fully
+//     annotated file satisfies the checker — so when a bad_* fixture
+//     fails, it fails because of its seeded violation, not the harness.
+#include "common/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(long amount) {
+    robustmap::MutexLock lock(&mu_);
+    balance_ += amount;
+    if (audit_log_ != nullptr) *audit_log_ += amount;
+  }
+
+  bool TryDeposit(long amount) {
+    if (!mu_.TryLock()) return false;
+    balance_ += amount;
+    mu_.Unlock();
+    return true;
+  }
+
+  long BalanceLocked() const REQUIRES(mu_) { return balance_; }
+
+  long Balance() const EXCLUDES(mu_) {
+    robustmap::MutexLock lock(&mu_);
+    return BalanceLocked();
+  }
+
+  void LockForAudit() ACQUIRE(mu_) { mu_.Lock(); }
+  void UnlockAfterAudit() RELEASE(mu_) { mu_.Unlock(); }
+
+  // Shared-mode contracts are declaration-only here: robustmap::Mutex is
+  // exclusive, but the macros must still expand cleanly everywhere.
+  void ReaderLock() ACQUIRE_SHARED(mu_);
+  void ReaderUnlock() RELEASE_SHARED(mu_);
+  long BalanceShared() const REQUIRES_SHARED(mu_);
+
+  void AssertHeld() const ASSERT_CAPABILITY(mu_) {}
+
+  long FastBalance() const {
+    AssertHeld();  // teaches the analysis the caller holds mu_
+    return balance_;
+  }
+
+  robustmap::Mutex& mu() RETURN_CAPABILITY(mu_) { return mu_; }
+
+  void WaitForFunds(long floor) {
+    robustmap::MutexLock lock(&mu_);
+    while (balance_ < floor) funds_.Wait(&mu_);
+  }
+
+  void NotifyFunds() { funds_.SignalAll(); }
+
+  // Policy-mandated justification: this snapshot runs in the single-owner
+  // construction phase, before the object is published to any other
+  // thread, so the capability is provably uncontended.
+  long UnsynchronizedSnapshot() const NO_THREAD_SAFETY_ANALYSIS {
+    return balance_;
+  }
+
+ private:
+  mutable robustmap::Mutex mu_;
+  long balance_ GUARDED_BY(mu_) = 0;
+  long* audit_log_ PT_GUARDED_BY(mu_) = nullptr;
+  robustmap::CondVar funds_;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  long snapshot = a.UnsynchronizedSnapshot();
+  a.Deposit(10);
+  if (!a.TryDeposit(5)) a.Deposit(5);
+  a.LockForAudit();
+  snapshot += a.BalanceLocked();
+  a.UnlockAfterAudit();
+  a.NotifyFunds();
+  return a.Balance() == snapshot ? 0 : 1;
+}
