@@ -270,12 +270,6 @@ void PrintCurveLandmarks(const RobustnessMap& map) {
   }
 }
 
-double WallSecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
 bool MapsBitIdentical(const RobustnessMap& a, const RobustnessMap& b) {
   if (a.num_plans() != b.num_plans() || !(a.space() == b.space()) ||
       a.plan_labels() != b.plan_labels()) {

@@ -1,11 +1,11 @@
 #ifndef ROBUSTMAP_BENCH_BENCH_UTIL_H_
 #define ROBUSTMAP_BENCH_BENCH_UTIL_H_
 
-#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/robustness_map.h"
 #include "core/sweep.h"
 #include "core/sweep_cost.h"
@@ -53,6 +53,11 @@ StudyKind EnvStudy(StudyKind def);
 ///                     (`sweep_shard`): "plain" (default) or "warmcold"
 ///                     (cold/warm/delta layers per tile).
 ///   REPRO_VERBOSE=1 — per-plan / percent sweep progress on stderr.
+///   REPRO_TRACE     — write a Chrome-trace-event JSON of the run to this
+///                     path (drivers with a --trace flag also honor that;
+///                     the flag wins). Sidecar-only: never changes a map.
+///   REPRO_TELEMETRY — write counter/histogram telemetry JSON to this
+///                     path; same contract as REPRO_TRACE.
 struct BenchScale {
   int row_bits;
   int value_bits;
@@ -130,9 +135,21 @@ void PrintCurveLandmarks(const RobustnessMap& map);
 double CrossoverX(const std::vector<double>& xs, const std::vector<double>& a,
                   const std::vector<double>& b);
 
-/// Seconds of wall clock elapsed since `start` — the timing idiom every
-/// self-timing bench driver shares.
-double WallSecondsSince(std::chrono::steady_clock::time_point start);
+/// The timing idiom every self-timing bench driver shares: a stopwatch
+/// started at construction, read with `Seconds()`. Backed by
+/// `MonotonicNowNs` — the tree's one sanctioned wall-clock entry point —
+/// so the determinism lint can reject any other clock use outside the
+/// trace module.
+class WallTimer {
+ public:
+  WallTimer() : start_ns_(MonotonicNowNs()) {}
+  double Seconds() const {
+    return static_cast<double>(MonotonicNowNs() - start_ns_) * 1e-9;
+  }
+
+ private:
+  int64_t start_ns_;
+};
 
 /// True iff the maps agree on shape, plan labels, and *every* field of
 /// every cell — seconds, row counts, each I/O counter, byte totals, and

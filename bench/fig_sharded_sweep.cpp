@@ -16,7 +16,6 @@
 //
 // Exits non-zero on any failed check — ready for CI.
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -68,14 +67,14 @@ int main() {
               space.y_size(), plans.size(),
               plans.size() * space.num_points());
 
-  auto serial_start = std::chrono::steady_clock::now();
+  WallTimer serial_timer;
   SweepRequest serial_req = StudyRequest(scale, plans, space);
   serial_req.backend = BackendKind::kSerial;
   auto serial = std::move(SweepEngine::Run(env->ctx(), env->executor(),
                                            serial_req)
                               .ValueOrDie()
                               .layers.front());
-  double serial_wall = WallSecondsSince(serial_start);
+  double serial_wall = serial_timer.Seconds();
   std::printf("serial single-process sweep: %.2fs\n\n", serial_wall);
 
   std::string last_dir;
@@ -87,11 +86,11 @@ int main() {
     opts.resume = false;  // a fresh timing run, not a resume
     opts.verbose = scale.verbose;
     ShardedSweepStats stats;
-    auto start = std::chrono::steady_clock::now();
+    WallTimer timer;
     auto merged = RunShardedSweep(env->ctx(), env->executor(), plans, space,
                                   opts, &stats)
                       .ValueOrDie();
-    double wall = WallSecondsSince(start);
+    double wall = timer.Seconds();
     std::printf("%u worker process(es): %zu tiles, %.2fs (%.2fx, "
                 "balance %.2f)\n",
                 workers, stats.tiles_total, wall,

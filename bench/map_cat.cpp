@@ -12,7 +12,13 @@
 //   map_cat --csv [--layer=L] FILE...    # CSV on stdout (files concatenated)
 //   map_cat --dat [--layer=L] FILE...    # gnuplot data on stdout
 //   map_cat --ppm [--plan=K] [--layer=L] FILE...  # FILE_[layer_]planK.ppm
+//   map_cat --telemetry FILE.json...  # counter table + histogram bars
 //   map_cat --selftest              # write+read+render round trip, exit 0/1
+//
+// --telemetry pretty-prints the telemetry.json sidecars the sweep drivers
+// write (`sweep_shard --telemetry=FILE`, REPRO_TELEMETRY): every counter
+// in a table, every latency histogram as ASCII bucket bars with
+// count/sum/min/max.
 //
 // Reads any tile format version this build's reader accepts (v1/v2 files
 // are single-layer; v3 files carry one named layer per study output, e.g.
@@ -22,14 +28,17 @@
 // truncation/corruption vs. unknown version, exactly as the library
 // reports them.
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/format.h"
 #include "core/color_scale.h"
 #include "core/map_io.h"
+#include "core/sweep_telemetry.h"
 #include "shard_cli.h"
 #include "viz/ascii_heatmap.h"
 #include "viz/csv_export.h"
@@ -134,6 +143,61 @@ int WritePpms(const std::string& path, const MapTile& tile, size_t layer,
       return 1;
     }
     std::printf("map_cat: wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+/// Engineering notation for histogram bounds: "1u" .. "500m" .. "100".
+/// Seconds-scale bounds print bare; the ladder has no fractional mantissas
+/// so three significant digits always suffice.
+std::string BoundLabel(double seconds) {
+  char buf[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%gu", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%gm", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", seconds);
+  }
+  return buf;
+}
+
+/// `--telemetry`: counters as a table, histograms as ASCII bucket bars
+/// scaled to the fullest bucket. Empty buckets are skipped — the fixed
+/// 26-slot ladder would otherwise drown every histogram in blank rows.
+int PrintTelemetry(const std::string& path) {
+  auto data = ReadTelemetryFile(path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "map_cat: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s:\n", path.c_str());
+  if (!data.value().counters.empty()) {
+    TextTable table({"counter", "value"});
+    for (const auto& [name, value] : data.value().counters) {
+      table.AddRow({name, std::to_string(value)});
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  const std::vector<double>& bounds = LatencyHistogram::Bounds();
+  for (const auto& [name, h] : data.value().histograms) {
+    std::printf("\n%s: count=%llu sum=%.6gs min=%.6gs max=%.6gs\n",
+                name.c_str(), static_cast<unsigned long long>(h.count),
+                h.sum_seconds, h.min_seconds, h.max_seconds);
+    const uint64_t fullest =
+        *std::max_element(h.buckets.begin(), h.buckets.end());
+    if (fullest == 0) continue;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      const std::string label =
+          i < bounds.size() ? "<= " + BoundLabel(bounds[i]) + "s"
+                            : " > " + BoundLabel(bounds.back()) + "s";
+      const int bar = static_cast<int>(
+          1 + (h.buckets[i] * 40) / fullest);  // 1..41 chars, never empty
+      std::printf("  %-10s %8llu %.*s\n", label.c_str(),
+                  static_cast<unsigned long long>(h.buckets[i]), bar,
+                  "#########################################");
+    }
   }
   return 0;
 }
@@ -255,15 +319,58 @@ int SelfTest() {
     std::remove((OutDir() + "/map_cat_selftest_wc_" + layer + "_plan0.ppm")
                     .c_str());
   }
-  std::printf("map_cat selftest: write/read/csv/dat/ascii/ppm round trips "
-              "OK (single and multi-layer)\n");
+
+  // Telemetry leg: a sink with counters and a histogram must serialize,
+  // read back equal, and pretty-print through the --telemetry path.
+  SweepTelemetry& telemetry = SweepTelemetry::Get();
+  telemetry.Reset();
+  telemetry.Enable();
+  telemetry.AddCounter("selftest.cells", 42);
+  telemetry.AddCounter("selftest.hits", 7);
+  telemetry.RecordLatency("selftest.cell_seconds", 3e-6);
+  telemetry.RecordLatency("selftest.cell_seconds", 0.02);
+  telemetry.RecordLatency("selftest.cell_seconds", 150.0);  // overflow slot
+  const std::string tpath = OutDir() + "/map_cat_selftest_telemetry.json";
+  if (Status s = telemetry.WriteFile(tpath); !s.ok()) {
+    std::fprintf(stderr, "selftest: telemetry write failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  auto tdata = ReadTelemetryFile(tpath);
+  if (!tdata.ok()) {
+    std::fprintf(stderr, "selftest: telemetry read failed: %s\n",
+                 tdata.status().ToString().c_str());
+    return 1;
+  }
+  const LatencyHistogram& th =
+      tdata.value().histograms["selftest.cell_seconds"];
+  if (tdata.value().counters != telemetry.Counters() || th.count != 3 ||
+      th.buckets.back() != 1 || th.min_seconds != 3e-6 ||
+      th.max_seconds != 150.0) {
+    std::fprintf(stderr, "selftest: telemetry round trip mangled\n");
+    return 1;
+  }
+  if (PrintTelemetry(tpath) != 0) return 1;
+  telemetry.Reset();
+  telemetry.Disable();
+  std::remove(tpath.c_str());
+
+  std::printf("map_cat selftest: write/read/csv/dat/ascii/ppm/telemetry "
+              "round trips OK (single and multi-layer)\n");
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kInfo, kAscii, kCsv, kDat, kPpm } mode = Mode::kInfo;
+  enum class Mode {
+    kInfo,
+    kAscii,
+    kCsv,
+    kDat,
+    kPpm,
+    kTelemetry
+  } mode = Mode::kInfo;
   int only_plan = -1;
   int layer = 0;
   std::vector<std::string> files;
@@ -279,6 +386,8 @@ int main(int argc, char** argv) {
       mode = Mode::kDat;
     } else if (arg == "--ppm") {
       mode = Mode::kPpm;
+    } else if (arg == "--telemetry") {
+      mode = Mode::kTelemetry;
     } else if (arg == "--selftest") {
       return SelfTest();
     } else if (ParseIntFlag(arg, "plan", &only_plan)) {
@@ -296,11 +405,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: map_cat [--info|--ascii|--csv|--dat|--ppm] "
                  "[--plan=K] [--layer=L] FILE.rmt...\n"
+                 "       map_cat --telemetry FILE.json...\n"
                  "       map_cat --selftest\n");
     return 2;
   }
 
   for (const std::string& path : files) {
+    if (mode == Mode::kTelemetry) {
+      if (PrintTelemetry(path) != 0) return 1;
+      continue;
+    }
     auto tile = ReadMapTileFile(path);
     if (!tile.ok()) {
       std::fprintf(stderr, "map_cat: %s\n",
@@ -336,6 +450,8 @@ int main(int argc, char** argv) {
           return 1;
         }
         break;
+      case Mode::kTelemetry:
+        break;  // handled before the tile read above
     }
   }
   return 0;

@@ -9,14 +9,17 @@
 // non-zero if any criterion regresses — ready for a nightly CI job.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
+#include <map>
+#include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/landmarks.h"
 #include "core/sharded_sweep.h"
+#include "core/sweep_telemetry.h"
 #include "core/metrics.h"
 #include "core/optimality.h"
 #include "core/plan_diagram.h"
@@ -48,14 +51,45 @@ struct ShardLeg {
   bool bit_identical = false;
 };
 
+/// The top-N telemetry counters by value (name ascending on ties, so equal
+/// runs order equally) — the "what did this run actually do" digest for
+/// the JSON artifact and the stdout block.
+std::vector<std::pair<std::string, uint64_t>> TopCounters(size_t n) {
+  std::vector<std::pair<std::string, uint64_t>> top;
+  for (const auto& [name, value] : SweepTelemetry::Get().Counters()) {
+    top.emplace_back(name, value);
+  }
+  std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (top.size() > n) top.resize(n);
+  return top;
+}
+
 /// The perf-trajectory artifact consumed by CI: wall-clock cost of the full
 /// 2-D study sweep — serial, thread-parallel, and process-sharded (uniform
 /// tiles vs. the cost-weighted scheduler, same worker and tile count) — on
-/// this machine.
-void WriteBenchJson(const BenchScale& scale, size_t plans, size_t cells,
-                    unsigned threads, double serial_wall, double parallel_wall,
-                    bool bit_identical, unsigned shards,
-                    const ShardLeg& uniform, const ShardLeg& weighted) {
+/// this machine, plus the per-phase wall breakdown and the run's loudest
+/// telemetry counters.
+void WriteBenchJson(
+    const BenchScale& scale, size_t plans, size_t cells, unsigned threads,
+    double serial_wall, double parallel_wall, bool bit_identical,
+    unsigned shards, const ShardLeg& uniform, const ShardLeg& weighted,
+    const std::vector<std::pair<std::string, double>>& phase_walls) {
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  // A speedup measured with more threads than the box has (or on a
+  // single-core box) says nothing about the sweep engine; flag it so the
+  // perf-trajectory consumer never trends a meaningless ratio.
+  const bool speedup_meaningful =
+      hardware_threads >= 2 && threads <= hardware_threads;
+  if (!speedup_meaningful) {
+    std::fprintf(stderr,
+                 "robustness_benchmark: %u sweep threads on %u hardware "
+                 "thread(s) — wall-clock speedups are not meaningful on "
+                 "this box\n",
+                 threads, hardware_threads);
+  }
   std::FILE* f = std::fopen("BENCH_robustness.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_robustness.json\n");
@@ -69,6 +103,7 @@ void WriteBenchJson(const BenchScale& scale, size_t plans, size_t cells,
                "  \"cells\": %zu,\n"
                "  \"threads\": %u,\n"
                "  \"hardware_threads\": %u,\n"
+               "  \"speedup_meaningful\": %s,\n"
                "  \"serial_wall_seconds\": %.6f,\n"
                "  \"parallel_wall_seconds\": %.6f,\n"
                "  \"speedup\": %.3f,\n"
@@ -82,11 +117,10 @@ void WriteBenchJson(const BenchScale& scale, size_t plans, size_t cells,
                "  \"sharded_bit_identical\": %s,\n"
                "  \"sharded_uniform_wall_seconds\": %.6f,\n"
                "  \"sharded_uniform_balance_ratio\": %.3f,\n"
-               "  \"sharded_uniform_bit_identical\": %s,\n"
-               "  \"criterion_failures\": %d\n"
-               "}\n",
-               scale.row_bits, plans, cells, threads,
-               std::thread::hardware_concurrency(), serial_wall, parallel_wall,
+               "  \"sharded_uniform_bit_identical\": %s,\n",
+               scale.row_bits, plans, cells, threads, hardware_threads,
+               speedup_meaningful ? "true" : "false", serial_wall,
+               parallel_wall,
                parallel_wall > 0 ? serial_wall / parallel_wall : 0.0,
                bit_identical ? "true" : "false", shards, weighted.tiles,
                CostModelKindName(scale.cost_model), weighted.wall_seconds,
@@ -95,7 +129,25 @@ void WriteBenchJson(const BenchScale& scale, size_t plans, size_t cells,
                weighted.balance_ratio,
                weighted.bit_identical ? "true" : "false",
                uniform.wall_seconds, uniform.balance_ratio,
-               uniform.bit_identical ? "true" : "false", g_failures);
+               uniform.bit_identical ? "true" : "false");
+  std::fprintf(f, "  \"phase_walls_seconds\": {");
+  for (size_t i = 0; i < phase_walls.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %.6f", i == 0 ? "" : ",",
+                 phase_walls[i].first.c_str(), phase_walls[i].second);
+  }
+  std::fprintf(f, "\n  },\n");
+  const auto top = TopCounters(8);
+  std::fprintf(f, "  \"top_counters\": {");
+  for (size_t i = 0; i < top.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %llu", i == 0 ? "" : ",",
+                 top[i].first.c_str(),
+                 static_cast<unsigned long long>(top[i].second));
+  }
+  std::fprintf(f,
+               "%s  },\n"
+               "  \"criterion_failures\": %d\n"
+               "}\n",
+               top.empty() ? "" : "\n", g_failures);
   std::fclose(f);
   std::printf("\n[artifacts] BENCH_robustness.json written (threads %.2fx on "
               "%u, processes %.2fx on %u, balance %.2f vs %.2f uniform)\n",
@@ -104,6 +156,13 @@ void WriteBenchJson(const BenchScale& scale, size_t plans, size_t cells,
                   ? serial_wall / weighted.wall_seconds
                   : 0.0,
               shards, weighted.balance_ratio, uniform.balance_ratio);
+  if (!top.empty()) {
+    std::printf("[telemetry] loudest counters:\n");
+    for (const auto& [name, value] : top) {
+      std::printf("  %-32s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
 }
 
 }  // namespace
@@ -114,15 +173,26 @@ int main() {
               "a fixed scorecard of executor-robustness criteria for "
               "regression testing",
               scale);
+  // Telemetry is always on here — the scorecard artifact carries the
+  // top-counter digest — and REPRO_TRACE additionally records a full span
+  // trace. Sidecar-only either way: the bit-identity criteria below run
+  // with both sinks live, so they double as the no-perturbation check.
+  SweepTelemetry::Get().Enable();
+  const std::string trace_path = EnvString("REPRO_TRACE");
+  const std::string telemetry_path = EnvString("REPRO_TELEMETRY");
+  if (!trace_path.empty()) Tracer::Get().Enable();
+  std::vector<std::pair<std::string, double>> phase_walls;
   auto env = MakeEnvironment(scale);
 
   // 1-D criteria over the single-predicate study.
+  WallTimer curves_timer;
   ParameterSpace line = ParameterSpace::OneD(
       Axis::Selectivity("selectivity(a)", scale.grid_min_log2, 0));
   auto curves = RunStudyMap(env.get(),
                             {PlanKind::kTableScan, PlanKind::kIndexANaive,
                              PlanKind::kIndexAImproved},
                             line, scale);
+  phase_walls.emplace_back("curves_1d", curves_timer.Seconds());
 
   std::printf("\n1-D criteria (Figure 1 family):\n");
   for (size_t pl = 0; pl < curves.num_plans(); ++pl) {
@@ -151,12 +221,13 @@ int main() {
   // wall-clock ratio is the headline number of BENCH_robustness.json.
   SweepRequest serial_req = StudyRequest(scale, AllStudyPlans(), grid);
   serial_req.backend = BackendKind::kSerial;
-  auto serial_start = std::chrono::steady_clock::now();
+  WallTimer serial_timer;
   auto serial_map = std::move(SweepEngine::Run(env->ctx(), env->executor(),
                                                serial_req)
                                   .ValueOrDie()
                                   .layers.front());
-  double serial_wall = WallSecondsSince(serial_start);
+  double serial_wall = serial_timer.Seconds();
+  phase_walls.emplace_back("serial_2d", serial_wall);
 
   // An explicit REPRO_THREADS is honored as-is; only the default (0 =
   // auto) is widened to at least 8 so the speedup leg exercises a real
@@ -167,12 +238,13 @@ int main() {
         std::max(8u, std::thread::hardware_concurrency());
   }
   SweepOptions parallel_opts = parallel_req.sweep;
-  auto parallel_start = std::chrono::steady_clock::now();
+  WallTimer parallel_timer;
   auto map = std::move(SweepEngine::Run(env->ctx(), env->executor(),
                                         parallel_req)
                            .ValueOrDie()
                            .layers.front());
-  double parallel_wall = WallSecondsSince(parallel_start);
+  double parallel_wall = parallel_timer.Seconds();
+  phase_walls.emplace_back("parallel_2d", parallel_wall);
 
   bool bit_identical = MapsBitIdentical(serial_map, map);
   std::printf("\n2-D sweep wall clock: serial %.2fs, %u threads %.2fs "
@@ -199,12 +271,12 @@ int main() {
     req.sharded.num_workers = shard_workers;
     req.sharded.resume = false;
     req.sharded.cost_model = model;
-    auto start = std::chrono::steady_clock::now();
+    WallTimer timer;
     auto out = SweepEngine::Run(env->ctx(), env->executor(), req)
                    .ValueOrDie();
     const ShardedSweepStats& stats = out.sharded_stats;
     ShardLeg leg;
-    leg.wall_seconds = WallSecondsSince(start);
+    leg.wall_seconds = timer.Seconds();
     leg.balance_ratio = stats.busy_balance_ratio();
     for (double busy : stats.worker_busy_seconds) {
       leg.busy_total_seconds += busy;
@@ -220,11 +292,14 @@ int main() {
   };
   const ShardLeg uniform_leg =
       run_shard_leg(CostModelKind::kUniform, "robustness_shards_uniform");
+  phase_walls.emplace_back("sharded_uniform", uniform_leg.wall_seconds);
   const ShardLeg weighted_leg =
       run_shard_leg(scale.cost_model, "robustness_shards");
+  phase_walls.emplace_back("sharded_weighted", weighted_leg.wall_seconds);
   bool sharded_bit_identical =
       uniform_leg.bit_identical && weighted_leg.bit_identical;
 
+  WallTimer analysis_timer;
   RelativeMap rel = ComputeRelative(map);
 
   std::printf("\n2-D criteria (Figures 4-10 family):\n");
@@ -289,10 +364,25 @@ int main() {
          (balance_measurable ? "" : " (too fast to gate, reported only)"))
             .c_str());
 
+  phase_walls.emplace_back("analysis", analysis_timer.Seconds());
   WriteBenchJson(scale, map.num_plans(),
                  map.num_plans() * grid.num_points(),
                  parallel_opts.num_threads, serial_wall, parallel_wall,
-                 bit_identical, shard_workers, uniform_leg, weighted_leg);
+                 bit_identical, shard_workers, uniform_leg, weighted_leg,
+                 phase_walls);
+  if (!trace_path.empty()) {
+    if (Status s = Tracer::Get().WriteFile(trace_path); !s.ok()) {
+      std::fprintf(stderr, "robustness_benchmark: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+  if (!telemetry_path.empty()) {
+    if (Status s = SweepTelemetry::Get().WriteFile(telemetry_path);
+        !s.ok()) {
+      std::fprintf(stderr, "robustness_benchmark: %s\n",
+                   s.ToString().c_str());
+    }
+  }
 
   std::printf("\n%s: %d criterion failure(s)\n",
               g_failures == 0 ? "ROBUSTNESS BENCHMARK PASSED"

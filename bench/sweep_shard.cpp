@@ -16,6 +16,15 @@
 //               [--fork]          # forked in-process workers, no exec
 //               [--serial]        # single-process reference sweep
 //               [--no-resume] [--verbose]
+//               [--trace=FILE] [--telemetry=FILE]
+//
+// --trace writes a Chrome-trace-event JSON (load in Perfetto or
+// chrome://tracing) of the whole run — coordinator phases, per-tile
+// dispatch spans, and the workers' own spans merged onto one time axis.
+// --telemetry writes counter/histogram JSON (pretty-print with `map_cat
+// --telemetry`). REPRO_TRACE / REPRO_TELEMETRY supply the paths when the
+// flags are absent. Observability is sidecar-only: the merged maps are
+// byte-identical with and without it, and CI enforces that with `cmp`.
 //
 // Writes DIR/tile_NNNN.rmt checkpoints plus the merged artifacts:
 // DIR/merged.{rmt,csv} for the plain study, DIR/merged_<layer>.{rmt,csv}
@@ -29,7 +38,6 @@
 // tile files of a previous run against the same --out-dir (combine with
 // --no-resume: moving tile boundaries invalidates old checkpoints anyway).
 
-#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -37,6 +45,7 @@
 
 #include "bench_util.h"
 #include "core/sharded_sweep.h"
+#include "core/sweep_telemetry.h"
 #include "shard_cli.h"
 #include "viz/csv_export.h"
 
@@ -87,6 +96,8 @@ int main(int argc, char** argv) {
       CostModelKindName(EnvCostModel(CostModelKind::kAnalytic));
   std::string study_name = StudyKindName(EnvStudy(StudyKind::kPlainMap));
   std::string warmup_spec = "cold";
+  std::string trace_path = EnvString("REPRO_TRACE");
+  std::string telemetry_path = EnvString("REPRO_TELEMETRY");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (ParseGridFlag(arg, &grid) || ParseIntFlag(arg, "workers", &workers) ||
@@ -96,7 +107,9 @@ int main(int argc, char** argv) {
         ParseFlag(arg, "cost-model", &cost_model_name) ||
         ParseFlag(arg, "study", &study_name) ||
         ParseFlag(arg, "warmup", &warmup_spec) ||
-        ParseFlag(arg, "worker", &worker_path)) {
+        ParseFlag(arg, "worker", &worker_path) ||
+        ParseFlag(arg, "trace", &trace_path) ||
+        ParseFlag(arg, "telemetry", &telemetry_path)) {
       continue;
     }
     if (arg == "--fork") {
@@ -159,7 +172,31 @@ int main(int argc, char** argv) {
   std::unique_ptr<StudyEnvironment> env;
   if (serial || use_fork) env = MakeGridEnvironment(grid);
 
-  auto start = std::chrono::steady_clock::now();
+  // Observability is opt-in and sidecar-only: nothing below may alter a
+  // map byte (CI byte-diffs a traced run against an untraced one).
+  if (!trace_path.empty()) Tracer::Get().Enable();
+  if (!telemetry_path.empty()) SweepTelemetry::Get().Enable();
+  const auto write_observability = [&]() {
+    if (!trace_path.empty()) {
+      Status s = Tracer::Get().WriteFile(trace_path);
+      if (s.ok()) {
+        std::printf("trace -> %s (%zu events)\n", trace_path.c_str(),
+                    Tracer::Get().event_count());
+      } else {
+        std::fprintf(stderr, "sweep_shard: %s\n", s.ToString().c_str());
+      }
+    }
+    if (!telemetry_path.empty()) {
+      Status s = SweepTelemetry::Get().WriteFile(telemetry_path);
+      if (s.ok()) {
+        std::printf("telemetry -> %s\n", telemetry_path.c_str());
+      } else {
+        std::fprintf(stderr, "sweep_shard: %s\n", s.ToString().c_str());
+      }
+    }
+  };
+
+  WallTimer timer;
   if (serial) {
     // The reference run the CI byte-diffs sharded merges against: the
     // plain study through the serial legacy path, the warm-cold study
@@ -199,7 +236,8 @@ int main(int argc, char** argv) {
     std::printf("serial sweep: cells=%zu layers=%zu wall=%.2fs -> "
                 "%s/merged*.rmt\n",
                 plans.size() * space.num_points(), layers.size(),
-                WallSecondsSince(start), out_dir.c_str());
+                timer.Seconds(), out_dir.c_str());
+    write_observability();
     return 0;
   }
 
@@ -266,6 +304,7 @@ int main(int argc, char** argv) {
       stats.tiles_total, stats.tiles_reused, stats.tiles_computed,
       stats.workers_spawned, use_fork ? "fork" : "exec",
       StudyKindName(study.value()), CostModelKindName(req.sharded.cost_model),
-      stats.busy_balance_ratio(), WallSecondsSince(start), out_dir.c_str());
+      stats.busy_balance_ratio(), timer.Seconds(), out_dir.c_str());
+  write_observability();
   return 0;
 }

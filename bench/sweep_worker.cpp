@@ -14,6 +14,14 @@
 //                [--study=plain|warmcold] [--warmup=SPEC]
 //                [--row-bits=16] [--min-log2=-8] [--steps-per-octave=1]
 //                [--plans=all|smoke] [--threads=1]
+//                [--trace=FILE] [--trace-epoch=NS] [--telemetry=FILE]
+//
+// --trace / --telemetry write this worker's spans and counters as sidecar
+// files the coordinator merges at reap time; --trace-epoch aligns the
+// worker's span timestamps to the coordinator's time axis (a raw
+// CLOCK_MONOTONIC reading, valid across processes on one boot). These are
+// explicit flags only — a worker never reads REPRO_TRACE, or every worker
+// inherited from one environment would clobber the same file.
 //
 // With --rect the tile rectangle is taken verbatim (the coordinator's
 // cost-weighted cuts depend on its model, so the exact boundaries are part
@@ -33,7 +41,9 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/sharded_sweep.h"
+#include "core/sweep_telemetry.h"
 #include "shard_cli.h"
 
 using namespace robustmap;
@@ -58,6 +68,9 @@ int main(int argc, char** argv) {
   std::string rect;
   std::string study_name = "plain";
   std::string warmup_spec = "cold";
+  std::string trace_path;
+  std::string trace_epoch;
+  std::string telemetry_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (ParseGridFlag(arg, &grid) || ParseIntFlag(arg, "tiles", &tiles) ||
@@ -65,7 +78,10 @@ int main(int argc, char** argv) {
         ParseIntFlag(arg, "threads", &threads) ||
         ParseFlag(arg, "out", &out) || ParseFlag(arg, "rect", &rect) ||
         ParseFlag(arg, "study", &study_name) ||
-        ParseFlag(arg, "warmup", &warmup_spec)) {
+        ParseFlag(arg, "warmup", &warmup_spec) ||
+        ParseFlag(arg, "trace", &trace_path) ||
+        ParseFlag(arg, "trace-epoch", &trace_epoch) ||
+        ParseFlag(arg, "telemetry", &telemetry_path)) {
       continue;
     }
     std::fprintf(stderr, "sweep_worker: unknown flag %s\n", arg.c_str());
@@ -98,6 +114,20 @@ int main(int argc, char** argv) {
     return Fail(out,
                 Status::InvalidArgument("unknown plan set " + grid.plan_set));
   }
+  if (!trace_path.empty()) {
+    if (!trace_epoch.empty()) {
+      char* end = nullptr;
+      const long long epoch = std::strtoll(trace_epoch.c_str(), &end, 10);
+      if (end == trace_epoch.c_str() || *end != '\0') {
+        return Fail(out, Status::InvalidArgument(
+                             "--trace-epoch=" + trace_epoch +
+                             " is not an integer nanosecond reading"));
+      }
+      Tracer::Get().SetEpochNs(epoch);
+    }
+    Tracer::Get().Enable();
+  }
+  if (!telemetry_path.empty()) SweepTelemetry::Get().Enable();
 
   ParameterSpace space = MakeGridSpace(grid);
   TileSpec spec;
@@ -130,7 +160,10 @@ int main(int argc, char** argv) {
     return Fail(out, sub.status());
   }
 
-  auto env = MakeGridEnvironment(grid);
+  auto env = [&] {
+    TraceSpan span("worker.build_env", "worker");
+    return MakeGridEnvironment(grid);
+  }();
   // A plain study measures under the context's policy; a warm-cold study
   // keeps the context cold (its cold layer) and warms only the warm layer.
   if (study.value() == StudyKind::kPlainMap) {
@@ -142,6 +175,19 @@ int main(int argc, char** argv) {
                                  spec, out, opts, study.value(),
                                  warmup.value());
   if (!s.ok()) return Fail(out, s);
+  // Sidecars are best-effort: a failed observability write degrades the
+  // trace, never the tile the coordinator is waiting on.
+  if (!trace_path.empty()) {
+    if (Status ts = Tracer::Get().WriteFile(trace_path); !ts.ok()) {
+      std::fprintf(stderr, "sweep_worker: %s\n", ts.ToString().c_str());
+    }
+  }
+  if (!telemetry_path.empty()) {
+    if (Status ms = SweepTelemetry::Get().WriteFile(telemetry_path);
+        !ms.ok()) {
+      std::fprintf(stderr, "sweep_worker: %s\n", ms.ToString().c_str());
+    }
+  }
   std::printf(
       "sweep_worker: tile %d/%d (%zux%zu cells x %zu plans, %s) -> %s\n",
       tile_id, tiles, spec.x_size(), spec.y_size(), plans.size(),

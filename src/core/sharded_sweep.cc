@@ -3,11 +3,13 @@
 #include <sys/stat.h>
 
 #include <cerrno>
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
 #include <utility>
+
+#include "common/trace.h"
+#include "core/sweep_telemetry.h"
 
 namespace robustmap {
 
@@ -55,18 +57,29 @@ Status ComputeAndWriteTile(RunContext* ctx, const Executor& executor,
   req.backend = BackendKind::kThreaded;
   req.warm_policy = warm_policy;
   req.sweep = sweep_opts;
-  const auto start = std::chrono::steady_clock::now();
-  auto outcome = SweepEngine::Run(ctx, executor, req);
+  const int64_t start_ns = MonotonicNowNs();
+  Result<SweepOutcome> outcome = [&] {
+    TraceSpan span("tile.compute");
+    return SweepEngine::Run(ctx, executor, req);
+  }();
   RM_RETURN_IF_ERROR(outcome.status());
   const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+      static_cast<double>(MonotonicNowNs() - start_ns) * 1e-9;
+  SweepTelemetry::Get().RecordLatency("tile.compute_seconds", wall_seconds);
   std::vector<RobustnessMap>& layers = outcome.value().layers;
   MapTile out{tile, space, std::move(layers.front()), wall_seconds};
   out.layer_names = StudyLayerNames(study);
   out.extra_layers.assign(std::make_move_iterator(layers.begin() + 1),
                           std::make_move_iterator(layers.end()));
-  return WriteMapTileFile(path, out);
+  const int64_t write_ns = MonotonicNowNs();
+  Status written = [&] {
+    TraceSpan span("tile.serialize");
+    return WriteMapTileFile(path, out);
+  }();
+  SweepTelemetry::Get().RecordLatency(
+      "tile.serialize_seconds",
+      static_cast<double>(MonotonicNowNs() - write_ns) * 1e-9);
+  return written;
 }
 
 Result<RobustnessMap> RunShardedSweep(RunContext* ctx,

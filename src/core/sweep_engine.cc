@@ -6,7 +6,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -17,8 +16,10 @@
 #include <utility>
 
 #include "common/mutex.h"
+#include "common/trace.h"
 #include "core/map_io.h"
 #include "core/sharded_sweep.h"
+#include "core/sweep_telemetry.h"
 #include "engine/query.h"
 
 namespace robustmap {
@@ -41,6 +42,62 @@ Status ValidateSweepInputs(const ParameterSpace& space,
   }
   return Status::OK();
 }
+
+/// True when any observability sink would accept data — the one check the
+/// cell loops make before touching the wall clock, so an uninstrumented
+/// sweep never reads it.
+bool Observing() {
+  return SweepTelemetry::Get().enabled() || Tracer::Get().enabled();
+}
+
+/// Sidecar-only per-cell accounting shared by every in-process cell loop:
+/// the cell latency histogram plus the simulated-I/O counters of the
+/// measurement. Reads the Measurement, never writes it — no map byte may
+/// depend on anything recorded here.
+void ObserveCell(const Measurement& m, double cell_seconds) {
+  SweepTelemetry& t = SweepTelemetry::Get();
+  if (!t.enabled()) return;
+  t.RecordLatency("sweep.cell_seconds", cell_seconds);
+  t.AddCounter("sweep.cells_measured", 1);
+  t.AddCounter("io.sequential_reads", m.io.sequential_reads);
+  t.AddCounter("io.skip_reads", m.io.skip_reads);
+  t.AddCounter("io.random_reads", m.io.random_reads);
+  t.AddCounter("io.writes", m.io.writes);
+  t.AddCounter("io.buffer_hits", m.io.buffer_hits);
+  t.AddCounter("io.bytes_read", m.io.bytes_read);
+  t.AddCounter("io.bytes_written", m.io.bytes_written);
+}
+
+/// Per-view buffer-pool tallies for one sweep worker. `ColdStart` zeroes
+/// the pool statistics before each measurement, so reading them right
+/// after a cell yields that cell's counts; the worker accumulates across
+/// its cells and publishes once at exit under its view's name.
+class PoolViewObserver {
+ public:
+  PoolViewObserver(const BufferPool* pool, unsigned view_index)
+      : pool_(pool), view_index_(view_index) {}
+
+  ~PoolViewObserver() {
+    SweepTelemetry& t = SweepTelemetry::Get();
+    if (!t.enabled() || pool_ == nullptr) return;
+    char view[32];
+    std::snprintf(view, sizeof(view), "pool.view_%03u", view_index_);
+    t.AddCounter(std::string(view) + ".hits", hits_);
+    t.AddCounter(std::string(view) + ".misses", misses_);
+  }
+
+  void CellDone() {
+    if (pool_ == nullptr) return;
+    hits_ += pool_->hits();
+    misses_ += pool_->misses();
+  }
+
+ private:
+  const BufferPool* pool_;
+  const unsigned view_index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
 
 /// The verbose-mode progress printer: one stderr line per completed plan
 /// and per 10% step — readable for both quick smokes and hour-long studies.
@@ -112,11 +169,14 @@ Result<RobustnessMap> StudySweep(RunContext* ctx, const Executor& executor,
   int64_t domain = executor.db().domain;
   if (ResolveParallelism(opts.num_threads) <= 1 &&
       opts.shared_pool == nullptr && !opts.deterministic_shared_schedule) {
+    PoolViewObserver pool_view(ctx->pool, 0);
     return SweepEngine::RunCells(
         space, labels,
         [&](size_t plan, double sx, double sy) -> Result<Measurement> {
           QuerySpec q = MakeStudyQuery(sx, sy, domain);
-          return executor.Run(ctx, plans[plan], q);
+          auto m = executor.Run(ctx, plans[plan], q);
+          if (m.ok()) pool_view.CellDone();
+          return m;
         },
         opts);
   }
@@ -269,6 +329,9 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
   const unsigned num_workers = ResolveParallelism(opts.num_workers);
   const size_t num_tiles =
       opts.num_tiles == 0 ? num_workers : opts.num_tiles;
+  TraceSpan coordinator_span("shard.coordinator", "shard");
+  std::unique_ptr<TraceSpan> phase_span =
+      std::make_unique<TraceSpan>("shard.plan", "shard");
   // The scheduling model. Measured mode scans the checkpoint directory
   // *before* anything is recomputed, so the partition reflects what the
   // previous run's tiles actually cost; with no usable timings it degrades
@@ -308,6 +371,7 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
 
   // Scan the checkpoint directory: valid tiles are carried over in memory,
   // the rest queue for workers.
+  phase_span = std::make_unique<TraceSpan>("shard.scan", "shard");
   std::vector<MapTile> loaded;
   std::vector<TileSpec> todo;
   for (const TileSpec& t : tiles.value()) {
@@ -318,6 +382,7 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
                     : Result<MapTile>(Status::NotFound("resume disabled"));
     if (tile.ok()) {
       loaded.push_back(std::move(tile).value());
+      SweepTelemetry::Get().AddCounter("shard.tiles_resumed", 1);
       if (opts.verbose) {
         std::fprintf(stderr, "  shard: tile %zu valid on disk, reused\n",
                      t.shard_id);
@@ -327,6 +392,7 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
       todo.push_back(t);
     }
   }
+  SweepTelemetry::Get().AddCounter("shard.tiles_queued", todo.size());
 
   // Pull-based dispatch: the pending queue is ordered heaviest-first under
   // the cost model (LPT — the classic makespan heuristic), and every time
@@ -362,12 +428,21 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
   // stdio is flushed first so forked children do not replay the parent's
   // buffered output. Each in-flight tile occupies a worker *slot*; per-slot
   // busy time is what the balance metrics report.
+  phase_span = std::make_unique<TraceSpan>("shard.dispatch", "shard");
   std::fflush(stdout);
   std::fflush(stderr);
+  // Workers report their observability through per-tile sidecar files next
+  // to the tile itself; the coordinator folds each one in at reap time.
+  const auto trace_sidecar = [](const std::string& tile_path) {
+    return tile_path + ".trace.json";
+  };
+  const auto telemetry_sidecar = [](const std::string& tile_path) {
+    return tile_path + ".telemetry.json";
+  };
   struct InFlight {
     size_t todo_index;
     size_t slot;
-    std::chrono::steady_clock::time_point started;
+    int64_t started_ns;
   };
   std::map<pid_t, InFlight> running;
   std::set<size_t> free_slots;
@@ -381,6 +456,10 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
       const TileSpec& t = todo[next];
       const std::string path =
           opts.tile_dir + "/" + TileFileName(t.shard_id);
+      // A stale sidecar from an aborted run must never merge as if this
+      // dispatch produced it.
+      std::remove(trace_sidecar(path).c_str());
+      std::remove(telemetry_sidecar(path).c_str());
       pid_t pid = ::fork();
       if (pid < 0) {
         return Status::Internal("fork failed: " + ErrnoString(errno));
@@ -407,6 +486,17 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
             args.push_back("--warmup=" + flag_policy.ToSpec());
           }
           args.push_back("--out=" + path);
+          // Observability rides along only when the coordinator itself is
+          // collecting: the worker traces against the coordinator's epoch
+          // into per-tile sidecars merged at reap time.
+          if (Tracer::Get().enabled()) {
+            args.push_back("--trace=" + trace_sidecar(path));
+            args.push_back("--trace-epoch=" +
+                           std::to_string(Tracer::Get().epoch_ns()));
+          }
+          if (SweepTelemetry::Get().enabled()) {
+            args.push_back("--telemetry=" + telemetry_sidecar(path));
+          }
           std::vector<char*> argv;
           argv.reserve(args.size() + 1);
           for (std::string& a : args) argv.push_back(a.data());
@@ -416,12 +506,37 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
                                                   ": " + ErrnoString(errno)));
           ::_exit(127);
         }
+        // Forked children inherit the parent's buffered events; drop them
+        // (keeping the shared epoch) so the sidecars report only this
+        // tile's work.
+        if (Tracer::Get().enabled()) {
+          const int64_t epoch = Tracer::Get().epoch_ns();
+          Tracer::Get().Reset();
+          Tracer::Get().SetEpochNs(epoch);
+        }
+        if (SweepTelemetry::Get().enabled()) SweepTelemetry::Get().Reset();
         Status s = ComputeAndWriteTile(ctx, executor, req.plans, space, t,
                                        path, worker_opts, req.study,
                                        req.warm_policy);
         if (!s.ok()) {
           WriteTileErrFile(path, s);
           ::_exit(1);
+        }
+        if (Tracer::Get().enabled()) {
+          Status ts = Tracer::Get().WriteFile(trace_sidecar(path));
+          if (!ts.ok()) {
+            std::fprintf(stderr, "  shard: tile %zu trace sidecar: %s\n",
+                         t.shard_id, ts.ToString().c_str());
+          }
+        }
+        if (SweepTelemetry::Get().enabled()) {
+          Status ms =
+              SweepTelemetry::Get().WriteFile(telemetry_sidecar(path));
+          if (!ms.ok()) {
+            std::fprintf(stderr,
+                         "  shard: tile %zu telemetry sidecar: %s\n",
+                         t.shard_id, ms.ToString().c_str());
+          }
         }
         ::_exit(0);
       }
@@ -433,8 +548,8 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
         slot = local.worker_busy_seconds.size();
         local.worker_busy_seconds.push_back(0);
       }
-      running.emplace(
-          pid, InFlight{next, slot, std::chrono::steady_clock::now()});
+      running.emplace(pid, InFlight{next, slot, MonotonicNowNs()});
+      SweepTelemetry::Get().AddCounter("shard.tiles_dispatched", 1);
       ++next;
     }
     // Reap exactly one of *our* workers. waitpid(-1) would also consume
@@ -454,15 +569,50 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
           return Status::Internal("waitpid failed: " + ErrnoString(errno));
         }
         const size_t idx = it->second.todo_index;
-        local.worker_busy_seconds[it->second.slot] +=
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          it->second.started)
-                .count();
+        const int64_t started_ns = it->second.started_ns;
+        const double tile_wall_seconds =
+            static_cast<double>(MonotonicNowNs() - started_ns) * 1e-9;
+        local.worker_busy_seconds[it->second.slot] += tile_wall_seconds;
         free_slots.insert(it->second.slot);
         it = running.erase(it);
         reaped = true;
+        const std::string tile_path =
+            opts.tile_dir + "/" + TileFileName(todo[idx].shard_id);
+        if (Tracer::Get().enabled()) {
+          // The dispatch-to-reap span for this tile, on the coordinator's
+          // timeline; the worker's own spans sit inside it once the
+          // sidecar merges.
+          Tracer::Get().AddComplete(
+              "shard.tile " + std::to_string(todo[idx].shard_id), "shard",
+              started_ns, MonotonicNowNs() - started_ns);
+        }
+        SweepTelemetry::Get().RecordLatency("shard.tile_wall_seconds",
+                                            tile_wall_seconds);
         if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
           ++computed_done;
+          SweepTelemetry::Get().AddCounter("shard.tiles_computed", 1);
+          // Fold the worker's sidecars in and drop them; a missing or
+          // unreadable sidecar degrades the trace, never the sweep.
+          if (Tracer::Get().enabled()) {
+            Status ms = Tracer::Get().MergeFromFile(trace_sidecar(tile_path));
+            if (ms.ok()) {
+              std::remove(trace_sidecar(tile_path).c_str());
+            } else {
+              std::fprintf(stderr, "  shard: tile %zu trace sidecar: %s\n",
+                           todo[idx].shard_id, ms.ToString().c_str());
+            }
+          }
+          if (SweepTelemetry::Get().enabled()) {
+            Status ms = SweepTelemetry::Get().MergeFromFile(
+                telemetry_sidecar(tile_path));
+            if (ms.ok()) {
+              std::remove(telemetry_sidecar(tile_path).c_str());
+            } else {
+              std::fprintf(stderr,
+                           "  shard: tile %zu telemetry sidecar: %s\n",
+                           todo[idx].shard_id, ms.ToString().c_str());
+            }
+          }
           if (opts.verbose) {
             std::fprintf(stderr,
                          "  shard: tile %zu computed (%zu/%zu done)\n",
@@ -471,6 +621,7 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
                          local.tiles_total);
           }
         } else {
+          SweepTelemetry::Get().AddCounter("shard.tiles_failed", 1);
           failed.push_back(idx);
         }
       }
@@ -499,14 +650,17 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
   // Merge: freshly computed tiles are read back from disk — the same
   // validated path a resumed coordinator takes — then stitched with the
   // reused ones, layer by layer.
+  phase_span = std::make_unique<TraceSpan>("shard.merge", "shard");
   for (const TileSpec& t : todo) {
     const std::string path = opts.tile_dir + "/" + TileFileName(t.shard_id);
     auto tile = ReadMapTileFile(path);
     RM_RETURN_IF_ERROR(tile.status());
     loaded.push_back(std::move(tile).value());
   }
+  SweepTelemetry::Get().AddCounter("shard.tiles_merged", loaded.size());
   auto merged = MergeTileLayers(space, labels, loaded);
   RM_RETURN_IF_ERROR(merged.status());
+  phase_span.reset();
   if (merged.value().size() != StudyLayerCount(req.study)) {
     return Status::Internal("merged " + std::to_string(merged.value().size()) +
                             " layers for a " +
@@ -577,12 +731,20 @@ Result<RobustnessMap> SweepEngine::RunCells(
     const ParameterSpace& space, const std::vector<std::string>& plan_labels,
     const PointRunner& runner, const SweepOptions& opts) {
   RM_RETURN_IF_ERROR(ValidateSweepInputs(space, plan_labels));
+  TraceSpan sweep_span("sweep.run_cells");
+  const bool observing = Observing();
   RobustnessMap map(space, plan_labels);
   ProgressTracker tracker(opts, plan_labels.size(), space.num_points());
   for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
     for (size_t point = 0; point < space.num_points(); ++point) {
+      const int64_t cell_start_ns = observing ? MonotonicNowNs() : 0;
       auto m = runner(plan, space.x_value(point), space.y_value(point));
       RM_RETURN_IF_ERROR(m.status());
+      if (observing) {
+        ObserveCell(m.value(), static_cast<double>(MonotonicNowNs() -
+                                                   cell_start_ns) *
+                                   1e-9);
+      }
       map.Set(plan, point, std::move(m).value());
       tracker.CellDone(plan);
     }
@@ -613,12 +775,22 @@ Result<RobustnessMap> SweepEngine::RunCellsParallel(
                    "schedule\n",
                    cells, plan_labels.size());
     }
+    TraceSpan schedule_span("sweep.round_robin");
+    const bool observing = Observing();
     std::unique_ptr<OwnedRunContext> machine = factory.Create();
+    PoolViewObserver pool_view(machine->ctx()->pool, 0);
     for (size_t point = 0; point < points; ++point) {
       for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
+        const int64_t cell_start_ns = observing ? MonotonicNowNs() : 0;
         auto m = runner(machine->ctx(), plan, space.x_value(point),
                         space.y_value(point));
         RM_RETURN_IF_ERROR(m.status());
+        if (observing) {
+          ObserveCell(m.value(), static_cast<double>(MonotonicNowNs() -
+                                                     cell_start_ns) *
+                                     1e-9);
+          pool_view.CellDone();
+        }
         map.Set(plan, point, std::move(m).value());
         tracker.CellDone(plan);
       }
@@ -691,11 +863,15 @@ Result<RobustnessMap> SweepEngine::RunCellsParallel(
     }
   };
 
-  auto work = [&]() {
+  auto work = [&](unsigned worker_index) {
+    TraceSpan worker_span("sweep.worker");
+    const bool observing = Observing();
     std::unique_ptr<OwnedRunContext> machine = factory.Create();
+    PoolViewObserver pool_view(machine->ctx()->pool, worker_index);
     for (;;) {
       const size_t block = next_block.fetch_add(1, std::memory_order_relaxed);
       if (block >= num_blocks) break;
+      SweepTelemetry::Get().AddCounter("sweep.blocks_claimed", 1);
       for (size_t cell = block_begin[block]; cell < block_begin[block + 1];
            ++cell) {
         if (cell > first_failed_cell.load(std::memory_order_relaxed)) {
@@ -703,11 +879,18 @@ Result<RobustnessMap> SweepEngine::RunCellsParallel(
         }
         const size_t plan = cell / points;
         const size_t point = cell % points;
+        const int64_t cell_start_ns = observing ? MonotonicNowNs() : 0;
         auto m = runner(machine->ctx(), plan, space.x_value(point),
                         space.y_value(point));
         if (!m.ok()) {
           record_error(cell, m.status());
           continue;
+        }
+        if (observing) {
+          ObserveCell(m.value(), static_cast<double>(MonotonicNowNs() -
+                                                     cell_start_ns) *
+                                     1e-9);
+          pool_view.CellDone();
         }
         map.Set(plan, point, std::move(m).value());
         tracker.CellDone(plan);
@@ -716,11 +899,13 @@ Result<RobustnessMap> SweepEngine::RunCellsParallel(
   };
 
   if (num_threads <= 1) {
-    work();
+    work(0);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t) workers.emplace_back(work);
+    for (unsigned t = 0; t < num_threads; ++t) {
+      workers.emplace_back(work, t);
+    }
     for (std::thread& t : workers) t.join();
   }
 

@@ -1,0 +1,84 @@
+#include "common/minijson.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+namespace robustmap {
+namespace {
+
+TEST(MiniJsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null").ValueOrDie().is_null());
+  EXPECT_TRUE(ParseJson("true").ValueOrDie().bool_value());
+  EXPECT_FALSE(ParseJson("false").ValueOrDie().bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("-12.5e2").ValueOrDie().number_value(),
+                   -1250.0);
+  EXPECT_EQ(ParseJson("\"hi\"").ValueOrDie().string_value(), "hi");
+}
+
+TEST(MiniJsonTest, ParsesNestedStructures) {
+  auto v = ParseJson(R"({"a": [1, 2, {"b": true}], "c": "x"})").ValueOrDie();
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[0].number_value(), 1.0);
+  const JsonValue* b = a->items()[2].Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->bool_value());
+  EXPECT_EQ(v.Find("c")->string_value(), "x");
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(MiniJsonTest, MembersKeepFileOrder) {
+  auto v = ParseJson(R"({"z": 1, "a": 2, "m": 3})").ValueOrDie();
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(MiniJsonTest, DecodesEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\ndA")").ValueOrDie();
+  EXPECT_EQ(v.string_value(), "a\"b\\c\ndA");
+}
+
+TEST(MiniJsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("12x").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+}
+
+TEST(MiniJsonTest, ErrorsCarryByteOffsets) {
+  auto r = ParseJson("[1, x]");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("byte 4"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(MiniJsonTest, FileNotFoundVsCorruption) {
+  EXPECT_TRUE(ParseJsonFile("/no/such/file.json").status().IsNotFound());
+  const std::string path = ::testing::TempDir() + "/minijson_corrupt.json";
+  std::ofstream(path) << "{broken";
+  auto r = ParseJsonFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(MiniJsonTest, EscapeRoundTripsThroughParse) {
+  const std::string raw = "quote\" slash\\ newline\n tab\t ctrl\x01 end";
+  std::string doc = "\"";
+  doc += JsonEscape(raw);
+  doc += "\"";
+  auto v = ParseJson(doc).ValueOrDie();
+  EXPECT_EQ(v.string_value(), raw);
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -1,0 +1,158 @@
+#include "core/sweep_telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace robustmap {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+// The sink is a process-wide singleton; every test starts clean and leaves
+// it disabled for the next one.
+class SweepTelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SweepTelemetry::Get().Reset();
+    SweepTelemetry::Get().Enable();
+  }
+  void TearDown() override {
+    SweepTelemetry::Get().Reset();
+    SweepTelemetry::Get().Disable();
+  }
+};
+
+TEST_F(SweepTelemetryTest, BucketLadderIs1To2To5Decades) {
+  const std::vector<double>& bounds = LatencyHistogram::Bounds();
+  ASSERT_EQ(bounds.size(), 25u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(bounds.back(), 100.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]) << "ladder not increasing at " << i;
+    const double ratio = bounds[i] / bounds[i - 1];
+    EXPECT_TRUE(std::abs(ratio - 2.0) < 1e-9 ||
+                std::abs(ratio - 2.5) < 1e-9)
+        << "not a 1-2-5 ladder at " << i << ": ratio " << ratio;
+  }
+}
+
+TEST_F(SweepTelemetryTest, RecordUsesInclusiveUpperBounds) {
+  LatencyHistogram h;
+  ASSERT_EQ(h.buckets.size(), LatencyHistogram::Bounds().size() + 1);
+
+  h.Record(1e-6);  // exactly the first bound: <= means bucket 0
+  EXPECT_EQ(h.buckets[0], 1u);
+  h.Record(1.0000001e-6);  // just above: next bucket
+  EXPECT_EQ(h.buckets[1], 1u);
+  h.Record(0.5e-6);  // below the ladder: still bucket 0
+  EXPECT_EQ(h.buckets[0], 2u);
+  h.Record(100.0);  // exactly the top bound: last regular bucket
+  EXPECT_EQ(h.buckets[LatencyHistogram::Bounds().size() - 1], 1u);
+  h.Record(100.1);  // above the ladder: overflow slot
+  EXPECT_EQ(h.buckets.back(), 1u);
+
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_DOUBLE_EQ(h.min_seconds, 0.5e-6);
+  EXPECT_DOUBLE_EQ(h.max_seconds, 100.1);
+}
+
+TEST_F(SweepTelemetryTest, MergeAddsElementwise) {
+  LatencyHistogram a;
+  a.Record(1e-5);
+  a.Record(2.0);
+  LatencyHistogram b;
+  b.Record(1e-5);
+  b.Record(500.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_DOUBLE_EQ(a.min_seconds, 1e-5);
+  EXPECT_DOUBLE_EQ(a.max_seconds, 500.0);
+  EXPECT_DOUBLE_EQ(a.sum_seconds, 2.0 + 2e-5 + 500.0);
+  EXPECT_EQ(a.buckets.back(), 1u);
+  uint64_t total = 0;
+  for (uint64_t c : a.buckets) total += c;
+  EXPECT_EQ(total, 4u);
+}
+
+TEST_F(SweepTelemetryTest, WriteFileIsDeterministic) {
+  SweepTelemetry& t = SweepTelemetry::Get();
+  // Insertion order scrambled on purpose: serialization must sort.
+  t.AddCounter("zeta", 1);
+  t.AddCounter("alpha", 2);
+  t.RecordLatency("slow_phase", 0.5);
+  t.RecordLatency("fast_phase", 2e-6);
+
+  const std::string p1 = ::testing::TempDir() + "/telemetry_det_1.json";
+  const std::string p2 = ::testing::TempDir() + "/telemetry_det_2.json";
+  ASSERT_TRUE(t.WriteFile(p1).ok());
+  ASSERT_TRUE(t.WriteFile(p2).ok());
+  const std::string body1 = Slurp(p1);
+  EXPECT_EQ(body1, Slurp(p2)) << "rewrite changed bytes";
+  EXPECT_LT(body1.find("\"alpha\""), body1.find("\"zeta\""));
+  EXPECT_LT(body1.find("\"fast_phase\""), body1.find("\"slow_phase\""));
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST_F(SweepTelemetryTest, FileRoundTripPreservesEverything) {
+  SweepTelemetry& t = SweepTelemetry::Get();
+  t.AddCounter("cells", 12);
+  t.AddCounter("cells", 30);
+  t.RecordLatency("lat", 3e-6);
+  t.RecordLatency("lat", 0.02);
+  const std::string path = ::testing::TempDir() + "/telemetry_rt.json";
+  ASSERT_TRUE(t.WriteFile(path).ok());
+
+  auto data = ReadTelemetryFile(path).ValueOrDie();
+  EXPECT_EQ(data.counters, t.Counters());
+  EXPECT_EQ(data.counters.at("cells"), 42u);
+  const LatencyHistogram& h = data.histograms.at("lat");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.min_seconds, 3e-6);
+  EXPECT_DOUBLE_EQ(h.max_seconds, 0.02);
+  EXPECT_EQ(h.buckets, t.Histograms().at("lat").buckets);
+  std::remove(path.c_str());
+}
+
+TEST_F(SweepTelemetryTest, MergeFromFileFoldsASidecarIn) {
+  SweepTelemetry& t = SweepTelemetry::Get();
+  t.AddCounter("cells", 10);
+  t.RecordLatency("lat", 1e-3);
+  const std::string sidecar = ::testing::TempDir() + "/telemetry_side.json";
+  ASSERT_TRUE(t.WriteFile(sidecar).ok());
+
+  // A fresh sink ingests the sidecar on top of its own data — the
+  // coordinator-reaps-worker path.
+  t.Reset();
+  t.AddCounter("cells", 5);
+  t.RecordLatency("lat", 1e-3);
+  ASSERT_TRUE(t.MergeFromFile(sidecar).ok());
+  EXPECT_EQ(t.Counters().at("cells"), 15u);
+  EXPECT_EQ(t.Histograms().at("lat").count, 2u);
+  std::remove(sidecar.c_str());
+
+  EXPECT_TRUE(t.MergeFromFile("/no/such/telemetry.json").IsNotFound());
+}
+
+TEST_F(SweepTelemetryTest, DisabledSinkRecordsNothing) {
+  SweepTelemetry& t = SweepTelemetry::Get();
+  t.Disable();
+  t.AddCounter("ignored", 7);
+  t.RecordLatency("ignored", 1.0);
+  EXPECT_TRUE(t.Counters().empty());
+  EXPECT_TRUE(t.Histograms().empty());
+}
+
+}  // namespace
+}  // namespace robustmap

@@ -17,9 +17,16 @@ known hazard patterns from the map-producing paths under src/:
                          high_resolution_clock, time(...), clock() — wall
                          time leaking into simulated results. The virtual
                          clock (common/clock.h) is the only clock measured
-                         values may read; steady_clock is allowed because
-                         it only ever feeds *scheduling* metadata
-                         (tile wall_seconds), never cell values.
+                         values may read.
+  wall-clock-outside-trace
+                         std::chrono::steady_clock anywhere but the
+                         trace/telemetry modules (common/trace.*,
+                         core/sweep_telemetry.*). Wall time is legitimate
+                         observability data, but the tree funnels every
+                         reading through MonotonicNowNs() in
+                         common/trace.h — one sanctioned entry point keeps
+                         "observability never touches map bytes"
+                         auditable by grep.
   unordered-iteration    iterating an unordered container (range-for,
                          .begin()/.end(), or whole-container copy into an
                          output) — libstdc++ hash order is salt- and
@@ -74,11 +81,22 @@ import sys
 RULE_IDS = (
     "random-source",
     "wall-clock",
+    "wall-clock-outside-trace",
     "unordered-iteration",
     "pointer-keyed-order",
     "unchecked-write-map-tile",
     "unannotated-mutex",
 )
+
+# The only files that may touch steady_clock: the tracer (which exports
+# MonotonicNowNs(), the tree's one sanctioned wall-clock entry point) and
+# the telemetry sink built on it.
+WALL_CLOCK_EXEMPT_BASENAMES = frozenset((
+    "trace.h",
+    "trace.cc",
+    "sweep_telemetry.h",
+    "sweep_telemetry.cc",
+))
 
 # Sources the determinism contract covers. bench/ and tests/ may measure
 # wall time and seed ad-hoc RNGs (self-timing drivers do); src/ may not.
@@ -93,6 +111,7 @@ RANDOM_RE = re.compile(
 WALL_CLOCK_RE = re.compile(
     r"system_clock|high_resolution_clock|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0|&)|"
     r"std::clock\s*\(")
+STEADY_CLOCK_RE = re.compile(r"\bsteady_clock\b")
 POINTER_KEY_RE = re.compile(
     r"std::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[A-Za-z_][\w:<>]*\s*\*")
 UNORDERED_DECL_RE = re.compile(
@@ -259,6 +278,12 @@ def lint_file(path, rel_path=None):
             report(idx, "wall-clock",
                    "wall-clock time in simulation code; measured values may "
                    "only read the virtual clock (common/clock.h)")
+        if (os.path.basename(path) not in WALL_CLOCK_EXEMPT_BASENAMES
+                and STEADY_CLOCK_RE.search(code)):
+            report(idx, "wall-clock-outside-trace",
+                   "steady_clock outside the trace/telemetry modules; call "
+                   "MonotonicNowNs() (common/trace.h), the one sanctioned "
+                   "wall-clock entry point")
         for rx in unordered_iter_res:
             if rx.search(code):
                 report(idx, "unordered-iteration",
@@ -378,6 +403,7 @@ def selftest():
     cases = {
         "bad_random_source.cc": "random-source",
         "bad_wall_clock.cc": "wall-clock",
+        "bad_steady_clock.cc": "wall-clock-outside-trace",
         "bad_unordered_iteration.cc": "unordered-iteration",
         "bad_pointer_keyed_order.cc": "pointer-keyed-order",
         "bad_unchecked_write_map_tile.cc": "unchecked-write-map-tile",
@@ -394,7 +420,9 @@ def selftest():
                f"{name}: expected only '{rule}', got "
                f"{[f.rule for f in findings]}")
 
-    for name in ("clean.cc", "clean_waiver.cc"):
+    # trace.cc sits in the exempt-basename set: the fixture proves the
+    # exemption works (steady_clock inside the tracer itself is legal).
+    for name in ("clean.cc", "clean_waiver.cc", "trace.cc"):
         path = os.path.join(fixtures, name)
         findings, tool_errors = lint_file(path)
         expect(not tool_errors, f"{name}: unexpected tool errors "

@@ -1,0 +1,15 @@
+// Fixture: seeded wall-clock-outside-trace violations. steady_clock in a
+// non-trace file must be flagged even though the wall-clock rule permits
+// monotonic time conceptually — readings have to flow through
+// MonotonicNowNs() in common/trace.h.
+#include <chrono>
+
+namespace robustmap {
+
+double TileWallSeconds() {
+  auto start = std::chrono::steady_clock::now();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace robustmap

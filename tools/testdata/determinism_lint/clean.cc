@@ -1,7 +1,7 @@
 // Fixture: a file using every *sanctioned* counterpart of the banned
 // patterns — none of these may be flagged.
 #include <algorithm>
-#include <chrono>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -15,12 +15,13 @@ struct Status {
 struct MapTile;
 Status WriteMapTileFile(const std::string& path, const MapTile& tile);
 
-// steady_clock is scheduling metadata, not a simulated value — allowed.
+int64_t MonotonicNowNs();  // the sanctioned wall-clock entry point
+
+// Wall time for scheduling metadata goes through MonotonicNowNs(), never
+// a direct steady_clock read — allowed.
 double ScheduleSeconds() {
-  auto start = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+  const int64_t start_ns = MonotonicNowNs();
+  return static_cast<double>(MonotonicNowNs() - start_ns) * 1e-9;
 }
 
 // Unordered lookups (no iteration) are fine; so is an ordered map keyed on

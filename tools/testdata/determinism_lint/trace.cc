@@ -1,0 +1,15 @@
+// Fixture: a file whose basename is in the wall-clock exemption set — the
+// tracer itself is the one place steady_clock may appear, because it is
+// where MonotonicNowNs() is defined. Must produce zero findings.
+#include <chrono>
+#include <cstdint>
+
+namespace robustmap {
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace robustmap
