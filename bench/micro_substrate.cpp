@@ -1,15 +1,23 @@
 // Substrate micro-benchmarks (google-benchmark): regression tracking for
-// the data structures the simulator's wall-clock performance rests on.
+// the data structures the simulator's wall-clock performance rests on,
+// plus the executor hot paths a sweep spends its cells in — B-tree
+// descent, the three fetch policies, hash-join build/probe, and the
+// cold-start-vs-recycle cost of a simulated machine.
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "common/permutation.h"
 #include "common/rng.h"
+#include "engine/executor.h"
 #include "exec/hash_join.h"
 #include "index/btree.h"
 #include "index/procedural_index.h"
 #include "io/buffer_pool.h"
+#include "io/run_context.h"
 #include "storage/procedural_table.h"
+#include "workload/dataset.h"
 #include "workload/distributions.h"
 
 namespace robustmap {
@@ -140,6 +148,100 @@ void BM_ZipfSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ZipfSample);
+
+// ---- Executor hot paths -------------------------------------------------
+// One shared study environment (2^18 rows — small enough to build once in
+// milliseconds, large enough that plans run their real code paths), the
+// same database every cell of a sweep executes against.
+
+StudyEnvironment& MicroEnv() {
+  static std::unique_ptr<StudyEnvironment> env = [] {
+    StudyOptions opts;
+    opts.row_bits = 18;
+    return StudyEnvironment::Create(opts).ValueOrDie();
+  }();
+  return *env;
+}
+
+// Measures one full cell — ColdStart, plan execution, drain — for `kind`
+// at 1% selectivity on both predicates: the per-cell unit the batched
+// sweep loops amortize their setup across.
+void RunPlanCell(benchmark::State& state, PlanKind kind) {
+  StudyEnvironment& env = MicroEnv();
+  const Executor::PreparedPlan plan =
+      env.executor().Prepare(kind).ValueOrDie();
+  const QuerySpec query = env.MakeQuery(0.01, 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        env.executor().Run(env.ctx(), plan, query).ValueOrDie());
+  }
+}
+
+// The three fetch policies of exec/fetch.h, as the study plans exercise
+// them: per-rid random fetches, rid-sorted skip-sequential sweep, and the
+// bitmap-ordered variant.
+void BM_FetchNaive(benchmark::State& state) {
+  RunPlanCell(state, PlanKind::kIndexANaive);
+}
+BENCHMARK(BM_FetchNaive);
+
+void BM_FetchSorted(benchmark::State& state) {
+  RunPlanCell(state, PlanKind::kIndexAImproved);
+}
+BENCHMARK(BM_FetchSorted);
+
+void BM_FetchBitmap(benchmark::State& state) {
+  RunPlanCell(state, PlanKind::kCoverABBitmapFetch);
+}
+BENCHMARK(BM_FetchBitmap);
+
+// Hash-join build + probe (rid intersection over both single-column
+// indexes), and the covering merge join it competes with.
+void BM_HashJoinBuildProbe(benchmark::State& state) {
+  RunPlanCell(state, PlanKind::kHashJoinAB);
+}
+BENCHMARK(BM_HashJoinBuildProbe);
+
+void BM_MergeJoinCell(benchmark::State& state) {
+  RunPlanCell(state, PlanKind::kMergeJoinAB);
+}
+BENCHMARK(BM_MergeJoinCell);
+
+// Cold start vs. arena recycle of a simulated machine, measured around the
+// same cell. `page_node_allocs` counts fresh LRU node heap allocations per
+// iteration: a recycled machine re-reads its pages into recycled nodes, so
+// the counter must sit well below the cold-start figure — the deterministic
+// form of the speedup, independent of the host's allocator and load.
+void MachineCell(benchmark::State& state, bool recycle) {
+  StudyEnvironment& env = MicroEnv();
+  RunContextFactory factory(*env.ctx());
+  const Executor::PreparedPlan plan =
+      env.executor().Prepare(PlanKind::kIndexAImproved).ValueOrDie();
+  const QuerySpec query = env.MakeQuery(0.01, 0.01);
+  if (recycle) factory.Release(factory.Create());
+  uint64_t node_allocs = 0;
+  for (auto _ : state) {
+    std::unique_ptr<OwnedRunContext> machine =
+        recycle ? factory.Acquire() : factory.Create();
+    const uint64_t before = machine->ctx()->pool->node_allocations();
+    benchmark::DoNotOptimize(
+        env.executor().Run(machine->ctx(), plan, query).ValueOrDie());
+    node_allocs += machine->ctx()->pool->node_allocations() - before;
+    if (recycle) factory.Release(std::move(machine));
+  }
+  state.counters["page_node_allocs"] = benchmark::Counter(
+      static_cast<double>(node_allocs), benchmark::Counter::kAvgIterations);
+}
+
+void BM_MachineColdStart(benchmark::State& state) {
+  MachineCell(state, /*recycle=*/false);
+}
+BENCHMARK(BM_MachineColdStart);
+
+void BM_MachineRecycle(benchmark::State& state) {
+  MachineCell(state, /*recycle=*/true);
+}
+BENCHMARK(BM_MachineRecycle);
 
 }  // namespace
 }  // namespace robustmap

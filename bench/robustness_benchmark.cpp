@@ -51,6 +51,24 @@ struct ShardLeg {
   bool bit_identical = false;
 };
 
+/// Upper bound of the histogram bucket where the cumulative count crosses
+/// quantile `q` — a deterministic percentile estimate on the fixed 1-2-5
+/// ladder (two runs recording the same counts report the same value). The
+/// top quantile returns the exact observed maximum.
+double HistogramQuantile(const LatencyHistogram& h, double q) {
+  if (h.count == 0) return 0;
+  const std::vector<double>& bounds = LatencyHistogram::Bounds();
+  const double target = q * static_cast<double>(h.count);
+  uint64_t acc = 0;
+  for (size_t i = 0; i < h.buckets.size(); ++i) {
+    acc += h.buckets[i];
+    if (static_cast<double>(acc) >= target) {
+      return i < bounds.size() ? bounds[i] : h.max_seconds;
+    }
+  }
+  return h.max_seconds;
+}
+
 /// The top-N telemetry counters by value (name ascending on ties, so equal
 /// runs order equally) — the "what did this run actually do" digest for
 /// the JSON artifact and the stdout block.
@@ -107,6 +125,8 @@ void WriteBenchJson(
                "  \"serial_wall_seconds\": %.6f,\n"
                "  \"parallel_wall_seconds\": %.6f,\n"
                "  \"speedup\": %.3f,\n"
+               "  \"serial_cells_per_second\": %.3f,\n"
+               "  \"parallel_cells_per_second\": %.3f,\n"
                "  \"bit_identical\": %s,\n"
                "  \"shard_workers\": %u,\n"
                "  \"shard_tiles\": %zu,\n"
@@ -122,6 +142,10 @@ void WriteBenchJson(
                speedup_meaningful ? "true" : "false", serial_wall,
                parallel_wall,
                parallel_wall > 0 ? serial_wall / parallel_wall : 0.0,
+               serial_wall > 0 ? static_cast<double>(cells) / serial_wall
+                               : 0.0,
+               parallel_wall > 0 ? static_cast<double>(cells) / parallel_wall
+                                 : 0.0,
                bit_identical ? "true" : "false", shards, weighted.tiles,
                CostModelKindName(scale.cost_model), weighted.wall_seconds,
                weighted.wall_seconds > 0 ? serial_wall / weighted.wall_seconds
@@ -136,6 +160,24 @@ void WriteBenchJson(
                  phase_walls[i].first.c_str(), phase_walls[i].second);
   }
   std::fprintf(f, "\n  },\n");
+  // Per-cell wall-time spread across every sweep leg of this run, from the
+  // sweep.cell_seconds telemetry histogram (p50/p95 are bucket upper
+  // bounds on the fixed 1-2-5 ladder; max is exact).
+  const auto histograms = SweepTelemetry::Get().Histograms();
+  if (const auto it = histograms.find("sweep.cell_seconds");
+      it != histograms.end() && it->second.count > 0) {
+    const LatencyHistogram& h = it->second;
+    std::fprintf(f,
+                 "  \"cell_seconds\": {\n"
+                 "    \"count\": %llu,\n"
+                 "    \"p50\": %.6g,\n"
+                 "    \"p95\": %.6g,\n"
+                 "    \"max\": %.6g\n"
+                 "  },\n",
+                 static_cast<unsigned long long>(h.count),
+                 HistogramQuantile(h, 0.50), HistogramQuantile(h, 0.95),
+                 h.max_seconds);
+  }
   const auto top = TopCounters(8);
   std::fprintf(f, "  \"top_counters\": {");
   for (size_t i = 0; i < top.size(); ++i) {

@@ -15,6 +15,7 @@
 //               [--worker=PATH]   # sweep_worker binary (default: next to me)
 //               [--fork]          # forked in-process workers, no exec
 //               [--serial]        # single-process reference sweep
+//               [--no-split]      # disable straggler-tile splitting
 //               [--no-resume] [--verbose]
 //               [--trace=FILE] [--telemetry=FILE]
 //
@@ -89,6 +90,7 @@ int main(int argc, char** argv) {
   bool use_fork = false;
   bool serial = false;
   bool resume = true;
+  bool split_stragglers = true;
   bool verbose = EnvFlag("REPRO_VERBOSE");
   std::string out_dir = "shard_out";
   std::string worker_path = DefaultWorkerPath(argv[0]);
@@ -118,6 +120,8 @@ int main(int argc, char** argv) {
       serial = true;
     } else if (arg == "--no-resume") {
       resume = false;
+    } else if (arg == "--no-split") {
+      split_stragglers = false;
     } else if (arg == "--verbose") {
       verbose = true;
     } else {
@@ -255,6 +259,7 @@ int main(int argc, char** argv) {
   req.sharded.resume = resume;
   req.sharded.verbose = verbose;
   req.sharded.cost_model = cost_model.value();
+  req.sharded.split_stragglers = split_stragglers;
   if (!use_fork) {
     // The engine itself appends --tiles/--tile/--rect/--study/--warmup/
     // --out, so the resolved partition and study are always the
@@ -298,11 +303,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "sharded sweep: tiles=%zu reused=%zu computed=%zu workers=%u "
+      "sharded sweep: tiles=%zu reused=%zu computed=%zu split=%zu workers=%u "
       "mode=%s study=%s cost-model=%s balance=%.2f wall=%.2fs -> "
       "%s/merged*.rmt\n",
       stats.tiles_total, stats.tiles_reused, stats.tiles_computed,
-      stats.workers_spawned, use_fork ? "fork" : "exec",
+      stats.tiles_split, stats.workers_spawned, use_fork ? "fork" : "exec",
       StudyKindName(study.value()), CostModelKindName(req.sharded.cost_model),
       stats.busy_balance_ratio(), timer.Seconds(), out_dir.c_str());
   write_observability();

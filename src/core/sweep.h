@@ -93,6 +93,14 @@ struct SweepOptions {
 using PointRunner =
     std::function<Result<Measurement>(size_t plan, double x, double y)>;
 
+/// Index-based runner form: the cell is identified by its grid-point index
+/// instead of resolved axis values, so a caller that precomputed per-point
+/// state (bound queries, prepared plans) indexes straight into its tables —
+/// the engine's core loops run on this form, and the value-based forms are
+/// adapters that resolve `x_value`/`y_value` per cell.
+using IndexedPointRunner =
+    std::function<Result<Measurement>(size_t plan, size_t point)>;
+
 Result<RobustnessMap> RunSweep(const ParameterSpace& space,
                                const std::vector<std::string>& plan_labels,
                                const PointRunner& runner,
@@ -105,6 +113,10 @@ Result<RobustnessMap> RunSweep(const ParameterSpace& space,
 /// concurrent reads (all storage objects' read paths are).
 using ContextPointRunner = std::function<Result<Measurement>(
     RunContext* ctx, size_t plan, double x, double y)>;
+
+/// Index-based form of `ContextPointRunner` (see `IndexedPointRunner`).
+using IndexedContextPointRunner = std::function<Result<Measurement>(
+    RunContext* ctx, size_t plan, size_t point)>;
 
 /// Thread-pool sweep over `opts.num_threads` workers, each measuring on its
 /// own simulated machine built by `factory`. Cells are claimed from a

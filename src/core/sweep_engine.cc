@@ -1,5 +1,6 @@
 #include "core/sweep_engine.h"
 
+#include <dirent.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -67,6 +68,30 @@ void ObserveCell(const Measurement& m, double cell_seconds) {
   t.AddCounter("io.bytes_read", m.io.bytes_read);
   t.AddCounter("io.bytes_written", m.io.bytes_written);
 }
+
+/// RAII cell stopwatch shared by every cell loop: reads the wall clock at
+/// construction only when some sink is observing (an uninstrumented sweep
+/// never touches it), and `Observe` folds the finished cell into the
+/// telemetry. One helper instead of a timing boilerplate copy per loop;
+/// like everything observability, it reads the Measurement and never
+/// writes it.
+class CellTimer {
+ public:
+  explicit CellTimer(bool observing)
+      : observing_(observing), start_ns_(observing ? MonotonicNowNs() : 0) {}
+
+  /// Records the cell (latency + I/O counters). Call once, after a
+  /// successful measurement; failed cells record nothing, as before.
+  void Observe(const Measurement& m) const {
+    if (!observing_) return;
+    ObserveCell(m,
+                static_cast<double>(MonotonicNowNs() - start_ns_) * 1e-9);
+  }
+
+ private:
+  const bool observing_;
+  const int64_t start_ns_;
+};
 
 /// Per-view buffer-pool tallies for one sweep worker. `ColdStart` zeroes
 /// the pool statistics before each measurement, so reading them right
@@ -159,35 +184,68 @@ class ProgressTracker {
 /// shared pool needs the factory to attach worker views, and the
 /// round-robin schedule reorders cells, so both always take the parallel
 /// path (which degrades to in-caller-thread execution at one worker).
+///
+/// Everything a cell does not depend on is paid once per sweep, not once
+/// per cell: plans are validated and their labels materialized through
+/// `Executor::Prepare`, and every grid point's query — selectivity math,
+/// predicate binding — is bound up front, so the inner loop is a table
+/// lookup plus the measurement itself. A caller running several sweeps
+/// against the same prototype (the warm-cold study) may pass
+/// `shared_factory` so the parallel loop recycles its simulated machines
+/// across sweeps; the factory must have been built from `ctx` and is only
+/// used when the sweep does not need a differently-configured (shared-pool)
+/// one.
 Result<RobustnessMap> StudySweep(RunContext* ctx, const Executor& executor,
                                  const std::vector<PlanKind>& plans,
                                  const ParameterSpace& space,
-                                 const SweepOptions& opts) {
+                                 const SweepOptions& opts,
+                                 RunContextFactory* shared_factory = nullptr) {
+  std::vector<Executor::PreparedPlan> prepared;
   std::vector<std::string> labels;
+  prepared.reserve(plans.size());
   labels.reserve(plans.size());
-  for (PlanKind k : plans) labels.push_back(PlanKindLabel(k));
-  int64_t domain = executor.db().domain;
+  for (PlanKind k : plans) {
+    auto p = executor.Prepare(k);
+    RM_RETURN_IF_ERROR(p.status());
+    labels.push_back(p.value().label());
+    prepared.push_back(std::move(p).value());
+  }
+  const int64_t domain = executor.db().domain;
+  std::vector<QuerySpec> queries;
+  queries.reserve(space.num_points());
+  for (size_t pt = 0; pt < space.num_points(); ++pt) {
+    queries.push_back(
+        MakeStudyQuery(space.x_value(pt), space.y_value(pt), domain));
+  }
   if (ResolveParallelism(opts.num_threads) <= 1 &&
       opts.shared_pool == nullptr && !opts.deterministic_shared_schedule) {
     PoolViewObserver pool_view(ctx->pool, 0);
-    return SweepEngine::RunCells(
+    return SweepEngine::RunCellsIndexed(
         space, labels,
-        [&](size_t plan, double sx, double sy) -> Result<Measurement> {
-          QuerySpec q = MakeStudyQuery(sx, sy, domain);
-          auto m = executor.Run(ctx, plans[plan], q);
+        [&](size_t plan, size_t point) -> Result<Measurement> {
+          auto m = executor.Run(ctx, prepared[plan], queries[point]);
           if (m.ok()) pool_view.CellDone();
           return m;
         },
         opts);
   }
-  RunContextFactory factory(*ctx);
-  if (opts.shared_pool != nullptr) factory.ShareBufferPool(opts.shared_pool);
-  return SweepEngine::RunCellsParallel(
-      space, labels, factory,
-      [&](RunContext* worker_ctx, size_t plan, double sx,
-          double sy) -> Result<Measurement> {
-        QuerySpec q = MakeStudyQuery(sx, sy, domain);
-        return executor.Run(worker_ctx, plans[plan], q);
+  RunContextFactory local_factory(*ctx);
+  RunContextFactory* factory =
+      (shared_factory != nullptr && opts.shared_pool == nullptr)
+          ? shared_factory
+          : &local_factory;
+  if (opts.shared_pool != nullptr) {
+    local_factory.ShareBufferPool(opts.shared_pool);
+  }
+  // The prototype's warmup may have changed since the factory was built
+  // (the warm-cold study flips it between halves); machines must start
+  // under the policy of *this* sweep.
+  factory->set_warmup(ctx->warmup);
+  return SweepEngine::RunCellsParallelIndexed(
+      space, labels, *factory,
+      [&](RunContext* worker_ctx, size_t plan,
+          size_t point) -> Result<Measurement> {
+        return executor.Run(worker_ctx, prepared[plan], queries[point]);
       },
       opts);
 }
@@ -206,12 +264,20 @@ Result<std::vector<RobustnessMap>> WarmColdLayers(
     const WarmupPolicy& warm_policy, const SweepOptions& opts) {
   const WarmupPolicy saved = ctx->warmup;
 
+  // One machine factory for both halves: the warm half's parallel workers
+  // recycle the cold half's simulated machines from the factory arena
+  // instead of rebuilding them (recycled machines measure bit-identically
+  // to fresh ones — see OwnedRunContext::Recycle). A shared-pool warm half
+  // builds its own differently-wired factory inside StudySweep and simply
+  // ignores this one.
+  RunContextFactory factory(*ctx);
+
   // Cold half: warmup off, private per-worker pools — the classic map,
   // bit-identical at any thread count.
   ctx->warmup = WarmupPolicy::Cold();
   SweepOptions cold_opts = opts;
   cold_opts.shared_pool = nullptr;
-  auto cold = StudySweep(ctx, executor, plans, space, cold_opts);
+  auto cold = StudySweep(ctx, executor, plans, space, cold_opts, &factory);
   if (!cold.ok()) {
     ctx->warmup = saved;
     return cold.status();
@@ -237,7 +303,7 @@ Result<std::vector<RobustnessMap>> WarmColdLayers(
     ctx->pool->Clear();
     if (warm_opts.shared_pool != nullptr) warm_opts.shared_pool->Clear();
   }
-  auto warm = StudySweep(ctx, executor, plans, space, warm_opts);
+  auto warm = StudySweep(ctx, executor, plans, space, warm_opts, &factory);
   ctx->warmup = saved;
   if (!warm.ok()) return warm.status();
 
@@ -293,6 +359,97 @@ Result<MapTile> LoadValidTile(std::map<std::string, MapTile>* preloaded,
         path + " carries a different study's layers");
   }
   return tile;
+}
+
+/// The `.rmt` files in `dir`, sorted by name. readdir order is
+/// filesystem-dependent; every decision made from a directory scan
+/// (synthetic shard ids, coverage adoption below) must come from the
+/// sorted list so a given directory state always produces the same plan.
+std::vector<std::string> SortedTileFiles(const std::string& dir_path) {
+  std::vector<std::string> names;
+  if (DIR* dir = ::opendir(dir_path.c_str()); dir != nullptr) {
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name.size() > 4 && name.rfind(".rmt") == name.size() - 4) {
+        names.push_back(name);
+      }
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+  }
+  return names;
+}
+
+/// True when `inner`'s (non-empty) rectangle lies entirely inside
+/// `outer`'s. Shard ids play no part: a cell's value is a deterministic
+/// function of (space, plans, study), so *any* valid tile covering the
+/// right cells carries the right bytes whatever id computed it.
+bool RectContains(const TileSpec& outer, const TileSpec& inner) {
+  return inner.num_points() > 0 && inner.x_begin >= outer.x_begin &&
+         inner.x_end <= outer.x_end && inner.y_begin >= outer.y_begin &&
+         inner.y_end <= outer.y_end;
+}
+
+/// Appends `outer` minus `inner` (which must nest inside `outer`) as up to
+/// four disjoint rectangles — the guillotine cut: full-height left and
+/// right strips, then the bottom and top slabs of the middle column. The
+/// pieces' shard ids are left for the caller to assign.
+void SubtractRect(const TileSpec& outer, const TileSpec& inner,
+                  std::vector<TileSpec>* out) {
+  auto push = [out](size_t x0, size_t x1, size_t y0, size_t y1) {
+    if (x0 >= x1 || y0 >= y1) return;
+    TileSpec piece;
+    piece.x_begin = x0;
+    piece.x_end = x1;
+    piece.y_begin = y0;
+    piece.y_end = y1;
+    out->push_back(piece);
+  };
+  push(outer.x_begin, inner.x_begin, outer.y_begin, outer.y_end);
+  push(inner.x_end, outer.x_end, outer.y_begin, outer.y_end);
+  push(inner.x_begin, inner.x_end, outer.y_begin, inner.y_begin);
+  push(inner.x_begin, inner.x_end, inner.y_end, outer.y_end);
+}
+
+/// Cuts `t` in two at its cost midpoint along the longer axis: the cut
+/// lands at the first slice boundary where the accumulated cost reaches
+/// half the tile's, clamped so both halves are non-empty. `t` must span
+/// more than one point. Purely a function of (tile, model) — the
+/// determinism of straggler splitting rests on this.
+std::pair<TileSpec, TileSpec> SplitTileAtCostMidpoint(
+    const TileSpec& t, const CellCostModel& model) {
+  const bool cut_x = t.x_size() >= t.y_size() ? t.x_size() > 1 : false;
+  const size_t begin = cut_x ? t.x_begin : t.y_begin;
+  const size_t end = cut_x ? t.x_end : t.y_end;
+  const double total = model.TileCost(t);
+  size_t cut = end - 1;
+  double acc = 0;
+  for (size_t i = begin; i < end; ++i) {
+    TileSpec slice = t;
+    if (cut_x) {
+      slice.x_begin = i;
+      slice.x_end = i + 1;
+    } else {
+      slice.y_begin = i;
+      slice.y_end = i + 1;
+    }
+    acc += model.TileCost(slice);
+    if (acc * 2 >= total) {
+      cut = i + 1;
+      break;
+    }
+  }
+  cut = std::max(begin + 1, std::min(cut, end - 1));
+  TileSpec a = t;
+  TileSpec b = t;
+  if (cut_x) {
+    a.x_end = cut;
+    b.x_begin = cut;
+  } else {
+    a.y_end = cut;
+    b.y_begin = cut;
+  }
+  return {a, b};
 }
 
 /// The sharded-process backend: partitions the grid with `ShardPlanner`
@@ -369,11 +526,55 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
   labels.reserve(req.plans.size());
   for (PlanKind k : req.plans) labels.push_back(PlanKindLabel(k));
 
+  // Synthetic shard ids — straggler pieces and coverage remainders below —
+  // must collide neither with a planned id nor with any tile file already
+  // in the directory, so both are folded into the counter before any id is
+  // handed out.
+  const std::vector<std::string> disk_tiles = SortedTileFiles(opts.tile_dir);
+  size_t next_shard_id = 0;
+  for (const TileSpec& t : tiles.value()) {
+    next_shard_id = std::max(next_shard_id, t.shard_id + 1);
+  }
+  for (const std::string& name : disk_tiles) {
+    size_t id = 0;
+    if (std::sscanf(name.c_str(), "tile_%zu.rmt", &id) == 1) {
+      next_shard_id = std::max(next_shard_id, id + 1);
+    }
+  }
+
+  // The coverage-adoption candidate pool: every valid on-disk tile of this
+  // exact study (grid, plans, layers — shard id deliberately ignored, any
+  // valid tile for this study carries the right bytes for its rectangle).
+  // Read lazily: the pool is only needed when a planned tile's own file is
+  // missing or invalid, i.e. when a previous run was killed or damaged.
+  std::vector<std::pair<std::string, MapTile>> candidates;
+  bool candidates_loaded = false;
+  const auto load_candidates = [&] {
+    if (candidates_loaded) return;
+    candidates_loaded = true;
+    for (const std::string& name : disk_tiles) {
+      auto tile = ReadMapTileFile(opts.tile_dir + "/" + name);
+      if (!tile.ok()) continue;  // damaged or foreign file: not a candidate
+      const MapTile& t = tile.value();
+      if (!(t.parent_space == space) || t.map.plan_labels() != labels ||
+          t.num_layers() != StudyLayerCount(req.study) ||
+          t.layer_names != StudyLayerNames(req.study)) {
+        continue;
+      }
+      candidates.emplace_back(name, std::move(tile).value());
+    }
+  };
+
   // Scan the checkpoint directory: valid tiles are carried over in memory,
-  // the rest queue for workers.
+  // the rest queue for workers. A planned tile whose own file is gone may
+  // still be partially covered by tiles a killed run left behind — most
+  // importantly the pieces of a straggler split — so those are adopted and
+  // only the uncovered remainder rectangles queue (as fresh synthetic
+  // tiles).
   phase_span = std::make_unique<TraceSpan>("shard.scan", "shard");
   std::vector<MapTile> loaded;
   std::vector<TileSpec> todo;
+  std::vector<bool> candidate_used;
   for (const TileSpec& t : tiles.value()) {
     const std::string path = opts.tile_dir + "/" + TileFileName(t.shard_id);
     auto tile = opts.resume
@@ -387,9 +588,51 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
         std::fprintf(stderr, "  shard: tile %zu valid on disk, reused\n",
                      t.shard_id);
       }
-    } else {
-      std::remove(TileErrFileName(path).c_str());
+      continue;
+    }
+    std::remove(TileErrFileName(path).c_str());
+    std::vector<TileSpec> remainders{t};
+    bool adopted_any = false;
+    if (opts.resume) {
+      load_candidates();
+      candidate_used.resize(candidates.size(), false);
+      for (size_t ci = 0; ci < candidates.size(); ++ci) {
+        if (candidate_used[ci]) continue;
+        const TileSpec& cand = candidates[ci].second.spec;
+        // Adopt only a candidate nesting inside one current remainder
+        // piece; anything straddling a cut is simply recomputed — the
+        // exact-cover check in MergeTileLayers stays the safety net.
+        const auto host =
+            std::find_if(remainders.begin(), remainders.end(),
+                         [&](const TileSpec& r) {
+                           return RectContains(r, cand);
+                         });
+        if (host == remainders.end()) continue;
+        const TileSpec hole = *host;
+        remainders.erase(host);
+        SubtractRect(hole, cand, &remainders);
+        candidate_used[ci] = true;
+        adopted_any = true;
+        loaded.push_back(std::move(candidates[ci].second));
+        SweepTelemetry::Get().AddCounter("shard.tiles_adopted", 1);
+        if (opts.verbose) {
+          std::fprintf(stderr,
+                       "  shard: tile %zu partially covered by %s, "
+                       "adopted\n",
+                       t.shard_id, candidates[ci].first.c_str());
+        }
+      }
+    }
+    if (!adopted_any) {
       todo.push_back(t);
+      continue;
+    }
+    for (TileSpec r : remainders) {
+      r.shard_id = next_shard_id++;
+      const std::string rpath =
+          opts.tile_dir + "/" + TileFileName(r.shard_id);
+      std::remove(TileErrFileName(rpath).c_str());
+      todo.push_back(r);
     }
   }
   SweepTelemetry::Get().AddCounter("shard.tiles_queued", todo.size());
@@ -404,6 +647,51 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
   ShardedSweepStats local;
   local.tiles_total = tiles.value().size();
   local.tiles_reused = loaded.size();
+
+  // Straggler splitting, decided purely from the cost model before any
+  // dispatch (never from mid-run wall-clock observations — reap timing
+  // would make the tile set, the stats, and the verbose output depend on
+  // scheduling luck): with idle workers guaranteed — fewer pending tiles
+  // than workers, the resume-two-damaged-tiles-on-a-big-box shape — any
+  // pending tile still holding more than 1.25× a worker's fair share of
+  // the pending cost is cut at its cost midpoint, repeatedly, until the
+  // heaviest pending tile fits or is a single cell. Tiles are keyed by
+  // cell ranges, so the merged bytes cannot change; only the checkpoint
+  // granularity does.
+  if (opts.split_stragglers && num_workers > 1 && !todo.empty() &&
+      todo.size() < num_workers) {
+    double pending_total = 0;
+    for (const TileSpec& t : todo) pending_total += model.value().TileCost(t);
+    const double threshold =
+        1.25 * pending_total / static_cast<double>(num_workers);
+    while (todo.front().num_points() > 1 &&
+           model.value().TileCost(todo.front()) > threshold) {
+      const TileSpec head = todo.front();
+      todo.erase(todo.begin());
+      auto [a, b] = SplitTileAtCostMidpoint(head, model.value());
+      a.shard_id = next_shard_id++;
+      b.shard_id = next_shard_id++;
+      for (const TileSpec& child : {a, b}) {
+        const std::string cpath =
+            opts.tile_dir + "/" + TileFileName(child.shard_id);
+        std::remove(TileErrFileName(cpath).c_str());
+        const double child_cost = model.value().TileCost(child);
+        const auto pos = std::find_if(
+            todo.begin(), todo.end(), [&](const TileSpec& u) {
+              return model.value().TileCost(u) < child_cost;
+            });
+        todo.insert(pos, child);
+      }
+      ++local.tiles_split;
+      SweepTelemetry::Get().AddCounter("shard.tiles_split", 1);
+      if (opts.verbose) {
+        std::fprintf(stderr,
+                     "  shard: straggler tile %zu split into %zu + %zu\n",
+                     head.shard_id, a.shard_id, b.shard_id);
+      }
+    }
+  }
+
   local.tiles_computed = todo.size();
   local.workers_spawned =
       static_cast<unsigned>(std::min<size_t>(num_workers, todo.size()));
@@ -730,6 +1018,17 @@ const char* BackendKindName(BackendKind kind) {
 Result<RobustnessMap> SweepEngine::RunCells(
     const ParameterSpace& space, const std::vector<std::string>& plan_labels,
     const PointRunner& runner, const SweepOptions& opts) {
+  return RunCellsIndexed(
+      space, plan_labels,
+      [&](size_t plan, size_t point) {
+        return runner(plan, space.x_value(point), space.y_value(point));
+      },
+      opts);
+}
+
+Result<RobustnessMap> SweepEngine::RunCellsIndexed(
+    const ParameterSpace& space, const std::vector<std::string>& plan_labels,
+    const IndexedPointRunner& runner, const SweepOptions& opts) {
   RM_RETURN_IF_ERROR(ValidateSweepInputs(space, plan_labels));
   TraceSpan sweep_span("sweep.run_cells");
   const bool observing = Observing();
@@ -737,14 +1036,10 @@ Result<RobustnessMap> SweepEngine::RunCells(
   ProgressTracker tracker(opts, plan_labels.size(), space.num_points());
   for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
     for (size_t point = 0; point < space.num_points(); ++point) {
-      const int64_t cell_start_ns = observing ? MonotonicNowNs() : 0;
-      auto m = runner(plan, space.x_value(point), space.y_value(point));
+      CellTimer timer(observing);
+      auto m = runner(plan, point);
       RM_RETURN_IF_ERROR(m.status());
-      if (observing) {
-        ObserveCell(m.value(), static_cast<double>(MonotonicNowNs() -
-                                                   cell_start_ns) *
-                                   1e-9);
-      }
+      timer.Observe(m.value());
       map.Set(plan, point, std::move(m).value());
       tracker.CellDone(plan);
     }
@@ -755,6 +1050,18 @@ Result<RobustnessMap> SweepEngine::RunCells(
 Result<RobustnessMap> SweepEngine::RunCellsParallel(
     const ParameterSpace& space, const std::vector<std::string>& plan_labels,
     const RunContextFactory& factory, const ContextPointRunner& runner,
+    const SweepOptions& opts) {
+  return RunCellsParallelIndexed(
+      space, plan_labels, factory,
+      [&](RunContext* ctx, size_t plan, size_t point) {
+        return runner(ctx, plan, space.x_value(point), space.y_value(point));
+      },
+      opts);
+}
+
+Result<RobustnessMap> SweepEngine::RunCellsParallelIndexed(
+    const ParameterSpace& space, const std::vector<std::string>& plan_labels,
+    const RunContextFactory& factory, const IndexedContextPointRunner& runner,
     const SweepOptions& opts) {
   RM_RETURN_IF_ERROR(ValidateSweepInputs(space, plan_labels));
   const unsigned num_threads = ResolveParallelism(opts.num_threads);
@@ -777,24 +1084,29 @@ Result<RobustnessMap> SweepEngine::RunCellsParallel(
     }
     TraceSpan schedule_span("sweep.round_robin");
     const bool observing = Observing();
-    std::unique_ptr<OwnedRunContext> machine = factory.Create();
-    PoolViewObserver pool_view(machine->ctx()->pool, 0);
-    for (size_t point = 0; point < points; ++point) {
-      for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
-        const int64_t cell_start_ns = observing ? MonotonicNowNs() : 0;
-        auto m = runner(machine->ctx(), plan, space.x_value(point),
-                        space.y_value(point));
-        RM_RETURN_IF_ERROR(m.status());
-        if (observing) {
-          ObserveCell(m.value(), static_cast<double>(MonotonicNowNs() -
-                                                     cell_start_ns) *
-                                     1e-9);
-          pool_view.CellDone();
+    std::unique_ptr<OwnedRunContext> machine = factory.Acquire();
+    Status loop_status = Status::OK();
+    {
+      // The observer publishes from the machine's pool at scope exit, so
+      // it must close before the machine is parked back in the arena.
+      PoolViewObserver pool_view(machine->ctx()->pool, 0);
+      for (size_t point = 0; point < points && loop_status.ok(); ++point) {
+        for (size_t plan = 0; plan < plan_labels.size(); ++plan) {
+          CellTimer timer(observing);
+          auto m = runner(machine->ctx(), plan, point);
+          if (!m.ok()) {
+            loop_status = m.status();
+            break;
+          }
+          timer.Observe(m.value());
+          if (observing) pool_view.CellDone();
+          map.Set(plan, point, std::move(m).value());
+          tracker.CellDone(plan);
         }
-        map.Set(plan, point, std::move(m).value());
-        tracker.CellDone(plan);
       }
     }
+    factory.Release(std::move(machine));
+    RM_RETURN_IF_ERROR(loop_status);
     return map;
   }
 
@@ -866,36 +1178,37 @@ Result<RobustnessMap> SweepEngine::RunCellsParallel(
   auto work = [&](unsigned worker_index) {
     TraceSpan worker_span("sweep.worker");
     const bool observing = Observing();
-    std::unique_ptr<OwnedRunContext> machine = factory.Create();
-    PoolViewObserver pool_view(machine->ctx()->pool, worker_index);
-    for (;;) {
-      const size_t block = next_block.fetch_add(1, std::memory_order_relaxed);
-      if (block >= num_blocks) break;
-      SweepTelemetry::Get().AddCounter("sweep.blocks_claimed", 1);
-      for (size_t cell = block_begin[block]; cell < block_begin[block + 1];
-           ++cell) {
-        if (cell > first_failed_cell.load(std::memory_order_relaxed)) {
-          continue;
+    std::unique_ptr<OwnedRunContext> machine = factory.Acquire();
+    {
+      // Closed before the machine is parked back in the arena: the
+      // observer publishes from the machine's pool at scope exit.
+      PoolViewObserver pool_view(machine->ctx()->pool, worker_index);
+      for (;;) {
+        const size_t block =
+            next_block.fetch_add(1, std::memory_order_relaxed);
+        if (block >= num_blocks) break;
+        SweepTelemetry::Get().AddCounter("sweep.blocks_claimed", 1);
+        for (size_t cell = block_begin[block]; cell < block_begin[block + 1];
+             ++cell) {
+          if (cell > first_failed_cell.load(std::memory_order_relaxed)) {
+            continue;
+          }
+          const size_t plan = cell / points;
+          const size_t point = cell % points;
+          CellTimer timer(observing);
+          auto m = runner(machine->ctx(), plan, point);
+          if (!m.ok()) {
+            record_error(cell, m.status());
+            continue;
+          }
+          timer.Observe(m.value());
+          if (observing) pool_view.CellDone();
+          map.Set(plan, point, std::move(m).value());
+          tracker.CellDone(plan);
         }
-        const size_t plan = cell / points;
-        const size_t point = cell % points;
-        const int64_t cell_start_ns = observing ? MonotonicNowNs() : 0;
-        auto m = runner(machine->ctx(), plan, space.x_value(point),
-                        space.y_value(point));
-        if (!m.ok()) {
-          record_error(cell, m.status());
-          continue;
-        }
-        if (observing) {
-          ObserveCell(m.value(), static_cast<double>(MonotonicNowNs() -
-                                                     cell_start_ns) *
-                                     1e-9);
-          pool_view.CellDone();
-        }
-        map.Set(plan, point, std::move(m).value());
-        tracker.CellDone(plan);
       }
     }
+    factory.Release(std::move(machine));
   };
 
   if (num_threads <= 1) {

@@ -103,14 +103,31 @@ struct ShardedSweepOptions {
   /// re-balancing run, not a resume accelerator.) The merged map is
   /// bit-identical under every setting — scheduling never touches values.
   CostModelKind cost_model = CostModelKind::kAnalytic;
+
+  /// Straggler-tile splitting. When fewer tiles are pending than workers —
+  /// a resume recomputing two damaged tiles on an eight-worker box, or a
+  /// coarse partition — a pending tile whose modeled cost exceeds 1.25×
+  /// the pending average per worker is cut at its cost midpoint, repeatedly,
+  /// until the head of the queue fits; the pieces (fresh synthetic shard
+  /// ids, exact sub-rectangles) dispatch like any other tile. Splitting is
+  /// decided from the cost model *before* dispatch, never from wall-clock
+  /// observations mid-run, so a given directory state always produces the
+  /// same tiles, the same stats, and — tiles being keyed by cell ranges —
+  /// the same merged bytes. A later resume adopts any completed pieces it
+  /// finds covering a planned tile and recomputes only the uncovered
+  /// remainder.
+  bool split_stragglers = true;
 };
 
 /// What a sharded sweep did, for self-checks, resume tests, and the
 /// scheduling-quality metrics `robustness_benchmark` records.
 struct ShardedSweepStats {
   size_t tiles_total = 0;
-  size_t tiles_reused = 0;    ///< valid checkpoints skipped
+  size_t tiles_reused = 0;    ///< valid checkpoints skipped (whole or as
+                              ///< adopted pieces covering a planned tile)
   size_t tiles_computed = 0;  ///< recomputed by workers this run
+  size_t tiles_split = 0;     ///< straggler split operations (each turns
+                              ///< one pending tile into two)
   unsigned workers_spawned = 0;
 
   /// Wall-clock seconds each worker slot spent with a tile subprocess in
@@ -201,17 +218,35 @@ class SweepEngine {
 
   /// The generic serial cell loop (the engine's substrate, exposed for
   /// sweeps over arbitrary runners — ablations mapping memory budgets or
-  /// spill behavior rather than study plans). `RunSweep` shims here.
+  /// spill behavior rather than study plans). `RunSweep` shims here; the
+  /// value-based form adapts onto `RunCellsIndexed`.
   static Result<RobustnessMap> RunCells(
       const ParameterSpace& space, const std::vector<std::string>& plan_labels,
       const PointRunner& runner, const SweepOptions& opts = {});
 
+  /// The core serial loop: the runner receives the grid-point index, so
+  /// per-point state precomputed once per sweep (bound queries, prepared
+  /// plans) is a table lookup per cell, not a rebuild.
+  static Result<RobustnessMap> RunCellsIndexed(
+      const ParameterSpace& space, const std::vector<std::string>& plan_labels,
+      const IndexedPointRunner& runner, const SweepOptions& opts = {});
+
   /// The generic thread-pool cell loop over per-worker simulated machines
   /// built by `factory`; bit-identical to `RunCells` at any thread count.
-  /// `ParallelRunSweep` shims here.
+  /// `ParallelRunSweep` shims here; the value-based form adapts onto
+  /// `RunCellsParallelIndexed`.
   static Result<RobustnessMap> RunCellsParallel(
       const ParameterSpace& space, const std::vector<std::string>& plan_labels,
       const RunContextFactory& factory, const ContextPointRunner& runner,
+      const SweepOptions& opts = {});
+
+  /// The core parallel loop (index-based, see `RunCellsIndexed`). Worker
+  /// machines are drawn from the factory's arena (`Acquire`/`Release`), so
+  /// repeated sweeps over one factory recycle their simulated machines
+  /// instead of rebuilding them.
+  static Result<RobustnessMap> RunCellsParallelIndexed(
+      const ParameterSpace& space, const std::vector<std::string>& plan_labels,
+      const RunContextFactory& factory, const IndexedContextPointRunner& runner,
       const SweepOptions& opts = {});
 };
 

@@ -34,12 +34,8 @@ std::vector<RangePredicate> ActivePredicates(const QuerySpec& q) {
 
 }  // namespace
 
-Result<OperatorPtr> Executor::BuildPlan(PlanKind kind,
-                                        const QuerySpec& query) const {
+Status Executor::ValidatePlan(PlanKind kind) const {
   if (db_.table == nullptr) return Status::InvalidArgument("no table bound");
-  int64_t a_lo, a_hi, b_lo, b_hi;
-  PredRange(query.pred_a, db_.domain, &a_lo, &a_hi);
-  PredRange(query.pred_b, db_.domain, &b_lo, &b_hi);
 
   auto require = [](Index* idx, const char* what) -> Status {
     if (idx == nullptr) {
@@ -47,6 +43,51 @@ Result<OperatorPtr> Executor::BuildPlan(PlanKind kind,
     }
     return Status::OK();
   };
+
+  switch (kind) {
+    case PlanKind::kTableScan:
+      return Status::OK();
+
+    case PlanKind::kIndexAImproved:
+    case PlanKind::kIndexANaive:
+      return require(db_.idx_a, "idx(a)");
+
+    case PlanKind::kIndexBImproved:
+    case PlanKind::kIndexBNaive:
+      return require(db_.idx_b, "idx(b)");
+
+    case PlanKind::kMergeJoinAB:
+    case PlanKind::kMergeJoinBA:
+    case PlanKind::kHashJoinAB:
+    case PlanKind::kHashJoinBA:
+    case PlanKind::kBitmapAndFetch: {
+      RM_RETURN_IF_ERROR(require(db_.idx_a, "idx(a)"));
+      return require(db_.idx_b, "idx(b)");
+    }
+
+    case PlanKind::kCoverABBitmapFetch:
+    case PlanKind::kMdamAB:
+    case PlanKind::kCoverABScan:
+      return require(db_.idx_ab, "idx(a,b)");
+
+    case PlanKind::kCoverBABitmapFetch:
+    case PlanKind::kMdamBA:
+      return require(db_.idx_ba, "idx(b,a)");
+  }
+  return Status::InvalidArgument("unknown plan kind");
+}
+
+Result<OperatorPtr> Executor::BuildPlan(PlanKind kind,
+                                        const QuerySpec& query) const {
+  RM_RETURN_IF_ERROR(ValidatePlan(kind));
+  return BuildPlanUnchecked(kind, query);
+}
+
+Result<OperatorPtr> Executor::BuildPlanUnchecked(PlanKind kind,
+                                                 const QuerySpec& query) const {
+  int64_t a_lo, a_hi, b_lo, b_hi;
+  PredRange(query.pred_a, db_.domain, &a_lo, &a_hi);
+  PredRange(query.pred_b, db_.domain, &b_lo, &b_hi);
 
   auto single_index_scan = [&](Index* idx, int64_t lo,
                                int64_t hi) -> OperatorPtr {
@@ -77,7 +118,6 @@ Result<OperatorPtr> Executor::BuildPlan(PlanKind kind,
 
     case PlanKind::kIndexAImproved:
     case PlanKind::kIndexANaive: {
-      RM_RETURN_IF_ERROR(require(db_.idx_a, "idx(a)"));
       std::vector<RangePredicate> residual;
       if (query.pred_b.active) {
         residual.push_back({1, query.pred_b.lo, query.pred_b.hi});
@@ -92,7 +132,6 @@ Result<OperatorPtr> Executor::BuildPlan(PlanKind kind,
 
     case PlanKind::kIndexBImproved:
     case PlanKind::kIndexBNaive: {
-      RM_RETURN_IF_ERROR(require(db_.idx_b, "idx(b)"));
       std::vector<RangePredicate> residual;
       if (query.pred_a.active) {
         residual.push_back({0, query.pred_a.lo, query.pred_a.hi});
@@ -107,8 +146,6 @@ Result<OperatorPtr> Executor::BuildPlan(PlanKind kind,
 
     case PlanKind::kMergeJoinAB:
     case PlanKind::kMergeJoinBA: {
-      RM_RETURN_IF_ERROR(require(db_.idx_a, "idx(a)"));
-      RM_RETURN_IF_ERROR(require(db_.idx_b, "idx(b)"));
       auto left = single_index_scan(db_.idx_a, a_lo, a_hi);
       auto right = single_index_scan(db_.idx_b, b_lo, b_hi);
       if (kind == PlanKind::kMergeJoinBA) std::swap(left, right);
@@ -118,8 +155,6 @@ Result<OperatorPtr> Executor::BuildPlan(PlanKind kind,
 
     case PlanKind::kHashJoinAB:
     case PlanKind::kHashJoinBA: {
-      RM_RETURN_IF_ERROR(require(db_.idx_a, "idx(a)"));
-      RM_RETURN_IF_ERROR(require(db_.idx_b, "idx(b)"));
       auto build = single_index_scan(db_.idx_a, a_lo, a_hi);
       auto probe = single_index_scan(db_.idx_b, b_lo, b_hi);
       if (kind == PlanKind::kHashJoinBA) std::swap(build, probe);
@@ -128,7 +163,6 @@ Result<OperatorPtr> Executor::BuildPlan(PlanKind kind,
     }
 
     case PlanKind::kCoverABBitmapFetch: {
-      RM_RETURN_IF_ERROR(require(db_.idx_ab, "idx(a,b)"));
       auto scan = cover_scan(db_.idx_ab, a_lo, a_hi, query.pred_b.active,
                              b_lo, b_hi, /*mdam=*/false);
       // MVCC: System B must fetch the row versions even though the index
@@ -139,7 +173,6 @@ Result<OperatorPtr> Executor::BuildPlan(PlanKind kind,
     }
 
     case PlanKind::kCoverBABitmapFetch: {
-      RM_RETURN_IF_ERROR(require(db_.idx_ba, "idx(b,a)"));
       auto scan = cover_scan(db_.idx_ba, b_lo, b_hi, query.pred_a.active,
                              a_lo, a_hi, /*mdam=*/false);
       return OperatorPtr(std::make_unique<FetchOp>(
@@ -148,8 +181,6 @@ Result<OperatorPtr> Executor::BuildPlan(PlanKind kind,
     }
 
     case PlanKind::kBitmapAndFetch: {
-      RM_RETURN_IF_ERROR(require(db_.idx_a, "idx(a)"));
-      RM_RETURN_IF_ERROR(require(db_.idx_b, "idx(b)"));
       auto intersect = std::make_unique<BitmapAndOp>(
           single_index_scan(db_.idx_a, a_lo, a_hi),
           single_index_scan(db_.idx_b, b_lo, b_hi), db_.table->num_rows());
@@ -159,19 +190,16 @@ Result<OperatorPtr> Executor::BuildPlan(PlanKind kind,
     }
 
     case PlanKind::kMdamAB: {
-      RM_RETURN_IF_ERROR(require(db_.idx_ab, "idx(a,b)"));
       return cover_scan(db_.idx_ab, a_lo, a_hi, /*filter=*/true, b_lo, b_hi,
                         /*mdam=*/true);
     }
 
     case PlanKind::kMdamBA: {
-      RM_RETURN_IF_ERROR(require(db_.idx_ba, "idx(b,a)"));
       return cover_scan(db_.idx_ba, b_lo, b_hi, /*filter=*/true, a_lo, a_hi,
                         /*mdam=*/true);
     }
 
     case PlanKind::kCoverABScan: {
-      RM_RETURN_IF_ERROR(require(db_.idx_ab, "idx(a,b)"));
       return cover_scan(db_.idx_ab, a_lo, a_hi, query.pred_b.active, b_lo,
                         b_hi, /*mdam=*/false);
     }
@@ -179,25 +207,48 @@ Result<OperatorPtr> Executor::BuildPlan(PlanKind kind,
   return Status::InvalidArgument("unknown plan kind");
 }
 
-Result<Measurement> Executor::Run(RunContext* ctx, PlanKind kind,
-                                  const QuerySpec& query) const {
-  auto plan = BuildPlan(kind, query);
-  RM_RETURN_IF_ERROR(plan.status());
+namespace {
 
+/// The one measurement sequence both `Run` overloads share: cold start,
+/// drain, read the clock and the I/O delta. `label` is copied into the
+/// measurement last so callers can pass a prepared plan's cached string.
+Result<Measurement> MeasurePlan(RunContext* ctx, Operator* plan,
+                                const std::string& label) {
   // Cold start: independent, reproducible map cells.
   ctx->ColdStart();
   IoStats before = ctx->device->stats();
   VirtualStopwatch watch(ctx->clock);
 
-  auto rows = DrainCount(ctx, plan.value().get());
+  auto rows = DrainCount(ctx, plan);
   RM_RETURN_IF_ERROR(rows.status());
 
   Measurement m;
   m.seconds = watch.elapsed_seconds();
   m.output_rows = rows.value();
   m.io = ctx->device->stats().Delta(before);
-  m.plan_label = PlanKindLabel(kind);
+  m.plan_label = label;
   return m;
+}
+
+}  // namespace
+
+Result<Executor::PreparedPlan> Executor::Prepare(PlanKind kind) const {
+  RM_RETURN_IF_ERROR(ValidatePlan(kind));
+  return PreparedPlan(kind, PlanKindLabel(kind));
+}
+
+Result<Measurement> Executor::Run(RunContext* ctx, PlanKind kind,
+                                  const QuerySpec& query) const {
+  auto plan = BuildPlan(kind, query);
+  RM_RETURN_IF_ERROR(plan.status());
+  return MeasurePlan(ctx, plan.value().get(), PlanKindLabel(kind));
+}
+
+Result<Measurement> Executor::Run(RunContext* ctx, const PreparedPlan& plan,
+                                  const QuerySpec& query) const {
+  auto tree = BuildPlanUnchecked(plan.kind(), query);
+  RM_RETURN_IF_ERROR(tree.status());
+  return MeasurePlan(ctx, tree.value().get(), plan.label());
 }
 
 }  // namespace robustmap

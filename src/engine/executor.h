@@ -2,6 +2,7 @@
 #define ROBUSTMAP_ENGINE_EXECUTOR_H_
 
 #include <string>
+#include <utility>
 
 #include "common/status.h"
 #include "engine/plan.h"
@@ -45,18 +46,58 @@ struct Measurement {
 /// their predecessor's cache.
 class Executor {
  public:
+  /// A plan kind whose storage requirements were validated once, with its
+  /// label string materialized once — the per-cell invariants of a sweep
+  /// (a sweep runs the same plan over thousands of cells, and neither the
+  /// null-index checks nor the label allocation depend on the cell).
+  /// Obtained from `Prepare()`; only the operator tree, whose predicate
+  /// bounds change per cell, remains per-`Run` work.
+  class PreparedPlan {
+   public:
+    PlanKind kind() const { return kind_; }
+    const std::string& label() const { return label_; }
+
+   private:
+    friend class Executor;
+    PreparedPlan(PlanKind kind, std::string label)
+        : kind_(kind), label_(std::move(label)) {}
+
+    PlanKind kind_;
+    std::string label_;
+  };
+
   explicit Executor(const StudyDb& db) : db_(db) {}
 
   /// Constructs the (unopened) operator tree for `kind` under `query`.
   Result<OperatorPtr> BuildPlan(PlanKind kind, const QuerySpec& query) const;
 
+  /// Validates that this database can execute `kind` (the table and every
+  /// index the plan needs are bound) and returns the handle that lets
+  /// `Run(ctx, prepared, query)` skip that validation — and the label
+  /// allocation — on every cell.
+  Result<PreparedPlan> Prepare(PlanKind kind) const;
+
   /// Cold-runs the plan to completion, counting output rows.
   Result<Measurement> Run(RunContext* ctx, PlanKind kind,
+                          const QuerySpec& query) const;
+
+  /// `Run` for a plan validated by `Prepare()`: bit-identical measurements,
+  /// minus the per-cell validation and label construction.
+  Result<Measurement> Run(RunContext* ctx, const PreparedPlan& plan,
                           const QuerySpec& query) const;
 
   const StudyDb& db() const { return db_; }
 
  private:
+  /// The storage-requirement checks of `BuildPlan`, separated so `Prepare`
+  /// can run them once per sweep instead of once per cell.
+  Status ValidatePlan(PlanKind kind) const;
+
+  /// Tree construction after validation; `kind` must have passed
+  /// `ValidatePlan`.
+  Result<OperatorPtr> BuildPlanUnchecked(PlanKind kind,
+                                         const QuerySpec& query) const;
+
   StudyDb db_;
 };
 

@@ -2,6 +2,7 @@
 #define ROBUSTMAP_IO_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <iterator>
 #include <list>
 #include <unordered_map>
 
@@ -27,14 +28,26 @@ class LruPageSet {
 
   /// Admits `page` as MRU, evicting the LRU page when full. A no-op at
   /// capacity 0. Must not be called for a resident page (use Touch/Warm).
+  ///
+  /// List nodes are an arena: an eviction rewrites the victim's node in
+  /// place (one splice), and an admission into spare capacity reuses a
+  /// node parked by `Clear()` before asking the heap for a new one. A
+  /// sweep's millions of per-cell cold starts therefore stop paying an
+  /// allocate/free per resident page — residency order and eviction
+  /// decisions are exactly as before, only the node lifetimes change.
   void Admit(uint64_t page) {
     if (capacity_ == 0) return;
     if (map_.size() >= capacity_) {
-      uint64_t victim = lru_.back();
-      lru_.pop_back();
-      map_.erase(victim);
+      map_.erase(lru_.back());
+      lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
+      lru_.front() = page;
+    } else if (!free_.empty()) {
+      lru_.splice(lru_.begin(), free_, free_.begin());
+      lru_.front() = page;
+    } else {
+      lru_.push_front(page);
+      ++node_allocations_;
     }
-    lru_.push_front(page);
     map_[page] = lru_.begin();
   }
 
@@ -45,18 +58,29 @@ class LruPageSet {
 
   bool Contains(uint64_t page) const { return map_.count(page) > 0; }
 
+  /// Drops all residency. Nodes are parked on the free list (one splice,
+  /// no deallocation) so the next measurement's admissions recycle them.
   void Clear() {
-    lru_.clear();
+    free_.splice(free_.begin(), lru_);
     map_.clear();
   }
 
   uint64_t size() const { return map_.size(); }
   uint64_t capacity() const { return capacity_; }
 
+  /// Test-only efficiency counter: LRU list nodes ever taken from the
+  /// heap. Recycled admissions (evictions, post-Clear reuse) do not count,
+  /// so a pool that keeps being recycled plateaus while a rebuilt-per-cell
+  /// pool grows linearly — the deterministic metric the arena-reuse tests
+  /// and the cold-start-vs-recycle microbench assert on.
+  uint64_t node_allocations() const { return node_allocations_; }
+
  private:
   uint64_t capacity_;
-  std::list<uint64_t> lru_;  ///< front = most recent
+  std::list<uint64_t> lru_;   ///< front = most recent
+  std::list<uint64_t> free_;  ///< nodes parked by Clear(), awaiting reuse
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  uint64_t node_allocations_ = 0;
 };
 
 /// The buffer-pool interface a `RunContext` executes against.
@@ -109,6 +133,12 @@ class BufferPool {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
 
+  /// Test-only: heap allocations this pool's residency structure has ever
+  /// made (see `LruPageSet::node_allocations`). 0 for pools that do not
+  /// track — shared views report 0 because the nodes belong to the one
+  /// shared cache, not to any view.
+  virtual uint64_t node_allocations() const { return 0; }
+
  protected:
   BufferPool() = default;
 
@@ -129,6 +159,9 @@ class LruBufferPool : public BufferPool {
   void Clear() override { pages_.Clear(); }
   uint64_t capacity_pages() const override { return pages_.capacity(); }
   uint64_t resident_pages() const override { return pages_.size(); }
+  uint64_t node_allocations() const override {
+    return pages_.node_allocations();
+  }
 
  private:
   SimDevice* device_;

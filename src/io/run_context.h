@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "io/buffer_pool.h"
 #include "io/disk_model.h"
 #include "io/shared_buffer_pool.h"
@@ -89,6 +92,7 @@ class OwnedRunContext {
     device_.AllocateExtent(data_pages);
     device_.SealDataExtents();
     if (shared_pool != nullptr) {
+      shared_view_ = true;
       pool_ = std::make_unique<SharedBufferPoolView>(&device_, shared_pool);
     } else {
       pool_ = std::make_unique<LruBufferPool>(&device_, pool_pages);
@@ -107,11 +111,32 @@ class OwnedRunContext {
 
   RunContext* ctx() { return &ctx_; }
 
+  /// Resets this machine in place to the state a freshly constructed one
+  /// would have — clock zeroed, CPU carry cleared, private pool emptied
+  /// (page nodes recycled, never freed), pool statistics zeroed, head
+  /// forgotten, temp extents released, `warmup` stamped — without
+  /// reallocating the device mirror, the pool, or any page nodes. Cold
+  /// measurements on a recycled machine are bit-identical to measurements
+  /// on a fresh `Create()`. A machine attached to a shared pool skips the
+  /// residency clear: constructing a fresh view leaves the shared cache
+  /// untouched, and recycling must be indistinguishable from that. Only
+  /// call between measurements, never during one.
+  void Recycle(const WarmupPolicy& warmup) {
+    clock_.Reset();
+    if (!shared_view_) pool_->Clear();
+    pool_->ResetStats();
+    device_.ResetHead();
+    device_.ReleaseTempExtents();
+    ctx_.warmup = warmup;
+    ctx_.cpu_carry_ns = 0.0;
+  }
+
  private:
   VirtualClock clock_;
   SimDevice device_;
   std::unique_ptr<BufferPool> pool_;
   RunContext ctx_;
+  bool shared_view_ = false;
 };
 
 /// Builds independent, identically-configured simulated machines from a
@@ -133,8 +158,13 @@ class RunContextFactory {
 
   /// Every machine from `Create()` attaches to `pool` — one cache shared
   /// across workers — instead of receiving a private pool. See
-  /// `SharedBufferPool` for the determinism contract.
-  void ShareBufferPool(SharedBufferPool* pool) { shared_pool_ = pool; }
+  /// `SharedBufferPool` for the determinism contract. Machines parked in
+  /// the arena were built under the old pool topology, so they are dropped.
+  void ShareBufferPool(SharedBufferPool* pool) {
+    shared_pool_ = pool;
+    MutexLock lock(&arena_mu_);
+    arena_.clear();
+  }
 
   /// Overrides the warmup policy the machines start with.
   void set_warmup(const WarmupPolicy& warmup) { warmup_ = warmup; }
@@ -146,6 +176,34 @@ class RunContextFactory {
         hash_memory_bytes_, warmup_, shared_pool_);
   }
 
+  /// Like `Create()`, but recycles a machine parked by `Release()` when one
+  /// is available — same measurements, no reallocation of the device mirror
+  /// or pool (see `OwnedRunContext::Recycle`). Thread-safe.
+  std::unique_ptr<OwnedRunContext> Acquire() const {
+    std::unique_ptr<OwnedRunContext> machine;
+    {
+      MutexLock lock(&arena_mu_);
+      if (!arena_.empty()) {
+        machine = std::move(arena_.back());
+        arena_.pop_back();
+      }
+    }
+    if (machine != nullptr) {
+      machine->Recycle(warmup_);
+      return machine;
+    }
+    return Create();
+  }
+
+  /// Parks `machine` for reuse by a later `Acquire()`. Null-tolerant.
+  /// The machine must have been produced by this factory after its last
+  /// `ShareBufferPool()` call, and must not be mid-measurement.
+  void Release(std::unique_ptr<OwnedRunContext> machine) const {
+    if (machine == nullptr) return;
+    MutexLock lock(&arena_mu_);
+    arena_.push_back(std::move(machine));
+  }
+
  private:
   DiskParameters disk_;
   CpuParameters cpu_;
@@ -155,6 +213,11 @@ class RunContextFactory {
   uint64_t hash_memory_bytes_;
   WarmupPolicy warmup_;
   SharedBufferPool* shared_pool_ = nullptr;
+
+  /// Machines parked between measurements, awaiting `Acquire()`.
+  mutable Mutex arena_mu_;
+  mutable std::vector<std::unique_ptr<OwnedRunContext>> arena_
+      GUARDED_BY(arena_mu_);
 };
 
 }  // namespace robustmap

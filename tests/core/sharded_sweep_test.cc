@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sweep_telemetry.h"
 #include "testing/map_expect.h"
 #include "testing/test_env.h"
 
@@ -59,7 +60,13 @@ TEST(RunShardedSweepTest, MergedMapBitIdenticalAcrossWorkerCounts) {
                                   opts, &stats)
                       .ValueOrDie();
     SCOPED_TRACE(std::to_string(workers) + " workers");
-    EXPECT_EQ(stats.tiles_total, stats.tiles_computed);
+    // Each straggler split turns one pending tile into two, so with more
+    // workers than planned tiles the computed count exceeds the plan by
+    // exactly the split count — and the merged bytes must not notice.
+    EXPECT_EQ(stats.tiles_computed, stats.tiles_total + stats.tiles_split);
+    if (workers <= 1) {
+      EXPECT_EQ(stats.tiles_split, 0u);
+    }
     EXPECT_EQ(stats.tiles_reused, 0u);
     ExpectMapsBitIdentical(reference, merged);
   }
@@ -216,9 +223,107 @@ TEST(RunShardedSweepTest, ResumeRecomputesOnlyMissingAndCorruptTiles) {
   auto map2 = RunShardedSweep(env.ctx(), executor, StudySubset(), space,
                               opts, &stats)
                   .ValueOrDie();
-  EXPECT_EQ(stats.tiles_computed, 2u);
+  // Two damaged tiles on a four-worker box leaves workers idle, so the
+  // straggler splitter cuts the recomputation finer: 2 + one extra tile
+  // per split. The healed map must still match the original bytes.
+  EXPECT_EQ(stats.tiles_computed, 2u + stats.tiles_split);
+  EXPECT_GT(stats.tiles_split, 0u);
   EXPECT_EQ(stats.tiles_reused, stats.tiles_total - 2);
   ExpectMapsBitIdentical(map1, map2);
+}
+
+TEST(RunShardedSweepTest, MegaTileSplitsAndMeasuresEachCellExactlyOnce) {
+  // The worst partition on the skewed study grid: one mega-tile holding
+  // every cell, four idle workers. The splitter must cut it into
+  // dispatchable pieces, measure every (plan, point) cell exactly once
+  // across all worker processes, and merge the serial bytes.
+  ProcEnv env;
+  Executor executor(env.db());
+  ParameterSpace space = SmallGrid();
+
+  SweepOptions serial;
+  serial.num_threads = 1;
+  auto reference =
+      SweepStudyPlans(env.ctx(), executor, StudySubset(), space, serial)
+          .ValueOrDie();
+
+  ShardedSweepOptions opts;
+  opts.tile_dir = FreshTileDir("megatile");
+  opts.num_workers = 4;
+  opts.num_tiles = 1;
+  ShardedSweepStats stats;
+  SweepTelemetry::Get().Reset();
+  SweepTelemetry::Get().Enable();
+  auto merged = RunShardedSweep(env.ctx(), executor, StudySubset(), space,
+                                opts, &stats)
+                    .ValueOrDie();
+  SweepTelemetry::Get().Disable();
+  const auto counters = SweepTelemetry::Get().Counters();
+  SweepTelemetry::Get().Reset();
+
+  EXPECT_EQ(stats.tiles_total, 1u);
+  EXPECT_GE(stats.tiles_split, 1u);
+  EXPECT_EQ(stats.tiles_computed, 1u + stats.tiles_split);
+  // Nothing is recomputed under a split: the per-cell counter (merged
+  // from every worker's telemetry sidecar) counts each cell once.
+  ASSERT_TRUE(counters.count("sweep.cells_measured"));
+  EXPECT_EQ(counters.at("sweep.cells_measured"),
+            StudySubset().size() * space.num_points());
+  ExpectMapsBitIdentical(reference, merged);
+}
+
+TEST(RunShardedSweepTest, ResumeAdoptsSplitPiecesByCoverage) {
+  // A sweep whose tiles were straggler-split leaves *pieces* on disk, not
+  // the planned tile files. A later resume against the same plan must
+  // adopt the pieces that cover each planned tile instead of recomputing
+  // — the resume-after-kill contract when the kill landed after a split
+  // checkpointed its children.
+  ProcEnv env;
+  Executor executor(env.db());
+  ParameterSpace space = SmallGrid();
+
+  SweepOptions serial;
+  serial.num_threads = 1;
+  auto reference =
+      SweepStudyPlans(env.ctx(), executor, StudySubset(), space, serial)
+          .ValueOrDie();
+
+  ShardedSweepOptions opts;
+  opts.tile_dir = FreshTileDir("adopt");
+  opts.num_workers = 8;
+  opts.num_tiles = 2;
+  ShardedSweepStats stats;
+  auto first = RunShardedSweep(env.ctx(), executor, StudySubset(), space,
+                               opts, &stats)
+                   .ValueOrDie();
+  ASSERT_GE(stats.tiles_split, 1u);
+  ExpectMapsBitIdentical(reference, first);
+
+  ShardedSweepStats resumed_stats;
+  auto resumed = RunShardedSweep(env.ctx(), executor, StudySubset(), space,
+                                 opts, &resumed_stats)
+                     .ValueOrDie();
+  EXPECT_EQ(resumed_stats.tiles_computed, 0u);
+  EXPECT_GE(resumed_stats.tiles_reused, 2u);  // adopted pieces, not plans
+  ExpectMapsBitIdentical(reference, resumed);
+
+  // Lose one checkpointed piece (the kill-mid-split shape): the next
+  // resume adopts the surviving pieces and recomputes only the uncovered
+  // remainder — and still merges the serial bytes.
+  for (size_t id = 2; id < 64; ++id) {
+    const std::string path = opts.tile_dir + "/" + TileFileName(id);
+    if (std::ifstream(path).good()) {
+      std::remove(path.c_str());
+      break;
+    }
+  }
+  ShardedSweepStats healed_stats;
+  auto healed = RunShardedSweep(env.ctx(), executor, StudySubset(), space,
+                                opts, &healed_stats)
+                    .ValueOrDie();
+  EXPECT_GE(healed_stats.tiles_computed, 1u);
+  EXPECT_GE(healed_stats.tiles_reused, 1u);
+  ExpectMapsBitIdentical(reference, healed);
 }
 
 TEST(RunShardedSweepTest, ResumeRejectsTilesFromADifferentConfiguration) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/sharded_sweep.h"
+#include "engine/query.h"
 #include "testing/map_expect.h"
 #include "testing/test_env.h"
 
@@ -150,6 +151,113 @@ TEST(SweepEngineTest, ShardedWarmColdMatchesSerialReferencePerLayer) {
   EXPECT_EQ(resumed.sharded_stats.tiles_reused,
             resumed.sharded_stats.tiles_total);
   ExpectMapsBitIdentical(reference.delta(), resumed.delta());
+}
+
+TEST(SweepEngineTest, RecycledMachinesBitIdenticalAcrossBackendsAndWarmups) {
+  // The arena-reuse contract: worker machines recycled between cells (and
+  // between whole sweeps) must measure exactly what freshly built ones
+  // would, for every backend and warmup policy the study supports.
+  ProcEnv env;
+  Executor executor(env.db());
+  // Prior-run cells inherit the pool contents the previous cell (and the
+  // previous *sweep*) left behind — order-dependent by design — so every
+  // run below starts from the same empty pool to be comparable at all.
+  // For cold and fraction-resident the reset is a no-op: ColdStart
+  // re-establishes the prescribed state at every cell anyway.
+  const auto reset_pool = [&] {
+    env.ctx()->pool->Clear();
+    env.ctx()->pool->ResetStats();
+  };
+  for (const WarmupPolicy& warmup :
+       {WarmupPolicy::Cold(), WarmupPolicy::PriorRun(),
+        WarmupPolicy::FractionResident(0.5)}) {
+    SCOPED_TRACE(warmup.label());
+    env.ctx()->warmup = warmup;
+
+    reset_pool();
+    auto serial = SweepEngine::Run(env.ctx(), executor,
+                                   BaseRequest(StudyKind::kPlainMap,
+                                               BackendKind::kSerial))
+                      .ValueOrDie();
+
+    if (warmup.is_order_dependent()) {
+      // Order-dependent cells sit outside the backend bit-identity
+      // contract (residency carries from cell to cell, so any schedule
+      // change is observable). What must still hold: the same serialized
+      // sweep from the same starting pool state reproduces exactly —
+      // plan batching must not perturb it.
+      reset_pool();
+      auto again = SweepEngine::Run(env.ctx(), executor,
+                                    BaseRequest(StudyKind::kPlainMap,
+                                                BackendKind::kSerial))
+                       .ValueOrDie();
+      ExpectMapsBitIdentical(serial.map(), again.map());
+      // And the warm-cold study — whose parallel cold half draws recycled
+      // machines from the factory arena while the prior-run warm half is
+      // serialized — reproduces layer for layer.
+      reset_pool();
+      auto wc_first = RunWarmColdSweep(env.ctx(), executor, StudySubset(),
+                                       SmallGrid(), WarmupPolicy::PriorRun())
+                          .ValueOrDie();
+      reset_pool();
+      auto wc_second = RunWarmColdSweep(env.ctx(), executor, StudySubset(),
+                                        SmallGrid(),
+                                        WarmupPolicy::PriorRun())
+                           .ValueOrDie();
+      ExpectMapsBitIdentical(wc_first.cold, wc_second.cold);
+      ExpectMapsBitIdentical(wc_first.warm, wc_second.warm);
+      ExpectMapsBitIdentical(wc_first.delta, wc_second.delta);
+      continue;
+    }
+
+    SweepRequest threaded =
+        BaseRequest(StudyKind::kPlainMap, BackendKind::kThreaded);
+    threaded.sweep.num_threads = 4;
+    reset_pool();
+    auto first = SweepEngine::Run(env.ctx(), executor, threaded)
+                     .ValueOrDie();
+    reset_pool();
+    auto second = SweepEngine::Run(env.ctx(), executor, threaded)
+                      .ValueOrDie();
+    ExpectMapsBitIdentical(serial.map(), first.map());
+    ExpectMapsBitIdentical(serial.map(), second.map());
+
+    SweepRequest sharded =
+        BaseRequest(StudyKind::kPlainMap, BackendKind::kShardedProcess);
+    sharded.sharded.tile_dir = FreshTileDir(
+        "recycle_" + std::to_string(static_cast<int>(warmup.mode)));
+    sharded.sharded.num_workers = 2;
+    sharded.sharded.num_tiles = 4;
+    auto merged = SweepEngine::Run(env.ctx(), executor, sharded)
+                      .ValueOrDie();
+    ExpectMapsBitIdentical(serial.map(), merged.map());
+  }
+  env.ctx()->warmup = WarmupPolicy::Cold();
+}
+
+TEST(SweepEngineTest, RepeatedSweepsOverOneFactoryRecycleExactly) {
+  // Two parallel sweeps over the same factory: the first builds its worker
+  // machines cold, the second draws every machine recycled from the arena.
+  // Rebuild-every-cell and recycle must be indistinguishable in the map.
+  ProcEnv env;
+  Executor executor(env.db());
+  RunContextFactory factory(*env.ctx());
+  const std::vector<PlanKind> plans = StudySubset();
+  std::vector<std::string> labels;
+  for (PlanKind k : plans) labels.push_back(PlanKindLabel(k));
+  const int64_t domain = executor.db().domain;
+  const auto runner = [&](RunContext* ctx, size_t plan, double sx,
+                          double sy) {
+    return executor.Run(ctx, plans[plan], MakeStudyQuery(sx, sy, domain));
+  };
+  SweepOptions opts;
+  opts.num_threads = 3;
+  auto fresh = ParallelRunSweep(SmallGrid(), labels, factory, runner, opts)
+                   .ValueOrDie();
+  auto recycled = ParallelRunSweep(SmallGrid(), labels, factory, runner,
+                                   opts)
+                      .ValueOrDie();
+  ExpectMapsBitIdentical(fresh, recycled);
 }
 
 TEST(SweepEngineTest, ShardedResumeRejectsTilesOfADifferentStudy) {

@@ -134,5 +134,30 @@ TEST_F(BufferPoolTest, WarmRefreshesLruPosition) {
   EXPECT_TRUE(pool.Contains(3));
 }
 
+TEST_F(BufferPoolTest, EvictionRecyclesNodesInPlace) {
+  LruBufferPool pool(&device_, 4);
+  for (uint64_t p = 0; p < 4; ++p) pool.Access(p);
+  EXPECT_EQ(pool.node_allocations(), 4u);
+  // At capacity, every further admission reuses the eviction victim's
+  // node: residency churns, the allocation count does not.
+  for (uint64_t p = 4; p < 100; ++p) pool.Access(p);
+  EXPECT_EQ(pool.node_allocations(), 4u);
+  EXPECT_EQ(pool.resident_pages(), 4u);
+}
+
+TEST_F(BufferPoolTest, ClearFreesNodesToTheRecycleList) {
+  LruBufferPool pool(&device_, 8);
+  for (uint64_t p = 0; p < 8; ++p) pool.Access(p);
+  EXPECT_EQ(pool.node_allocations(), 8u);
+  pool.Clear();
+  EXPECT_EQ(pool.resident_pages(), 0u);
+  // A cleared pool re-admits into recycled nodes — no fresh allocations
+  // until the working set outgrows everything ever allocated.
+  for (uint64_t p = 100; p < 108; ++p) pool.Access(p);
+  EXPECT_EQ(pool.node_allocations(), 8u);
+  pool.Access(200);  // 9th distinct resident page ever: one fresh node
+  EXPECT_EQ(pool.node_allocations(), 8u);  // ...recycled via eviction
+}
+
 }  // namespace
 }  // namespace robustmap

@@ -197,6 +197,92 @@ TEST_F(RunContextTest, FactoryPropagatesWarmupPolicy) {
   EXPECT_TRUE(machine->ctx()->pool->Contains(5));
 }
 
+TEST_F(RunContextTest, RecycleResetsMachineInPlace) {
+  device_.AllocateExtent(100);
+  device_.SealDataExtents();
+  RunContextFactory factory(ctx_);
+  auto machine = factory.Create();
+  RunContext* worker = machine->ctx();
+
+  // Dirty every piece of machine state a measurement touches.
+  worker->ReadPage(3);
+  worker->ReadPage(3);
+  worker->ChargeCpu(5.7e-9);
+  worker->device->ReleaseTempExtents();
+  const uint64_t temp_start = worker->device->AllocateExtent(4);
+
+  machine->Recycle(WarmupPolicy::FractionResident(0.25));
+  EXPECT_EQ(worker->clock->now_ns(), 0);
+  EXPECT_EQ(worker->cpu_carry_ns, 0.0);
+  EXPECT_EQ(worker->pool->resident_pages(), 0u);
+  EXPECT_EQ(worker->pool->hits(), 0u);
+  EXPECT_EQ(worker->pool->misses(), 0u);
+  EXPECT_EQ(worker->warmup.mode, WarmupPolicy::Mode::kFractionResident);
+  // Temp extents released: the next spill lands exactly where the first
+  // one did, so spill seek costs cannot depend on recycling history.
+  EXPECT_EQ(worker->device->AllocateExtent(4), temp_start);
+}
+
+TEST_F(RunContextTest, RecycledMachineAllocatesNoNewPageNodes) {
+  device_.AllocateExtent(100);
+  device_.SealDataExtents();
+  RunContextFactory factory(ctx_);
+  auto machine = factory.Create();
+
+  for (uint64_t p = 0; p < 32; ++p) machine->ctx()->ReadPage(p);
+  const uint64_t cold_allocs = machine->ctx()->pool->node_allocations();
+  EXPECT_EQ(cold_allocs, 32u);
+
+  // The same working set on the recycled machine reuses the freed nodes:
+  // zero fresh heap allocations, where a rebuilt machine would pay all 32
+  // again. This counter is the deterministic form of the recycle speedup.
+  machine->Recycle(WarmupPolicy::Cold());
+  for (uint64_t p = 0; p < 32; ++p) machine->ctx()->ReadPage(p);
+  EXPECT_EQ(machine->ctx()->pool->node_allocations(), cold_allocs);
+  EXPECT_LT(machine->ctx()->pool->node_allocations(), 2 * cold_allocs);
+}
+
+TEST_F(RunContextTest, AcquireRecyclesParkedMachines) {
+  device_.AllocateExtent(100);
+  device_.SealDataExtents();
+  RunContextFactory factory(ctx_);
+
+  auto machine = factory.Acquire();  // empty arena: a fresh Create()
+  OwnedRunContext* raw = machine.get();
+  machine->ctx()->ReadPage(9);
+  factory.Release(std::move(machine));
+
+  factory.set_warmup(WarmupPolicy::FractionResident(0.5));
+  auto recycled = factory.Acquire();
+  EXPECT_EQ(recycled.get(), raw);  // the parked machine, not a rebuild
+  EXPECT_EQ(recycled->ctx()->pool->resident_pages(), 0u);
+  EXPECT_EQ(recycled->ctx()->warmup.mode,
+            WarmupPolicy::Mode::kFractionResident);
+
+  factory.Release(nullptr);  // null-tolerant (skipped cells release null)
+  auto fresh = factory.Acquire();
+  EXPECT_NE(fresh.get(), raw);
+}
+
+TEST_F(RunContextTest, ShareBufferPoolDropsParkedMachines) {
+  device_.AllocateExtent(100);
+  device_.SealDataExtents();
+  SharedBufferPool shared(64);
+  RunContextFactory factory(ctx_);
+  factory.Release(factory.Create());  // parked under the private topology
+
+  factory.ShareBufferPool(&shared);
+  auto machine = factory.Acquire();  // must NOT be the parked private one
+  EXPECT_FALSE(machine->ctx()->ReadPage(5));  // miss admits into `shared`
+  EXPECT_TRUE(shared.Contains(5));
+
+  // Recycling a shared-view machine leaves the shared cache untouched —
+  // exactly what constructing a fresh view would do.
+  machine->Recycle(WarmupPolicy::Cold());
+  EXPECT_TRUE(shared.Contains(5));
+  EXPECT_EQ(machine->ctx()->pool->hits(), 0u);
+}
+
 TEST_F(RunContextTest, FactorySharedPoolAttachesAllMachinesToOneCache) {
   device_.AllocateExtent(100);
   device_.SealDataExtents();
