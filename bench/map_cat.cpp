@@ -13,12 +13,18 @@
 //   map_cat --dat [--layer=L] FILE...    # gnuplot data on stdout
 //   map_cat --ppm [--plan=K] [--layer=L] FILE...  # FILE_[layer_]planK.ppm
 //   map_cat --telemetry FILE.json...  # counter table + histogram bars
+//   map_cat --cache-info DIR...     # cell-result cache summary
 //   map_cat --selftest              # write+read+render round trip, exit 0/1
 //
 // --telemetry pretty-prints the telemetry.json sidecars the sweep drivers
 // write (`sweep_shard --telemetry=FILE`, REPRO_TELEMETRY): every counter
 // in a table, every latency histogram as ASCII bucket bars with
 // count/sum/min/max.
+//
+// --cache-info inspects a cell-result cache (the --cache-dir of
+// `sweep_shard` / `sweep_worker`, or its cells.rmc directly): file format
+// version, fingerprint schema version (flagged when this build would
+// ignore it as stale), entry count, and a per-study entry breakdown.
 //
 // Reads any tile format version this build's reader accepts (v1/v2 files
 // are single-layer; v3 files carry one named layer per study output, e.g.
@@ -30,12 +36,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/format.h"
+#include "core/cell_cache.h"
 #include "core/color_scale.h"
 #include "core/map_io.h"
 #include "core/sweep_telemetry.h"
@@ -202,6 +210,46 @@ int PrintTelemetry(const std::string& path) {
   return 0;
 }
 
+/// `--cache-info`: the summary of a cell-result cache. Accepts the cache
+/// *directory* (what the sweep drivers take as --cache-dir) or the
+/// cells.rmc inside it. The reader's distinct truncation / corruption /
+/// unknown-version errors pass through verbatim; a stale fingerprint
+/// schema is not an error here — the whole point of the inspector is
+/// seeing what a sweep would silently start over from.
+int PrintCacheInfo(const std::string& arg) {
+  std::string path = arg;
+  if (path.size() < 4 || path.substr(path.size() - 4) != ".rmc") {
+    path = CellCacheFileName(arg);
+  }
+  auto data = ReadCellCacheFile(path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "map_cat: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s:\n", path.c_str());
+  std::printf("  format version     : %u\n", kCellCacheFormatVersion);
+  const std::string stale =
+      data.value().fingerprint_schema == kCellCacheFingerprintSchemaVersion
+          ? ""
+          : " (stale; this build keys under schema " +
+                std::to_string(kCellCacheFingerprintSchemaVersion) +
+                " and would ignore these entries)";
+  std::printf("  fingerprint schema : %u%s\n", data.value().fingerprint_schema,
+              stale.c_str());
+  std::printf("  entries            : %zu\n", data.value().entries.size());
+  if (data.value().entries.empty()) return 0;
+  std::map<std::string, size_t> by_study;
+  for (const CellCacheEntry& e : data.value().entries) {
+    ++by_study[e.study.empty() ? "(unnamed)" : e.study];
+  }
+  TextTable table({"study", "entries"});
+  for (const auto& [study, count] : by_study) {
+    table.AddRow({study, std::to_string(count)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
 /// The round-trip smoke test ctest runs: a synthetic sub-rectangle tile
 /// with every field populated must write, read back bit-identically
 /// (including wall-time metadata), convert to identical CSV, render a
@@ -355,8 +403,43 @@ int SelfTest() {
   telemetry.Disable();
   std::remove(tpath.c_str());
 
-  std::printf("map_cat selftest: write/read/csv/dat/ascii/ppm/telemetry "
-              "round trips OK (single and multi-layer)\n");
+  // Cache-inspector leg: a small cell-result cache must round-trip with
+  // its fingerprint schema and per-study entries intact, and must print
+  // through the --cache-info path (here via its .rmc directly — the
+  // directory form just appends the canonical file name).
+  CellCacheData cdata;
+  for (uint64_t i = 0; i < 3; ++i) {
+    CellCacheEntry e;
+    e.fingerprint = 0x1000 + i;
+    e.study = i < 2 ? "plain" : "warmcold";
+    e.m.seconds = 0.25 * static_cast<double>(i + 1);
+    e.m.plan_label = "scan";
+    cdata.entries.push_back(std::move(e));
+  }
+  const std::string cpath = OutDir() + "/map_cat_selftest_cells.rmc";
+  if (Status s = WriteCellCacheFile(cpath, cdata); !s.ok()) {
+    std::fprintf(stderr, "selftest: cache write failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  auto cback = ReadCellCacheFile(cpath);
+  if (!cback.ok()) {
+    std::fprintf(stderr, "selftest: cache read failed: %s\n",
+                 cback.status().ToString().c_str());
+    return 1;
+  }
+  if (cback.value().fingerprint_schema != kCellCacheFingerprintSchemaVersion ||
+      cback.value().entries.size() != 3 ||
+      cback.value().entries[2].study != "warmcold" ||
+      cback.value().entries[1].m.seconds != 0.5) {
+    std::fprintf(stderr, "selftest: cache round trip mangled\n");
+    return 1;
+  }
+  if (PrintCacheInfo(cpath) != 0) return 1;
+  std::remove(cpath.c_str());
+
+  std::printf("map_cat selftest: write/read/csv/dat/ascii/ppm/telemetry/"
+              "cache round trips OK (single and multi-layer)\n");
   return 0;
 }
 
@@ -369,7 +452,8 @@ int main(int argc, char** argv) {
     kCsv,
     kDat,
     kPpm,
-    kTelemetry
+    kTelemetry,
+    kCacheInfo
   } mode = Mode::kInfo;
   int only_plan = -1;
   int layer = 0;
@@ -388,6 +472,8 @@ int main(int argc, char** argv) {
       mode = Mode::kPpm;
     } else if (arg == "--telemetry") {
       mode = Mode::kTelemetry;
+    } else if (arg == "--cache-info") {
+      mode = Mode::kCacheInfo;
     } else if (arg == "--selftest") {
       return SelfTest();
     } else if (ParseIntFlag(arg, "plan", &only_plan)) {
@@ -406,6 +492,7 @@ int main(int argc, char** argv) {
                  "usage: map_cat [--info|--ascii|--csv|--dat|--ppm] "
                  "[--plan=K] [--layer=L] FILE.rmt...\n"
                  "       map_cat --telemetry FILE.json...\n"
+                 "       map_cat --cache-info DIR...\n"
                  "       map_cat --selftest\n");
     return 2;
   }
@@ -413,6 +500,10 @@ int main(int argc, char** argv) {
   for (const std::string& path : files) {
     if (mode == Mode::kTelemetry) {
       if (PrintTelemetry(path) != 0) return 1;
+      continue;
+    }
+    if (mode == Mode::kCacheInfo) {
+      if (PrintCacheInfo(path) != 0) return 1;
       continue;
     }
     auto tile = ReadMapTileFile(path);
@@ -451,6 +542,7 @@ int main(int argc, char** argv) {
         }
         break;
       case Mode::kTelemetry:
+      case Mode::kCacheInfo:
         break;  // handled before the tile read above
     }
   }

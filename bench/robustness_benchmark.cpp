@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/cell_cache.h"
 #include "core/landmarks.h"
 #include "core/sharded_sweep.h"
 #include "core/sweep_telemetry.h"
@@ -49,6 +50,17 @@ struct ShardLeg {
   double busy_total_seconds = 0;  ///< summed worker busy time
   size_t tiles = 0;
   bool bit_identical = false;
+};
+
+/// The cell-cache legs for the JSON artifact: how much the warm rerun
+/// reused (all of it, if the cache works), and how early a progressive
+/// sweep's first coarse snapshot landed relative to its full wall time.
+struct CacheLeg {
+  uint64_t cells_reused = 0;
+  double hit_rate = 0;
+  double warm_wall_seconds = 0;
+  double first_snapshot_seconds = 0;
+  double progressive_wall_seconds = 0;
 };
 
 /// Upper bound of the histogram bucket where the cumulative count crosses
@@ -94,6 +106,7 @@ void WriteBenchJson(
     const BenchScale& scale, size_t plans, size_t cells, unsigned threads,
     double serial_wall, double parallel_wall, bool bit_identical,
     unsigned shards, const ShardLeg& uniform, const ShardLeg& weighted,
+    const CacheLeg& cached,
     const std::vector<std::pair<std::string, double>>& phase_walls) {
   const unsigned hardware_threads = std::thread::hardware_concurrency();
   // A speedup measured with more threads than the box has (or on a
@@ -154,6 +167,16 @@ void WriteBenchJson(
                weighted.bit_identical ? "true" : "false",
                uniform.wall_seconds, uniform.balance_ratio,
                uniform.bit_identical ? "true" : "false");
+  std::fprintf(f,
+               "  \"cells_reused\": %llu,\n"
+               "  \"cache_hit_rate\": %.4f,\n"
+               "  \"cache_warm_wall_seconds\": %.6f,\n"
+               "  \"time_to_first_snapshot_seconds\": %.6f,\n"
+               "  \"progressive_wall_seconds\": %.6f,\n",
+               static_cast<unsigned long long>(cached.cells_reused),
+               cached.hit_rate, cached.warm_wall_seconds,
+               cached.first_snapshot_seconds,
+               cached.progressive_wall_seconds);
   std::fprintf(f, "  \"phase_walls_seconds\": {");
   for (size_t i = 0; i < phase_walls.size(); ++i) {
     std::fprintf(f, "%s\n    \"%s\": %.6f", i == 0 ? "" : ",",
@@ -305,14 +328,20 @@ int main() {
   // checkpoint directory left by an earlier run.
   const unsigned shard_workers =
       scale.num_shards != 0 ? scale.num_shards : 8;
-  auto run_shard_leg = [&](CostModelKind model,
-                           const std::string& dir) -> ShardLeg {
+  // In-memory cell-result cache for the reuse legs below. The weighted
+  // sharded leg runs with it attached: its post-merge publishes fill the
+  // cache as a side effect of work the leg does anyway, so the warm
+  // rerun's reuse is measured without paying for an extra cold sweep.
+  CellResultCache cell_cache;
+  auto run_shard_leg = [&](CostModelKind model, const std::string& dir,
+                           CellResultCache* cache) -> ShardLeg {
     SweepRequest req = StudyRequest(scale, AllStudyPlans(), grid);
     req.backend = BackendKind::kShardedProcess;
     req.sharded.tile_dir = OutDir() + "/" + dir;
     req.sharded.num_workers = shard_workers;
     req.sharded.resume = false;
     req.sharded.cost_model = model;
+    req.cell_cache = cache;
     WallTimer timer;
     auto out = SweepEngine::Run(env->ctx(), env->executor(), req)
                    .ValueOrDie();
@@ -332,14 +361,82 @@ int main() {
                 leg.balance_ratio);
     return leg;
   };
-  const ShardLeg uniform_leg =
-      run_shard_leg(CostModelKind::kUniform, "robustness_shards_uniform");
+  const ShardLeg uniform_leg = run_shard_leg(
+      CostModelKind::kUniform, "robustness_shards_uniform", nullptr);
   phase_walls.emplace_back("sharded_uniform", uniform_leg.wall_seconds);
   const ShardLeg weighted_leg =
-      run_shard_leg(scale.cost_model, "robustness_shards");
+      run_shard_leg(scale.cost_model, "robustness_shards", &cell_cache);
   phase_walls.emplace_back("sharded_weighted", weighted_leg.wall_seconds);
   bool sharded_bit_identical =
       uniform_leg.bit_identical && weighted_leg.bit_identical;
+
+  // Fourth leg, the "never measure a cell twice" half of the scorecard: a
+  // threaded rerun of the full study against the cache the weighted leg
+  // just filled. Every cell must come back as a hit — zero measurements —
+  // and the resulting map must still equal the serial one bit for bit.
+  CacheLeg cache_leg;
+  const auto counter = [](const std::map<std::string, uint64_t>& c,
+                          const char* name) -> uint64_t {
+    const auto it = c.find(name);
+    return it == c.end() ? 0 : it->second;
+  };
+  const auto before = SweepTelemetry::Get().Counters();
+  SweepRequest warm_req = StudyRequest(scale, AllStudyPlans(), grid);
+  warm_req.cell_cache = &cell_cache;
+  WallTimer warm_timer;
+  auto warm_map = std::move(
+      SweepEngine::Run(env->ctx(), env->executor(), warm_req)
+          .ValueOrDie()
+          .layers.front());
+  cache_leg.warm_wall_seconds = warm_timer.Seconds();
+  phase_walls.emplace_back("cache_warm", cache_leg.warm_wall_seconds);
+  const auto after = SweepTelemetry::Get().Counters();
+  cache_leg.cells_reused = counter(after, "sweep.cells_reused") -
+                           counter(before, "sweep.cells_reused");
+  const uint64_t hits =
+      counter(after, "cache.hits") - counter(before, "cache.hits");
+  const uint64_t misses =
+      counter(after, "cache.misses") - counter(before, "cache.misses");
+  cache_leg.hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  const bool warm_bit_identical = MapsBitIdentical(serial_map, warm_map);
+  std::printf("cache-warm rerun: %.2fs, %llu of %zu cells reused "
+              "(hit rate %.3f)\n",
+              cache_leg.warm_wall_seconds,
+              static_cast<unsigned long long>(cache_leg.cells_reused),
+              map.num_plans() * grid.num_points(), cache_leg.hit_rate);
+
+  // Fifth leg: the same study swept coarse-to-fine on a fresh cache (the
+  // engine brings its own when the request carries none), timing how early
+  // the first stride-8 snapshot lands relative to the full-resolution
+  // finish — the progressive mode's reason to exist.
+  SweepRequest prog_req = StudyRequest(scale, AllStudyPlans(), grid);
+  prog_req.progressive.initial_stride = 8;
+  WallTimer prog_timer;
+  prog_req.progressive.on_snapshot =
+      [&](size_t stride, const std::vector<RobustnessMap>&) {
+        if (cache_leg.first_snapshot_seconds == 0) {
+          cache_leg.first_snapshot_seconds = prog_timer.Seconds();
+        }
+        if (scale.verbose) {
+          std::fprintf(stderr, "  progressive: stride-%zu snapshot at "
+                       "%.2fs\n",
+                       stride, prog_timer.Seconds());
+        }
+      };
+  auto prog_map = std::move(
+      SweepEngine::Run(env->ctx(), env->executor(), prog_req)
+          .ValueOrDie()
+          .layers.front());
+  cache_leg.progressive_wall_seconds = prog_timer.Seconds();
+  phase_walls.emplace_back("progressive", cache_leg.progressive_wall_seconds);
+  const bool progressive_bit_identical =
+      MapsBitIdentical(serial_map, prog_map);
+  std::printf("progressive sweep: first snapshot %.2fs, full map %.2fs\n",
+              cache_leg.first_snapshot_seconds,
+              cache_leg.progressive_wall_seconds);
 
   WallTimer analysis_timer;
   RelativeMap rel = ComputeRelative(map);
@@ -385,6 +482,22 @@ int main() {
   Check(sharded_bit_identical, "sharded sweep bit-identical to serial",
         sharded_bit_identical ? 1 : 0,
         "merged tiles equal serial map, uniform and cost-weighted");
+  Check(warm_bit_identical, "cache-warm sweep bit-identical to serial",
+        warm_bit_identical ? 1 : 0,
+        "a map built from cache hits equals a measured one");
+  const size_t study_cells = map.num_plans() * grid.num_points();
+  Check(cache_leg.cells_reused == study_cells,
+        "cache-warm sweep measures nothing",
+        static_cast<double>(cache_leg.cells_reused),
+        "cells reused (must equal the cell count)");
+  Check(progressive_bit_identical,
+        "progressive sweep bit-identical to serial",
+        progressive_bit_identical ? 1 : 0,
+        "coarse-to-fine refinement converges to the direct map");
+  Check(cache_leg.first_snapshot_seconds > 0,
+        "progressive sweep delivered a coarse snapshot",
+        cache_leg.first_snapshot_seconds,
+        "seconds to first snapshot (wall-clock, reported not trended)");
   // The cost layer's reason to exist: at equal worker and tile counts on
   // the skewed study grid, cost-weighted tiles + heaviest-first dispatch
   // must not leave workers more imbalanced than uniform tiles did. This
@@ -411,7 +524,7 @@ int main() {
                  map.num_plans() * grid.num_points(),
                  parallel_opts.num_threads, serial_wall, parallel_wall,
                  bit_identical, shard_workers, uniform_leg, weighted_leg,
-                 phase_walls);
+                 cache_leg, phase_walls);
   if (!trace_path.empty()) {
     if (Status s = Tracer::Get().WriteFile(trace_path); !s.ok()) {
       std::fprintf(stderr, "robustness_benchmark: %s\n",

@@ -17,6 +17,7 @@
 //               [--serial]        # single-process reference sweep
 //               [--no-split]      # disable straggler-tile splitting
 //               [--no-resume] [--verbose]
+//               [--cache-dir=DIR] [--progressive=K]
 //               [--trace=FILE] [--telemetry=FILE]
 //
 // --trace writes a Chrome-trace-event JSON (load in Perfetto or
@@ -38,6 +39,21 @@
 // --cost-model=measured reschedules from the wall times stamped into the
 // tile files of a previous run against the same --out-dir (combine with
 // --no-resume: moving tile boundaries invalidates old checkpoints anyway).
+//
+// --cache-dir attaches the content-addressed cell-result cache
+// (DIR/cells.rmc, see core/cell_cache.h): already-measured cells are
+// reused instead of re-measured — across runs, out-dirs, tile layouts,
+// and refinement strides alike — and the merged results are published
+// back and flushed after the run. Exec workers are handed the same
+// --cache-dir to consult read-only; the coordinator is the only flusher.
+// --progressive=K sweeps coarse-to-fine: the stride-K lattice first
+// (written as DIR/snapshot_stride_K*.rmt the moment it merges, with
+// coarse cells nearest-neighbor-filled to the full grid), then stride
+// K/2 reusing every already-measured cell, and so on to the full grid —
+// whose merged artifacts are byte-identical to a direct sweep's. The
+// REPRO_CACHE / REPRO_PROGRESSIVE env knobs supply the values when the
+// flags are absent. Neither applies to --serial, which stays the
+// uncached reference every other mode is byte-diffed against.
 
 #include <cstdio>
 #include <memory>
@@ -45,6 +61,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/cell_cache.h"
 #include "core/sharded_sweep.h"
 #include "core/sweep_telemetry.h"
 #include "shard_cli.h"
@@ -87,6 +104,7 @@ int main(int argc, char** argv) {
   int workers = 0;
   int tiles = 0;
   int threads_per_worker = 1;
+  int progressive = EnvInt("REPRO_PROGRESSIVE", 0, 0, 1 << 20);
   bool use_fork = false;
   bool serial = false;
   bool resume = true;
@@ -98,6 +116,7 @@ int main(int argc, char** argv) {
       CostModelKindName(EnvCostModel(CostModelKind::kAnalytic));
   std::string study_name = StudyKindName(EnvStudy(StudyKind::kPlainMap));
   std::string warmup_spec = "cold";
+  std::string cache_dir = EnvString("REPRO_CACHE");
   std::string trace_path = EnvString("REPRO_TRACE");
   std::string telemetry_path = EnvString("REPRO_TELEMETRY");
   for (int i = 1; i < argc; ++i) {
@@ -105,7 +124,9 @@ int main(int argc, char** argv) {
     if (ParseGridFlag(arg, &grid) || ParseIntFlag(arg, "workers", &workers) ||
         ParseIntFlag(arg, "tiles", &tiles) ||
         ParseIntFlag(arg, "threads-per-worker", &threads_per_worker) ||
+        ParseIntFlag(arg, "progressive", &progressive) ||
         ParseFlag(arg, "out-dir", &out_dir) ||
+        ParseFlag(arg, "cache-dir", &cache_dir) ||
         ParseFlag(arg, "cost-model", &cost_model_name) ||
         ParseFlag(arg, "study", &study_name) ||
         ParseFlag(arg, "warmup", &warmup_spec) ||
@@ -148,6 +169,12 @@ int main(int argc, char** argv) {
                  warmup.status().message().c_str());
     return 2;
   }
+  if (serial && (!cache_dir.empty() || progressive > 1)) {
+    std::fprintf(stderr,
+                 "sweep_shard: --serial is the uncached reference sweep; "
+                 "--cache-dir / --progressive apply to the sharded run\n");
+    return 2;
+  }
   // A warm-cold study with a cold warm layer is two identical sweeps and
   // an all-zero delta — a spelled-out default beats a silent no-op study.
   if (study.value() == StudyKind::kWarmColdDelta && warmup.value().is_cold()) {
@@ -172,9 +199,14 @@ int main(int argc, char** argv) {
   // The full-scale database is only needed when *this* process computes
   // cells (--serial, or forked workers sharing its memory). Exec-mode
   // workers build their own; paying minutes of paper-scale table+index
-  // construction in an idle coordinator would be pure waste.
+  // construction in an idle coordinator would be pure waste. A persistent
+  // cache forces the build even in exec mode: cache keys fingerprint the
+  // real environment, and keys minted from the stub context below would
+  // collide across grids that only differ in what the stub omits.
   std::unique_ptr<StudyEnvironment> env;
-  if (serial || use_fork) env = MakeGridEnvironment(grid);
+  if (serial || use_fork || !cache_dir.empty()) {
+    env = MakeGridEnvironment(grid);
+  }
 
   // Observability is opt-in and sidecar-only: nothing below may alter a
   // map byte (CI byte-diffs a traced run against an untraced one).
@@ -260,6 +292,50 @@ int main(int argc, char** argv) {
   req.sharded.verbose = verbose;
   req.sharded.cost_model = cost_model.value();
   req.sharded.split_stragglers = split_stragglers;
+
+  // The cache outlives the request: the engine borrows it, main flushes
+  // it after the merged artifacts are safely on disk.
+  CellResultCache cache;
+  if (!cache_dir.empty()) {
+    cache.Open(cache_dir);
+    req.cell_cache = &cache;
+    std::printf("cell cache: %s (%zu entries)\n", cache.path().c_str(),
+                cache.size());
+  }
+  if (progressive > 1) {
+    req.progressive.initial_stride = static_cast<size_t>(progressive);
+    if (!use_fork && cache_dir.empty()) {
+      // Without a cache file, exec workers cannot see the coarser levels'
+      // results, so partially-cached tiles are re-measured whole. The
+      // maps stay byte-identical either way; only exactly-once goes.
+      std::fprintf(stderr,
+                   "sweep_shard: note: --progressive without --cache-dir "
+                   "makes exec workers re-measure cells the coarse levels "
+                   "already covered; add --cache-dir (or --fork) for "
+                   "exactly-once measurement\n");
+    }
+    // layer_names by value: this block's scope ends long before the
+    // engine fires the callback.
+    const std::vector<std::string> layer_names = StudyLayerNames(study.value());
+    req.progressive.on_snapshot = [&, layer_names](
+                                      size_t stride,
+                                      const std::vector<RobustnessMap>&
+                                          layers) {
+      for (size_t li = 0; li < layers.size(); ++li) {
+        const std::string path =
+            out_dir + "/snapshot_stride_" + std::to_string(stride) +
+            (layer_names.empty() ? "" : "_" + layer_names[li]) + ".rmt";
+        if (Status ws = WriteMapRmt(path, layers[li]); !ws.ok()) {
+          WarnArtifact(ws, path);  // a lost snapshot never fails the sweep
+        }
+      }
+      std::printf("progressive: stride=%zu snapshot after %.2fs -> "
+                  "%s/snapshot_stride_%zu*.rmt\n",
+                  stride, timer.Seconds(), out_dir.c_str(), stride);
+      std::fflush(stdout);
+    };
+  }
+
   if (!use_fork) {
     // The engine itself appends --tiles/--tile/--rect/--study/--warmup/
     // --out, so the resolved partition and study are always the
@@ -301,6 +377,17 @@ int main(int argc, char** argv) {
   if (!s.ok()) {
     std::fprintf(stderr, "sweep_shard: %s\n", s.ToString().c_str());
     return 1;
+  }
+  if (req.cell_cache != nullptr) {
+    // Flushed after the merged artifacts: a failed flush costs the next
+    // run some reuse, never this run's maps.
+    if (Status cs = cache.WriteCellCacheFile(); cs.ok()) {
+      std::printf("cell cache: %zu entries -> %s\n", cache.size(),
+                  cache.path().c_str());
+    } else {
+      std::fprintf(stderr, "sweep_shard: cell cache flush: %s\n",
+                   cs.ToString().c_str());
+    }
   }
   std::printf(
       "sharded sweep: tiles=%zu reused=%zu computed=%zu split=%zu workers=%u "

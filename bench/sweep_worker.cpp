@@ -10,10 +10,10 @@
 //
 // Usage:
 //   sweep_worker --tiles=N --tile=K --out=PATH
-//                [--rect=X0:X1:Y0:Y1]
+//                [--rect=X0:X1:Y0:Y1] [--stride=K]
 //                [--study=plain|warmcold] [--warmup=SPEC]
 //                [--row-bits=16] [--min-log2=-8] [--steps-per-octave=1]
-//                [--plans=all|smoke] [--threads=1]
+//                [--plans=all|smoke] [--threads=1] [--cache-dir=DIR]
 //                [--trace=FILE] [--trace-epoch=NS] [--telemetry=FILE]
 //
 // --trace / --telemetry write this worker's spans and counters as sidecar
@@ -32,6 +32,15 @@
 // measurement policy for a plain study; it must be order-independent —
 // prior-run warmth cannot cross the tile boundaries sharding erases.
 //
+// --stride=K subsamples the grid to its stride-K lattice *before* tile
+// resolution — the coarse levels of a progressive sweep, whose --rect
+// cuts are indices into the subsampled space. --cache-dir points at a
+// cell-result cache directory (see core/cell_cache.h); the worker
+// consults it read-only — already-measured cells are copied into the
+// tile instead of re-measured — and never flushes, so N concurrent
+// workers share one cache file without racing on it (the coordinator
+// publishes the merged results back).
+//
 // On failure, writes the error to PATH.err (the coordinator reads it back)
 // and exits non-zero.
 
@@ -42,6 +51,8 @@
 #include <vector>
 
 #include "common/trace.h"
+#include "core/cell_cache.h"
+#include "core/parameter_space.h"
 #include "core/sharded_sweep.h"
 #include "core/sweep_telemetry.h"
 #include "shard_cli.h"
@@ -64,8 +75,10 @@ int main(int argc, char** argv) {
   int tiles = 0;
   int tile_id = -1;
   int threads = 1;
+  int stride = 1;
   std::string out;
   std::string rect;
+  std::string cache_dir;
   std::string study_name = "plain";
   std::string warmup_spec = "cold";
   std::string trace_path;
@@ -76,7 +89,9 @@ int main(int argc, char** argv) {
     if (ParseGridFlag(arg, &grid) || ParseIntFlag(arg, "tiles", &tiles) ||
         ParseIntFlag(arg, "tile", &tile_id) ||
         ParseIntFlag(arg, "threads", &threads) ||
+        ParseIntFlag(arg, "stride", &stride) ||
         ParseFlag(arg, "out", &out) || ParseFlag(arg, "rect", &rect) ||
+        ParseFlag(arg, "cache-dir", &cache_dir) ||
         ParseFlag(arg, "study", &study_name) ||
         ParseFlag(arg, "warmup", &warmup_spec) ||
         ParseFlag(arg, "trace", &trace_path) ||
@@ -90,10 +105,11 @@ int main(int argc, char** argv) {
   if (tiles <= 0 || tile_id < 0 || out.empty()) {
     std::fprintf(stderr,
                  "usage: sweep_worker --tiles=N --tile=K --out=PATH "
-                 "[--rect=X0:X1:Y0:Y1] [--study=plain|warmcold] "
-                 "[--warmup=SPEC] [--row-bits=..] [--min-log2=..] "
+                 "[--rect=X0:X1:Y0:Y1] [--stride=K] "
+                 "[--study=plain|warmcold] [--warmup=SPEC] "
+                 "[--row-bits=..] [--min-log2=..] "
                  "[--steps-per-octave=..] [--plans=all|smoke] "
-                 "[--threads=..]\n");
+                 "[--threads=..] [--cache-dir=DIR]\n");
     return 2;
   }
   // Every remaining rejection leaves a PATH.err for the coordinator: a
@@ -129,7 +145,16 @@ int main(int argc, char** argv) {
   }
   if (!telemetry_path.empty()) SweepTelemetry::Get().Enable();
 
+  if (stride < 1) {
+    return Fail(out, Status::InvalidArgument(
+                         "--stride=" + std::to_string(stride) +
+                         " must be a positive lattice stride"));
+  }
   ParameterSpace space = MakeGridSpace(grid);
+  // Progressive coarse levels: the coordinator partitioned the stride-K
+  // lattice, so its --rect indices only make sense against the same
+  // subsampled space.
+  if (stride > 1) space = SubsampleSpace(space, static_cast<size_t>(stride));
   TileSpec spec;
   spec.shard_id = static_cast<size_t>(tile_id);
   if (!rect.empty()) {
@@ -169,11 +194,17 @@ int main(int argc, char** argv) {
   if (study.value() == StudyKind::kPlainMap) {
     env->ctx()->warmup = warmup.value();
   }
+  // Read-only cache consultation: hits skip the measurement, misses stay
+  // in this process's memory. Only the coordinator flushes — one writer,
+  // however many workers race through the same directory.
+  CellResultCache cache;
+  if (!cache_dir.empty()) cache.Open(cache_dir);
   SweepOptions opts;
   opts.num_threads = static_cast<unsigned>(threads < 1 ? 1 : threads);
   Status s = ComputeAndWriteTile(env->ctx(), env->executor(), plans, space,
                                  spec, out, opts, study.value(),
-                                 warmup.value());
+                                 warmup.value(),
+                                 cache_dir.empty() ? nullptr : &cache);
   if (!s.ok()) return Fail(out, s);
   // Sidecars are best-effort: a failed observability write degrades the
   // trace, never the tile the coordinator is waiting on.

@@ -1,0 +1,333 @@
+#include "core/cell_cache.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <utility>
+
+#include "core/sharded_sweep.h"
+#include "core/wire_format.h"
+
+namespace robustmap {
+
+namespace {
+
+using wire::Cursor;
+using wire::Fnv1a64;
+using wire::GetMeasurement;
+using wire::PutMeasurement;
+using wire::PutString;
+using wire::PutU32;
+using wire::PutU64;
+
+constexpr char kMagic[8] = {'R', 'M', 'C', 'C', 'A', 'C', 'H', 'E'};
+constexpr size_t kMagicSize = sizeof(kMagic);
+constexpr size_t kVersionOffset = kMagicSize;
+constexpr size_t kChecksumSize = sizeof(uint64_t);
+// Magic + both versions + entry count + trailing checksum: the least any
+// cache file can be.
+constexpr size_t kMinFileSize =
+    kMagicSize + 2 * sizeof(uint32_t) + sizeof(uint64_t) + kChecksumSize;
+
+// The artifact name Cursor errors lead with ("truncated cell cache: ...").
+constexpr char kWhat[] = "cell cache";
+
+std::string Hex64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+std::string DoubleBits(double v) { return Hex64(std::bit_cast<uint64_t>(v)); }
+
+uint64_t HashString(const std::string& s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+}  // namespace
+
+std::string CellCacheFileName(const std::string& dir) {
+  return dir + "/cells.rmc";
+}
+
+Status WriteCellCache(std::ostream& os, const CellCacheData& data) {
+  // Ascending fingerprint order whatever the caller supplied: equal
+  // contents must serialize to equal bytes.
+  std::vector<const CellCacheEntry*> sorted;
+  sorted.reserve(data.entries.size());
+  for (const CellCacheEntry& e : data.entries) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CellCacheEntry* a, const CellCacheEntry* b) {
+              return a->fingerprint < b->fingerprint;
+            });
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i]->fingerprint == sorted[i - 1]->fingerprint) {
+      return Status::InvalidArgument(
+          "duplicate cell-cache fingerprint " +
+          Hex64(sorted[i]->fingerprint) +
+          "; a content-addressed store holds one entry per key");
+    }
+  }
+
+  std::string buf;
+  buf.append(kMagic, kMagicSize);
+  PutU32(&buf, kCellCacheFormatVersion);
+  PutU32(&buf, data.fingerprint_schema);
+  PutU64(&buf, sorted.size());
+  for (const CellCacheEntry* e : sorted) {
+    PutU64(&buf, e->fingerprint);
+    PutString(&buf, e->study);
+    PutMeasurement(&buf, e->m);
+  }
+  PutU64(&buf, Fnv1a64(buf.data(), buf.size()));
+
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!os.good()) return Status::Internal("cell cache write failed");
+  return Status::OK();
+}
+
+Status WriteCellCacheFile(const std::string& path,
+                          const CellCacheData& data) {
+  // Write-then-rename: readers only ever see either no file or a complete
+  // one. The temp name carries the writer's address and pid so concurrent
+  // writers never clobber each other's in-flight writes.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(reinterpret_cast<uintptr_t>(&data)) +
+      "." + std::to_string(static_cast<unsigned long>(::getpid()));
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f.is_open()) {
+      return Status::Internal("cannot open " + tmp + " for writing");
+    }
+    Status s = WriteCellCache(f, data);
+    if (!s.ok()) {
+      f.close();
+      std::remove(tmp.c_str());
+      return s;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<CellCacheData> ReadCellCache(std::istream& is) {
+  std::string buf((std::istreambuf_iterator<char>(is)),
+                  std::istreambuf_iterator<char>());
+  if (buf.size() < kMinFileSize) {
+    return Status::Corruption("truncated cell cache: " +
+                              std::to_string(buf.size()) +
+                              " bytes is smaller than any valid cache");
+  }
+  if (std::memcmp(buf.data(), kMagic, kMagicSize) != 0) {
+    return Status::Corruption("not a cell cache (bad magic)");
+  }
+  // Version gates everything else: an unknown version may checksum or lay
+  // out its payload differently, so it is the one error reported before
+  // the integrity check.
+  Cursor header(buf.data() + kVersionOffset, buf.size() - kVersionOffset,
+                kWhat);
+  uint32_t version = 0;
+  RM_RETURN_IF_ERROR(header.GetU32(&version));
+  if (version != kCellCacheFormatVersion) {
+    return Status::NotSupported(
+        "cell cache format version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kCellCacheFormatVersion) + ")");
+  }
+  const size_t payload_size = buf.size() - kChecksumSize;
+  Cursor trailer(buf.data() + payload_size, kChecksumSize, kWhat);
+  uint64_t stored = 0;
+  RM_RETURN_IF_ERROR(trailer.GetU64(&stored));
+  const uint64_t computed = Fnv1a64(buf.data(), payload_size);
+  if (stored != computed) {
+    return Status::Corruption("cell cache checksum mismatch (file damaged "
+                              "or cut short)");
+  }
+
+  Cursor c(buf.data() + kVersionOffset + sizeof(uint32_t),
+           payload_size - kVersionOffset - sizeof(uint32_t), kWhat);
+  CellCacheData data;
+  RM_RETURN_IF_ERROR(c.GetU32(&data.fingerprint_schema));
+  uint64_t count = 0;
+  RM_RETURN_IF_ERROR(c.GetU64(&count));
+  // Every entry occupies at least a fingerprint, a study length, and the
+  // measurement's fixed fields; bound the count by the bytes that could
+  // back it *before* allocating, so a damaged count surfaces as
+  // Corruption, not as a multi-terabyte resize throwing bad_alloc.
+  constexpr size_t kMinEntryBytes =
+      sizeof(uint64_t) + sizeof(uint32_t) + 9 * sizeof(uint64_t) +
+      sizeof(uint32_t);
+  if (count > c.remaining() / kMinEntryBytes) {
+    return Status::Corruption("cell cache claims " + std::to_string(count) +
+                              " entries but only " +
+                              std::to_string(c.remaining()) +
+                              " bytes remain");
+  }
+  data.entries.resize(count);
+  uint64_t prev_fp = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    CellCacheEntry& e = data.entries[i];
+    RM_RETURN_IF_ERROR(c.GetU64(&e.fingerprint));
+    if (i > 0 && e.fingerprint <= prev_fp) {
+      return Status::Corruption(
+          "cell cache entries out of fingerprint order (deterministic "
+          "files are sorted)");
+    }
+    prev_fp = e.fingerprint;
+    RM_RETURN_IF_ERROR(c.GetString(&e.study));
+    RM_RETURN_IF_ERROR(GetMeasurement(&c, &e.m));
+  }
+  if (c.remaining() != 0) {
+    return Status::Corruption("cell cache has " +
+                              std::to_string(c.remaining()) +
+                              " trailing bytes past its declared entries");
+  }
+  return data;
+}
+
+Result<CellCacheData> ReadCellCacheFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open()) {
+    return Status::NotFound("cannot open cell cache " + path);
+  }
+  auto data = ReadCellCache(f);
+  if (!data.ok()) {
+    if (data.status().IsNotSupported()) {
+      return Status::NotSupported(path + ": " + data.status().message());
+    }
+    return Status::Corruption(path + ": " + data.status().message());
+  }
+  return data;
+}
+
+uint64_t EnvironmentFingerprint(const RunContext& ctx, int64_t domain) {
+  const DiskParameters& disk = ctx.device->model().params();
+  const CpuParameters& cpu = ctx.cpu;
+  std::string canon = "env|v1";
+  canon += "|domain=" + std::to_string(domain);
+  canon += "|data_pages=" + std::to_string(ctx.device->data_watermark());
+  canon += "|pool_pages=" + std::to_string(ctx.pool->capacity_pages());
+  canon += "|sort_bytes=" + std::to_string(ctx.sort_memory_bytes);
+  canon += "|hash_bytes=" + std::to_string(ctx.hash_memory_bytes);
+  canon += "|disk=" + std::to_string(disk.page_size_bytes) + "," +
+           DoubleBits(disk.sequential_bandwidth_bytes_per_sec) + "," +
+           DoubleBits(disk.random_access_seconds) + "," +
+           DoubleBits(disk.skip_settle_seconds) + "," +
+           DoubleBits(disk.skip_per_page_seconds) + "," +
+           std::to_string(disk.max_skip_gap_pages);
+  canon += "|cpu=" + DoubleBits(cpu.predicate_eval_seconds) + "," +
+           DoubleBits(cpu.row_fetch_seconds) + "," +
+           DoubleBits(cpu.index_entry_seconds) + "," +
+           DoubleBits(cpu.compare_seconds) + "," +
+           DoubleBits(cpu.hash_seconds) + "," +
+           DoubleBits(cpu.copy_row_seconds) + "," +
+           DoubleBits(cpu.bitmap_set_seconds);
+  return HashString(canon);
+}
+
+uint64_t CellFingerprint(uint64_t env_fingerprint, const char* study,
+                         const std::string& warmup_spec,
+                         const std::string& plan_label, double x, double y) {
+  std::string canon = "cell|s" +
+                      std::to_string(kCellCacheFingerprintSchemaVersion);
+  canon += "|env=" + Hex64(env_fingerprint);
+  canon += "|study=" + std::string(study);
+  canon += "|warmup=" + warmup_spec;
+  canon += "|plan=" + plan_label;
+  canon += "|x=" + DoubleBits(x);
+  canon += "|y=" + DoubleBits(y);
+  return HashString(canon);
+}
+
+void CellResultCache::Open(const std::string& dir) {
+  if (Status s = EnsureDirectory(dir); !s.ok()) {
+    std::fprintf(stderr,
+                 "  cell cache: %s; continuing without persistence\n",
+                 s.ToString().c_str());
+    return;
+  }
+  path_ = CellCacheFileName(dir);
+  auto data = ReadCellCacheFile(path_);
+  if (data.ok()) {
+    if (data.value().fingerprint_schema !=
+        kCellCacheFingerprintSchemaVersion) {
+      // Stale schema: the keys were computed under assumptions this build
+      // no longer makes. Partial trust would poison maps; starting over
+      // only costs re-measurement.
+      std::fprintf(stderr,
+                   "  cell cache: %s has fingerprint schema %u, this build "
+                   "uses %u; ignoring it (the next flush repopulates)\n",
+                   path_.c_str(), data.value().fingerprint_schema,
+                   kCellCacheFingerprintSchemaVersion);
+      return;
+    }
+    MutexLock lock(&mu_);
+    for (CellCacheEntry& e : data.value().entries) {
+      const uint64_t fp = e.fingerprint;
+      entries_.emplace(fp, std::move(e));
+    }
+    return;
+  }
+  if (!data.status().IsNotFound()) {
+    // Damaged or foreign file: warn and start empty — a cache must never
+    // poison a map, and the next flush overwrites the wreckage.
+    std::fprintf(stderr,
+                 "  cell cache: ignoring unreadable %s (%s); starting "
+                 "empty\n",
+                 path_.c_str(), data.status().ToString().c_str());
+  }
+}
+
+bool CellResultCache::Lookup(uint64_t fingerprint, Measurement* out) const {
+  MutexLock lock(&mu_);
+  const auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return false;
+  *out = it->second.m;
+  return true;
+}
+
+bool CellResultCache::Contains(uint64_t fingerprint) const {
+  MutexLock lock(&mu_);
+  return entries_.find(fingerprint) != entries_.end();
+}
+
+bool CellResultCache::Publish(uint64_t fingerprint, const std::string& study,
+                              const Measurement& m) {
+  MutexLock lock(&mu_);
+  const auto [it, inserted] =
+      entries_.try_emplace(fingerprint, CellCacheEntry{fingerprint, study, m});
+  if (inserted) dirty_ = true;
+  return inserted;
+}
+
+Status CellResultCache::WriteCellCacheFile() {
+  CellCacheData data;
+  {
+    MutexLock lock(&mu_);
+    if (path_.empty() || !dirty_) return Status::OK();
+    data.entries.reserve(entries_.size());
+    for (const auto& [fp, e] : entries_) data.entries.push_back(e);
+  }
+  RM_RETURN_IF_ERROR(robustmap::WriteCellCacheFile(path_, data));
+  MutexLock lock(&mu_);
+  dirty_ = false;
+  return Status::OK();
+}
+
+size_t CellResultCache::size() const {
+  MutexLock lock(&mu_);
+  return entries_.size();
+}
+
+}  // namespace robustmap

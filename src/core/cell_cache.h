@@ -1,0 +1,155 @@
+#ifndef ROBUSTMAP_CORE_CELL_CACHE_H_
+#define ROBUSTMAP_CORE_CELL_CACHE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "engine/executor.h"
+#include "io/run_context.h"
+
+namespace robustmap {
+
+/// Current version of the binary cell-cache file format. Readers reject
+/// anything else outright (`NotSupported`) — the cache carries measured
+/// data between processes, so silent misinterpretation is never an
+/// acceptable failure mode. Bump whenever the entry layout changes.
+inline constexpr uint32_t kCellCacheFormatVersion = 1;
+
+/// Version of the *fingerprint schema*: the canonical string hashed into
+/// each entry's key, including the serialized `Measurement` field set.
+/// Bump whenever the fingerprint inputs change meaning (a new field in
+/// `Measurement`, a new environment parameter, a reworded warmup spec) —
+/// old entries were keyed under assumptions that no longer hold, so a
+/// cache written under a different schema is ignored wholesale rather
+/// than partially trusted.
+inline constexpr uint32_t kCellCacheFingerprintSchemaVersion = 1;
+
+/// The cache file inside a cache directory.
+std::string CellCacheFileName(const std::string& dir);
+
+/// One persisted cell result: the content fingerprint it is keyed by, the
+/// study that measured it (inspection metadata — the fingerprint alone
+/// decides identity), and the full measurement, every field a map tile
+/// stores — so a cache hit reproduces the exact bytes a fresh measurement
+/// would have serialized to.
+struct CellCacheEntry {
+  uint64_t fingerprint = 0;
+  std::string study;
+  Measurement m;
+};
+
+/// A decoded cache file: its fingerprint schema plus the entries, sorted
+/// ascending by fingerprint (the deterministic-bytes order `WriteCellCache`
+/// enforces).
+struct CellCacheData {
+  uint32_t fingerprint_schema = kCellCacheFingerprintSchemaVersion;
+  std::vector<CellCacheEntry> entries;
+};
+
+/// Serializes a cache. The on-disk layout follows the map_io conventions:
+///
+///   magic "RMCCACHE" | u32 format version | u32 fingerprint schema
+///   | u64 entry count
+///   | per entry: u64 fingerprint + study string + measurement
+///   | u64 FNV-1a checksum over everything before it
+///
+/// Entries are written in ascending fingerprint order whatever order the
+/// caller supplies, so equal contents serialize to equal bytes.
+Status WriteCellCache(std::ostream& os, const CellCacheData& data);
+
+/// Writes atomically: to `path` + a ".tmp" suffix, then rename(2), so a
+/// crash mid-write never leaves a plausible-looking partial cache behind.
+Status WriteCellCacheFile(const std::string& path, const CellCacheData& data);
+
+/// Deserializes a cache, with distinct errors for the failure modes:
+/// not-a-cache / truncated file and checksum mismatch are `Corruption`
+/// (saying which), an unknown format version is `NotSupported`. A
+/// mismatched *fingerprint* schema parses fine and is surfaced in the
+/// result — whether stale-schema entries are usable is the caller's
+/// policy call (`CellResultCache::Open` drops them; `map_cat
+/// --cache-info` prints them).
+Result<CellCacheData> ReadCellCache(std::istream& is);
+Result<CellCacheData> ReadCellCacheFile(const std::string& path);
+
+/// Fingerprint of everything about the simulated machine that a measured
+/// value depends on: the data layout (domain, data pages), the device and
+/// CPU cost parameters, the pool capacity, and the memory budgets.
+/// Stable across runs and machines (pure FNV-1a over a canonical string —
+/// no wall clock, no pointers, no hash salts).
+uint64_t EnvironmentFingerprint(const RunContext& ctx, int64_t domain);
+
+/// Fingerprint of one cell measurement: the environment, the study, the
+/// warmup spec in effect for the sweep, the plan label, and the point's
+/// axis *values* (IEEE-754 bit patterns — values, not grid indices, so a
+/// tile slice or a subsampled refinement lattice of the same grid hits
+/// the same keys), all under `kCellCacheFingerprintSchemaVersion`.
+uint64_t CellFingerprint(uint64_t env_fingerprint, const char* study,
+                         const std::string& warmup_spec,
+                         const std::string& plan_label, double x, double y);
+
+/// The persistent, content-addressed store of measured cell results —
+/// "never measure a cell twice". Deterministic measurements make reuse
+/// bit-safe: a hit returns the exact `Measurement` a fresh run would have
+/// produced, so maps built from hits are byte-identical to maps built
+/// from measurements (and CI proves it).
+///
+/// Thread-safe: sweep workers publish and look up concurrently. The cache
+/// never poisons a map — `Open` tolerates a damaged, truncated,
+/// wrong-version, or wrong-schema file by warning on stderr and starting
+/// empty (the next flush repopulates it).
+class CellResultCache {
+ public:
+  /// An unattached, in-memory cache (progressive sweeps without a
+  /// --cache-dir use one per run).
+  CellResultCache() = default;
+
+  CellResultCache(const CellResultCache&) = delete;
+  CellResultCache& operator=(const CellResultCache&) = delete;
+
+  /// Attaches this cache to `dir` (created if missing) and loads
+  /// `cells.rmc` when a valid one is present. Damage of any kind —
+  /// truncation, checksum mismatch, unknown format version, stale
+  /// fingerprint schema — is a warning on stderr and an empty cache,
+  /// never an error and never a partially trusted one. Call once, before
+  /// sharing the cache with sweep workers.
+  void Open(const std::string& dir);
+
+  /// True with the stored measurement in `*out` when `fingerprint` is
+  /// cached.
+  bool Lookup(uint64_t fingerprint, Measurement* out) const;
+
+  /// Lookup without the copy, for planning passes.
+  bool Contains(uint64_t fingerprint) const;
+
+  /// Inserts the measurement under `fingerprint` unless one is already
+  /// there (first writer wins; deterministic measurements make the copies
+  /// identical, so dropping duplicates keeps re-publishing merge results
+  /// from dirtying a clean cache). Returns true when the entry is new.
+  bool Publish(uint64_t fingerprint, const std::string& study,
+               const Measurement& m);
+
+  /// Flushes to the attached directory when entries were added since the
+  /// last flush; a no-op for clean or unattached caches. Atomic
+  /// temp+rename, deterministic bytes.
+  Status WriteCellCacheFile();
+
+  size_t size() const;
+  bool attached() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;  ///< "" = in-memory only
+
+  mutable Mutex mu_;
+  std::map<uint64_t, CellCacheEntry> entries_ GUARDED_BY(mu_);
+  bool dirty_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_CELL_CACHE_H_

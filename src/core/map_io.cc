@@ -2,7 +2,6 @@
 
 #include <unistd.h>
 
-#include <bit>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -12,9 +11,20 @@
 #include <sstream>
 #include <utility>
 
+#include "core/wire_format.h"
+
 namespace robustmap {
 
 namespace {
+
+using wire::Cursor;
+using wire::Fnv1a64;
+using wire::GetMeasurement;
+using wire::PutDouble;
+using wire::PutMeasurement;
+using wire::PutString;
+using wire::PutU32;
+using wire::PutU64;
 
 constexpr char kMagic[8] = {'R', 'M', 'A', 'P', 'T', 'I', 'L', 'E'};
 constexpr size_t kMagicSize = sizeof(kMagic);
@@ -23,100 +33,8 @@ constexpr size_t kChecksumSize = sizeof(uint64_t);
 // Magic + version + trailing checksum: the least any tile file can be.
 constexpr size_t kMinFileSize = kMagicSize + sizeof(uint32_t) + kChecksumSize;
 
-uint64_t Fnv1a64(const char* data, size_t n) {
-  uint64_t h = 14695981039346656037ull;
-  for (size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-// ---- little-endian encoding into a growing buffer ----
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void PutDouble(std::string* out, double v) {
-  PutU64(out, std::bit_cast<uint64_t>(v));
-}
-
-void PutString(std::string* out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-}
-
-/// Bounds-checked sequential reader over the decoded payload. Every getter
-/// fails with `Corruption("truncated ...")` rather than reading past the
-/// end, so a file whose declared counts outrun its bytes is reported the
-/// same way as one cut short by a crashed writer.
-class Cursor {
- public:
-  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
-
-  Status GetU32(uint32_t* v) {
-    RM_RETURN_IF_ERROR(Need(4));
-    *v = 0;
-    for (int i = 0; i < 4; ++i) {
-      *v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
-            << (8 * i);
-    }
-    pos_ += 4;
-    return Status::OK();
-  }
-
-  Status GetU64(uint64_t* v) {
-    RM_RETURN_IF_ERROR(Need(8));
-    *v = 0;
-    for (int i = 0; i < 8; ++i) {
-      *v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
-            << (8 * i);
-    }
-    pos_ += 8;
-    return Status::OK();
-  }
-
-  Status GetDouble(double* v) {
-    uint64_t bits = 0;
-    RM_RETURN_IF_ERROR(GetU64(&bits));
-    *v = std::bit_cast<double>(bits);
-    return Status::OK();
-  }
-
-  Status GetString(std::string* s) {
-    uint32_t n = 0;
-    RM_RETURN_IF_ERROR(GetU32(&n));
-    RM_RETURN_IF_ERROR(Need(n));
-    s->assign(data_ + pos_, n);
-    pos_ += n;
-    return Status::OK();
-  }
-
-  size_t remaining() const { return size_ - pos_; }
-
- private:
-  Status Need(size_t n) {
-    if (size_ - pos_ < n) {
-      return Status::Corruption("truncated map tile: wanted " +
-                                std::to_string(n) + " more bytes, have " +
-                                std::to_string(size_ - pos_));
-    }
-    return Status::OK();
-  }
-
-  const char* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
+// The artifact name Cursor errors lead with ("truncated map tile: ...").
+constexpr char kWhat[] = "map tile";
 
 void PutAxis(std::string* out, const Axis& axis) {
   PutString(out, axis.name);
@@ -141,33 +59,6 @@ Status GetAxis(Cursor* c, Axis* axis) {
   for (uint64_t i = 0; i < n; ++i) {
     RM_RETURN_IF_ERROR(c->GetDouble(&axis->values[i]));
   }
-  return Status::OK();
-}
-
-void PutMeasurement(std::string* out, const Measurement& m) {
-  PutDouble(out, m.seconds);
-  PutU64(out, m.output_rows);
-  PutU64(out, m.io.sequential_reads);
-  PutU64(out, m.io.skip_reads);
-  PutU64(out, m.io.random_reads);
-  PutU64(out, m.io.writes);
-  PutU64(out, m.io.buffer_hits);
-  PutU64(out, m.io.bytes_read);
-  PutU64(out, m.io.bytes_written);
-  PutString(out, m.plan_label);
-}
-
-Status GetMeasurement(Cursor* c, Measurement* m) {
-  RM_RETURN_IF_ERROR(c->GetDouble(&m->seconds));
-  RM_RETURN_IF_ERROR(c->GetU64(&m->output_rows));
-  RM_RETURN_IF_ERROR(c->GetU64(&m->io.sequential_reads));
-  RM_RETURN_IF_ERROR(c->GetU64(&m->io.skip_reads));
-  RM_RETURN_IF_ERROR(c->GetU64(&m->io.random_reads));
-  RM_RETURN_IF_ERROR(c->GetU64(&m->io.writes));
-  RM_RETURN_IF_ERROR(c->GetU64(&m->io.buffer_hits));
-  RM_RETURN_IF_ERROR(c->GetU64(&m->io.bytes_read));
-  RM_RETURN_IF_ERROR(c->GetU64(&m->io.bytes_written));
-  RM_RETURN_IF_ERROR(c->GetString(&m->plan_label));
   return Status::OK();
 }
 
@@ -275,7 +166,8 @@ Result<MapTile> ReadMapTile(std::istream& is) {
   // Version gates everything else: an unknown version may checksum or lay
   // out its payload differently, so it is the one error reported before the
   // integrity check.
-  Cursor header(buf.data() + kVersionOffset, buf.size() - kVersionOffset);
+  Cursor header(buf.data() + kVersionOffset, buf.size() - kVersionOffset,
+                kWhat);
   uint32_t version = 0;
   RM_RETURN_IF_ERROR(header.GetU32(&version));
   if (version < kMinReadableMapTileFormatVersion ||
@@ -287,7 +179,7 @@ Result<MapTile> ReadMapTile(std::istream& is) {
         std::to_string(kMapTileFormatVersion) + ")");
   }
   const size_t payload_size = buf.size() - kChecksumSize;
-  Cursor trailer(buf.data() + payload_size, kChecksumSize);
+  Cursor trailer(buf.data() + payload_size, kChecksumSize, kWhat);
   uint64_t stored = 0;
   RM_RETURN_IF_ERROR(trailer.GetU64(&stored));
   const uint64_t computed = Fnv1a64(buf.data(), payload_size);
@@ -297,7 +189,7 @@ Result<MapTile> ReadMapTile(std::istream& is) {
   }
 
   Cursor c(buf.data() + kVersionOffset + sizeof(uint32_t),
-           payload_size - kVersionOffset - sizeof(uint32_t));
+           payload_size - kVersionOffset - sizeof(uint32_t), kWhat);
   // v2 carries the tile sweep's wall time right after the version; a v1
   // file simply has no timing signal, which downstream cost models treat
   // as "unmeasured", never as an error. v3 adds the layer count; earlier

@@ -32,4 +32,27 @@ ParameterSpace ParameterSpace::TwoD(Axis x, Axis y) {
   return s;
 }
 
+namespace {
+
+Axis SubsampleAxis(const Axis& axis, size_t stride) {
+  Axis out;
+  out.name = axis.name;
+  for (size_t i = 0; i < axis.values.size(); i += stride) {
+    out.values.push_back(axis.values[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+ParameterSpace SubsampleSpace(const ParameterSpace& space, size_t stride) {
+  assert(stride >= 1);
+  if (stride <= 1) return space;
+  if (!space.is_2d()) {
+    return ParameterSpace::OneD(SubsampleAxis(space.x(), stride));
+  }
+  return ParameterSpace::TwoD(SubsampleAxis(space.x(), stride),
+                              SubsampleAxis(space.y(), stride));
+}
+
 }  // namespace robustmap

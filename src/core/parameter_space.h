@@ -69,6 +69,15 @@ class ParameterSpace {
   Axis y_;
 };
 
+/// The stride-k sublattice of `space`: every axis keeps the values at
+/// indices 0, k, 2k, ... (names unchanged). A progressive sweep measures
+/// these coarse lattices first; because the sublattice carries the *same
+/// axis values* as the full grid, its cells fingerprint identically to the
+/// full grid's and every coarse measurement is reusable at every finer
+/// level. `stride == 1` returns `space` unchanged; the first value of each
+/// axis is always kept, so the result is never empty.
+ParameterSpace SubsampleSpace(const ParameterSpace& space, size_t stride);
+
 }  // namespace robustmap
 
 #endif  // ROBUSTMAP_CORE_PARAMETER_SPACE_H_

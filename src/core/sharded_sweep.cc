@@ -47,7 +47,8 @@ Status ComputeAndWriteTile(RunContext* ctx, const Executor& executor,
                            const ParameterSpace& space, const TileSpec& tile,
                            const std::string& path,
                            const SweepOptions& sweep_opts, StudyKind study,
-                           const WarmupPolicy& warm_policy) {
+                           const WarmupPolicy& warm_policy,
+                           CellResultCache* cell_cache) {
   auto sub = SliceSpace(space, tile);
   RM_RETURN_IF_ERROR(sub.status());
   SweepRequest req;
@@ -57,6 +58,7 @@ Status ComputeAndWriteTile(RunContext* ctx, const Executor& executor,
   req.backend = BackendKind::kThreaded;
   req.warm_policy = warm_policy;
   req.sweep = sweep_opts;
+  req.cell_cache = cell_cache;
   const int64_t start_ns = MonotonicNowNs();
   Result<SweepOutcome> outcome = [&] {
     TraceSpan span("tile.compute");

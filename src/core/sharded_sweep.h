@@ -42,14 +42,17 @@ Status EnsureDirectory(const std::string& path);
 /// runs reschedule from). The body of both worker modes and of the
 /// `sweep_worker` executable. `warm_policy` is the warm layer's policy for
 /// `kWarmColdDelta` and ignored for plain tiles (which sweep under
-/// `ctx->warmup`, as always).
+/// `ctx->warmup`, as always). A non-null `cell_cache` is consulted per
+/// cell and populated with the tile's measurements (in this process's
+/// memory only — tile workers never flush it).
 Status ComputeAndWriteTile(RunContext* ctx, const Executor& executor,
                            const std::vector<PlanKind>& plans,
                            const ParameterSpace& space, const TileSpec& tile,
                            const std::string& path,
                            const SweepOptions& sweep_opts = {},
                            StudyKind study = StudyKind::kPlainMap,
-                           const WarmupPolicy& warm_policy = {});
+                           const WarmupPolicy& warm_policy = {},
+                           CellResultCache* cell_cache = nullptr);
 
 /// The sharded equivalent of `SweepStudyPlans`: partitions the grid with
 /// `ShardPlanner` under `opts.cost_model`, skips tiles already valid on

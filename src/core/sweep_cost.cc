@@ -3,6 +3,7 @@
 #include <dirent.h>
 
 #include <algorithm>
+#include <cassert>
 #include <numeric>
 #include <utility>
 
@@ -69,6 +70,21 @@ CellCostModel::CellCostModel(ParameterSpace space, std::vector<double> weights)
     : space_(std::move(space)),
       weights_(std::move(weights)),
       total_(std::accumulate(weights_.begin(), weights_.end(), 0.0)) {}
+
+CellCostModel CellCostModel::WithDiscountedCells(
+    const std::vector<uint8_t>& cached) const {
+  assert(cached.size() == weights_.size());
+  double min_weight = weights_.empty() ? 1.0 : weights_[0];
+  for (double w : weights_) min_weight = std::min(min_weight, w);
+  // Small enough that a fully-cached tile never outweighs a single real
+  // measurement, large enough to keep every weight strictly positive.
+  const double discount = min_weight * 1e-6;
+  std::vector<double> weights = weights_;
+  for (size_t i = 0; i < weights.size() && i < cached.size(); ++i) {
+    if (cached[i]) weights[i] = discount;
+  }
+  return CellCostModel(space_, std::move(weights));
+}
 
 Result<CellCostModel> CellCostModel::Uniform(const ParameterSpace& space) {
   RM_RETURN_IF_ERROR(RejectEmpty(space));

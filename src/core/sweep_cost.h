@@ -70,6 +70,14 @@ class CellCostModel {
   double CellCost(size_t xi, size_t yi) const {
     return weights_[yi * space_.x_size() + xi];
   }
+
+  /// A copy of this model with the flagged cells (row-major, same layout
+  /// as the weights) costed at a vanishing fraction of the cheapest cell:
+  /// how a cache-aware coordinator tells the planner "these cells are
+  /// free — a hit, not a measurement" while preserving the all-positive
+  /// invariant weighted partitioning relies on. `cached.size()` must be
+  /// `space().num_points()`.
+  CellCostModel WithDiscountedCells(const std::vector<uint8_t>& cached) const;
   double TileCost(const TileSpec& tile) const;
   double TotalCost() const { return total_; }
   const ParameterSpace& space() const { return space_; }

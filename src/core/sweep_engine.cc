@@ -9,8 +9,10 @@
 #include <cerrno>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -18,6 +20,7 @@
 
 #include "common/mutex.h"
 #include "common/trace.h"
+#include "core/cell_cache.h"
 #include "core/map_io.h"
 #include "core/sharded_sweep.h"
 #include "core/sweep_telemetry.h"
@@ -68,6 +71,15 @@ void ObserveCell(const Measurement& m, double cell_seconds) {
   t.AddCounter("io.bytes_read", m.io.bytes_read);
   t.AddCounter("io.bytes_written", m.io.bytes_written);
 }
+
+/// Set by a cache-consulting runner when the cell it just returned came
+/// from the cell-result cache rather than a measurement; consumed (and
+/// reset) by the cell loop that invoked it. A reused cell must leave every
+/// measurement-side observability untouched — `sweep.cells_measured`, the
+/// cell-latency histogram, the io.* counters, the pool-view tallies — or a
+/// warm rerun could not prove "zero cells measured" from telemetry.
+/// thread_local because parallel workers run interleaved.
+thread_local bool tl_cell_from_cache = false;
 
 /// RAII cell stopwatch shared by every cell loop: reads the wall clock at
 /// construction only when some sink is observing (an uninstrumented sweep
@@ -195,10 +207,19 @@ class ProgressTracker {
 /// across sweeps; the factory must have been built from `ctx` and is only
 /// used when the sweep does not need a differently-configured (shared-pool)
 /// one.
+///
+/// With a `cache`, each cell consults it first — a hit returns the stored
+/// measurement without touching the executor, a miss measures and
+/// publishes back — keyed under `study_name` and the sweep's own
+/// `ctx->warmup`. Order-dependent configurations bypass the cache: their
+/// cell values depend on execution history, which a content fingerprint
+/// cannot capture.
 Result<RobustnessMap> StudySweep(RunContext* ctx, const Executor& executor,
                                  const std::vector<PlanKind>& plans,
                                  const ParameterSpace& space,
                                  const SweepOptions& opts,
+                                 const char* study_name,
+                                 CellResultCache* cache,
                                  RunContextFactory* shared_factory = nullptr) {
   std::vector<Executor::PreparedPlan> prepared;
   std::vector<std::string> labels;
@@ -211,20 +232,63 @@ Result<RobustnessMap> StudySweep(RunContext* ctx, const Executor& executor,
     prepared.push_back(std::move(p).value());
   }
   const int64_t domain = executor.db().domain;
+  const size_t points = space.num_points();
   std::vector<QuerySpec> queries;
-  queries.reserve(space.num_points());
-  for (size_t pt = 0; pt < space.num_points(); ++pt) {
+  queries.reserve(points);
+  for (size_t pt = 0; pt < points; ++pt) {
     queries.push_back(
         MakeStudyQuery(space.x_value(pt), space.y_value(pt), domain));
   }
+  if (cache != nullptr &&
+      (ctx->warmup.is_order_dependent() || opts.shared_pool != nullptr ||
+       opts.deterministic_shared_schedule)) {
+    cache = nullptr;
+  }
+  std::vector<uint64_t> fps;  // [plan * points + point]
+  if (cache != nullptr) {
+    const uint64_t env = EnvironmentFingerprint(*ctx, domain);
+    const std::string warmup_spec = ctx->warmup.ToSpec();
+    fps.reserve(plans.size() * points);
+    for (const std::string& label : labels) {
+      for (size_t pt = 0; pt < points; ++pt) {
+        fps.push_back(CellFingerprint(env, study_name, warmup_spec, label,
+                                      space.x_value(pt), space.y_value(pt)));
+      }
+    }
+  }
+  // A hit marks the cell reused (the loops keep it out of every
+  // measurement-side sink) and counts under the cache.* namespace.
+  const auto lookup = [&](size_t plan, size_t point,
+                          Measurement* out) -> bool {
+    if (cache == nullptr) return false;
+    if (!cache->Lookup(fps[plan * points + point], out)) {
+      SweepTelemetry::Get().AddCounter("cache.misses", 1);
+      return false;
+    }
+    SweepTelemetry::Get().AddCounter("cache.hits", 1);
+    SweepTelemetry::Get().AddCounter("sweep.cells_reused", 1);
+    tl_cell_from_cache = true;
+    return true;
+  };
+  const auto publish = [&](size_t plan, size_t point, const Measurement& m) {
+    if (cache == nullptr) return;
+    if (cache->Publish(fps[plan * points + point], study_name, m)) {
+      SweepTelemetry::Get().AddCounter("cache.publishes", 1);
+    }
+  };
   if (ResolveParallelism(opts.num_threads) <= 1 &&
       opts.shared_pool == nullptr && !opts.deterministic_shared_schedule) {
     PoolViewObserver pool_view(ctx->pool, 0);
     return SweepEngine::RunCellsIndexed(
         space, labels,
         [&](size_t plan, size_t point) -> Result<Measurement> {
+          Measurement hit;
+          if (lookup(plan, point, &hit)) return hit;
           auto m = executor.Run(ctx, prepared[plan], queries[point]);
-          if (m.ok()) pool_view.CellDone();
+          if (m.ok()) {
+            pool_view.CellDone();
+            publish(plan, point, m.value());
+          }
           return m;
         },
         opts);
@@ -245,7 +309,11 @@ Result<RobustnessMap> StudySweep(RunContext* ctx, const Executor& executor,
       space, labels, *factory,
       [&](RunContext* worker_ctx, size_t plan,
           size_t point) -> Result<Measurement> {
-        return executor.Run(worker_ctx, prepared[plan], queries[point]);
+        Measurement hit;
+        if (lookup(plan, point, &hit)) return hit;
+        auto m = executor.Run(worker_ctx, prepared[plan], queries[point]);
+        if (m.ok()) publish(plan, point, m.value());
+        return m;
       },
       opts);
 }
@@ -261,7 +329,8 @@ Result<RobustnessMap> StudySweep(RunContext* ctx, const Executor& executor,
 Result<std::vector<RobustnessMap>> WarmColdLayers(
     RunContext* ctx, const Executor& executor,
     const std::vector<PlanKind>& plans, const ParameterSpace& space,
-    const WarmupPolicy& warm_policy, const SweepOptions& opts) {
+    const WarmupPolicy& warm_policy, const SweepOptions& opts,
+    CellResultCache* cache) {
   const WarmupPolicy saved = ctx->warmup;
 
   // One machine factory for both halves: the warm half's parallel workers
@@ -277,7 +346,13 @@ Result<std::vector<RobustnessMap>> WarmColdLayers(
   ctx->warmup = WarmupPolicy::Cold();
   SweepOptions cold_opts = opts;
   cold_opts.shared_pool = nullptr;
-  auto cold = StudySweep(ctx, executor, plans, space, cold_opts, &factory);
+  // Both halves fingerprint under the study's name; the halves stay
+  // distinct because each sweeps under its own warmup spec (and when the
+  // warm policy *is* cold, the halves are genuinely the same cells — the
+  // warm half then rides entirely on the cold half's published entries).
+  auto cold = StudySweep(ctx, executor, plans, space, cold_opts,
+                         StudyKindName(StudyKind::kWarmColdDelta), cache,
+                         &factory);
   if (!cold.ok()) {
     ctx->warmup = saved;
     return cold.status();
@@ -303,7 +378,9 @@ Result<std::vector<RobustnessMap>> WarmColdLayers(
     ctx->pool->Clear();
     if (warm_opts.shared_pool != nullptr) warm_opts.shared_pool->Clear();
   }
-  auto warm = StudySweep(ctx, executor, plans, space, warm_opts, &factory);
+  auto warm = StudySweep(ctx, executor, plans, space, warm_opts,
+                         StudyKindName(StudyKind::kWarmColdDelta), cache,
+                         &factory);
   ctx->warmup = saved;
   if (!warm.ok()) return warm.status();
 
@@ -452,6 +529,122 @@ std::pair<TileSpec, TileSpec> SplitTileAtCostMidpoint(
   return {a, b};
 }
 
+/// The sharded coordinator's planning-time view of the cell cache: the
+/// fingerprint of every (stored layer, plan, point) of the study. Stored
+/// layers are what tiles persist directly from measurements — the plain
+/// map's one sweep, or the warm-cold study's cold and warm halves; the
+/// delta layer is derived at merge time and never cached.
+class ShardCacheView {
+ public:
+  ShardCacheView(CellResultCache* cache, const RunContext& ctx,
+                 int64_t domain, const SweepRequest& req,
+                 const std::vector<std::string>& labels)
+      : cache_(cache), space_(req.space), num_plans_(labels.size()) {
+    const uint64_t env = EnvironmentFingerprint(ctx, domain);
+    const char* study = StudyKindName(req.study);
+    specs_ = req.study == StudyKind::kWarmColdDelta
+                 ? std::vector<std::string>{WarmupPolicy::Cold().ToSpec(),
+                                            req.warm_policy.ToSpec()}
+                 : std::vector<std::string>{ctx.warmup.ToSpec()};
+    fps_.reserve(specs_.size() * num_plans_ * space_.num_points());
+    for (const std::string& spec : specs_) {
+      for (const std::string& label : labels) {
+        for (size_t pt = 0; pt < space_.num_points(); ++pt) {
+          fps_.push_back(CellFingerprint(env, study, spec, label,
+                                         space_.x_value(pt),
+                                         space_.y_value(pt)));
+        }
+      }
+    }
+  }
+
+  size_t num_layers() const { return specs_.size(); }
+  CellResultCache* cache() const { return cache_; }
+
+  uint64_t fp(size_t layer, size_t plan, size_t pt) const {
+    return fps_[(layer * num_plans_ + plan) * space_.num_points() + pt];
+  }
+
+  /// True when every stored layer of every plan is cached at `pt`.
+  bool PointCached(size_t pt) const {
+    for (size_t layer = 0; layer < specs_.size(); ++layer) {
+      for (size_t plan = 0; plan < num_plans_; ++plan) {
+        if (!cache_->Contains(fp(layer, plan, pt))) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Row-major per-point flags for `CellCostModel::WithDiscountedCells`.
+  std::vector<uint8_t> CachedFlags() const {
+    std::vector<uint8_t> flags(space_.num_points());
+    for (size_t pt = 0; pt < flags.size(); ++pt) {
+      flags[pt] = PointCached(pt) ? 1 : 0;
+    }
+    return flags;
+  }
+
+  static bool TileCached(const TileSpec& t, const ParameterSpace& space,
+                         const std::vector<uint8_t>& flags) {
+    for (size_t yi = t.y_begin; yi < t.y_end; ++yi) {
+      for (size_t xi = t.x_begin; xi < t.x_end; ++xi) {
+        if (!flags[space.IndexOf(xi, yi)]) return false;
+      }
+    }
+    return t.num_points() > 0;
+  }
+
+ private:
+  CellResultCache* cache_;
+  const ParameterSpace& space_;
+  const size_t num_plans_;
+  std::vector<std::string> specs_;  ///< warmup spec per stored layer
+  std::vector<uint64_t> fps_;       ///< [layer][plan][point], row-major
+};
+
+/// Builds the tile a worker would have computed for a fully-cached
+/// rectangle straight from the cache: per-layer cell copies, the derived
+/// delta for a warm-cold study, wall_seconds 0 (nothing was measured —
+/// the same stamp merged artifacts carry). Byte-equivalence holds because
+/// hits return the exact Measurement a fresh run would have produced.
+Result<MapTile> MaterializeCachedTile(const ShardCacheView& view,
+                                      const SweepRequest& req,
+                                      const std::vector<std::string>& labels,
+                                      const TileSpec& t) {
+  auto sub = SliceSpace(req.space, t);
+  RM_RETURN_IF_ERROR(sub.status());
+  std::vector<RobustnessMap> layers;
+  for (size_t layer = 0; layer < view.num_layers(); ++layer) {
+    RobustnessMap map(sub.value(), labels);
+    for (size_t plan = 0; plan < labels.size(); ++plan) {
+      for (size_t syi = 0; syi < sub.value().y_size(); ++syi) {
+        for (size_t sxi = 0; sxi < sub.value().x_size(); ++sxi) {
+          const size_t parent_pt =
+              req.space.IndexOf(t.x_begin + sxi, t.y_begin + syi);
+          Measurement m;
+          if (!view.cache()->Lookup(view.fp(layer, plan, parent_pt), &m)) {
+            return Status::Internal(
+                "cell vanished from the cache while planning tile " +
+                std::to_string(t.shard_id));
+          }
+          map.Set(plan, sub.value().IndexOf(sxi, syi), std::move(m));
+        }
+      }
+    }
+    layers.push_back(std::move(map));
+  }
+  if (req.study == StudyKind::kWarmColdDelta) {
+    auto delta = DiffMaps(layers[1], layers[0]);
+    RM_RETURN_IF_ERROR(delta.status());
+    layers.push_back(std::move(delta).value());
+  }
+  MapTile out{t, req.space, std::move(layers.front()), 0.0};
+  out.layer_names = StudyLayerNames(req.study);
+  out.extra_layers.assign(std::make_move_iterator(layers.begin() + 1),
+                          std::make_move_iterator(layers.end()));
+  return out;
+}
+
 /// The sharded-process backend: partitions the grid with `ShardPlanner`
 /// under the request's cost model, skips tiles already valid on disk
 /// (unless resume is off), computes the rest through a pull-based work
@@ -489,6 +682,21 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
   TraceSpan coordinator_span("shard.coordinator", "shard");
   std::unique_ptr<TraceSpan> phase_span =
       std::make_unique<TraceSpan>("shard.plan", "shard");
+
+  std::vector<std::string> labels;
+  labels.reserve(req.plans.size());
+  for (PlanKind k : req.plans) labels.push_back(PlanKindLabel(k));
+
+  // The cache view, computed once at planning time: it discounts cached
+  // cells in the cost model below, skips dispatching fully-cached tiles,
+  // and keys the post-merge publish of every measured cell.
+  std::optional<ShardCacheView> cache_view;
+  std::vector<uint8_t> cached_flags;
+  if (req.cell_cache != nullptr) {
+    cache_view.emplace(req.cell_cache, *ctx, executor.db().domain, req,
+                       labels);
+    cached_flags = cache_view->CachedFlags();
+  }
   // The scheduling model. Measured mode scans the checkpoint directory
   // *before* anything is recomputed, so the partition reflects what the
   // previous run's tiles actually cost; with no usable timings it degrades
@@ -510,6 +718,13 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
     return Status::InvalidArgument("unknown cost model kind");
   }();
   RM_RETURN_IF_ERROR(model.status());
+  if (cache_view.has_value()) {
+    // Cached cells are hits, not measurements: costed at a vanishing
+    // epsilon, the weighted partition cuts its tiles around the cells that
+    // still need measuring (uniform mode partitions by area regardless,
+    // as it always did).
+    model = model.value().WithDiscountedCells(cached_flags);
+  }
   std::map<std::string, MapTile> preloaded;
   for (auto& [path, tile] : prescanned) {
     preloaded.emplace(path, std::move(tile));
@@ -521,10 +736,6 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
                                                      model.value());
   RM_RETURN_IF_ERROR(tiles.status());
   RM_RETURN_IF_ERROR(EnsureDirectory(opts.tile_dir));
-
-  std::vector<std::string> labels;
-  labels.reserve(req.plans.size());
-  for (PlanKind k : req.plans) labels.push_back(PlanKindLabel(k));
 
   // Synthetic shard ids — straggler pieces and coverage remainders below —
   // must collide neither with a planned id nor with any tile file already
@@ -591,6 +802,30 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
       continue;
     }
     std::remove(TileErrFileName(path).c_str());
+    // A tile whose every cell is already cached never reaches a worker:
+    // its layers are materialized from the cache right here. Nothing is
+    // written to disk — the point of skipping is to touch nothing.
+    if (cache_view.has_value() &&
+        ShardCacheView::TileCached(t, space, cached_flags)) {
+      auto mem = MaterializeCachedTile(*cache_view, req, labels, t);
+      RM_RETURN_IF_ERROR(mem.status());
+      loaded.push_back(std::move(mem).value());
+      SweepTelemetry::Get().AddCounter("shard.tiles_from_cache", 1);
+      // The per-cell hit counters the lookup path would have bumped had
+      // the tile been dispatched — a warm rerun's telemetry shows
+      // cache.hits == cells either way. Stored layers only: a warm-cold
+      // delta is derived, not looked up.
+      const size_t tile_cells =
+          cache_view->num_layers() * labels.size() * t.x_size() * t.y_size();
+      SweepTelemetry::Get().AddCounter("cache.hits", tile_cells);
+      SweepTelemetry::Get().AddCounter("sweep.cells_reused", tile_cells);
+      if (opts.verbose) {
+        std::fprintf(stderr,
+                     "  shard: tile %zu fully cached, not dispatched\n",
+                     t.shard_id);
+      }
+      continue;
+    }
     std::vector<TileSpec> remainders{t};
     bool adopted_any = false;
     if (opts.resume) {
@@ -719,6 +954,17 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
   phase_span = std::make_unique<TraceSpan>("shard.dispatch", "shard");
   std::fflush(stdout);
   std::fflush(stderr);
+  // Exec-mode workers can only see the cache through its file, so
+  // everything this coordinator holds must hit the disk before the first
+  // worker starts; fork-mode workers inherit the in-memory cache for
+  // free. A failed flush degrades reuse, never the sweep.
+  if (!todo.empty() && !opts.worker_command.empty() &&
+      req.cell_cache != nullptr && req.cell_cache->attached()) {
+    if (Status s = req.cell_cache->WriteCellCacheFile(); !s.ok()) {
+      std::fprintf(stderr, "  shard: cell cache flush: %s\n",
+                   s.ToString().c_str());
+    }
+  }
   // Workers report their observability through per-tile sidecar files next
   // to the tile itself; the coordinator folds each one in at reap time.
   const auto trace_sidecar = [](const std::string& tile_path) {
@@ -774,6 +1020,20 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
             args.push_back("--warmup=" + flag_policy.ToSpec());
           }
           args.push_back("--out=" + path);
+          // A persistent cache rides along read-only (the coordinator
+          // flushed it before dispatch); workers publish only in memory
+          // and the coordinator re-publishes the merged cells itself.
+          if (req.cell_cache != nullptr && req.cell_cache->attached()) {
+            const std::string& cache_file = req.cell_cache->path();
+            args.push_back("--cache-dir=" +
+                           cache_file.substr(0, cache_file.rfind('/')));
+          }
+          // Progressive coarse levels sweep a sublattice; the worker must
+          // subsample its reconstructed grid the same way before slicing.
+          if (opts.lattice_stride > 1) {
+            args.push_back("--stride=" +
+                           std::to_string(opts.lattice_stride));
+          }
           // Observability rides along only when the coordinator itself is
           // collecting: the worker traces against the coordinator's epoch
           // into per-tile sidecars merged at reap time.
@@ -805,7 +1065,7 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
         if (SweepTelemetry::Get().enabled()) SweepTelemetry::Get().Reset();
         Status s = ComputeAndWriteTile(ctx, executor, req.plans, space, t,
                                        path, worker_opts, req.study,
-                                       req.warm_policy);
+                                       req.warm_policy, req.cell_cache);
         if (!s.ok()) {
           WriteTileErrFile(path, s);
           ::_exit(1);
@@ -948,6 +1208,28 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
   SweepTelemetry::Get().AddCounter("shard.tiles_merged", loaded.size());
   auto merged = MergeTileLayers(space, labels, loaded);
   RM_RETURN_IF_ERROR(merged.status());
+  // Every merged cell goes back into the cache — whatever process measured
+  // it (workers publish into their own address spaces, which the parent
+  // never sees). Insert-if-absent: re-publishing cells the cache already
+  // holds keeps a clean cache clean.
+  if (cache_view.has_value()) {
+    uint64_t published = 0;
+    for (size_t layer = 0; layer < cache_view->num_layers(); ++layer) {
+      const RobustnessMap& merged_layer = merged.value()[layer];
+      for (size_t plan = 0; plan < labels.size(); ++plan) {
+        for (size_t pt = 0; pt < space.num_points(); ++pt) {
+          if (req.cell_cache->Publish(cache_view->fp(layer, plan, pt),
+                                      StudyKindName(req.study),
+                                      merged_layer.At(plan, pt))) {
+            ++published;
+          }
+        }
+      }
+    }
+    if (published > 0) {
+      SweepTelemetry::Get().AddCounter("cache.publishes", published);
+    }
+  }
   phase_span.reset();
   if (merged.value().size() != StudyLayerCount(req.study)) {
     return Status::Internal("merged " + std::to_string(merged.value().size()) +
@@ -959,6 +1241,109 @@ Result<SweepOutcome> RunShardedStudy(RunContext* ctx,
   out.study = req.study;
   out.layers = std::move(merged).value();
   out.sharded_stats = std::move(local);
+  return out;
+}
+
+/// Nearest-neighbor upsample of one coarse-lattice layer onto the full
+/// grid: every full-grid cell shows the measurement of its nearest lattice
+/// point (ties round down). Snapshot presentation only — refined levels
+/// overwrite it with real measurements.
+RobustnessMap UpsampleNearest(const RobustnessMap& coarse,
+                              const ParameterSpace& full, size_t stride) {
+  const ParameterSpace& lattice = coarse.space();
+  RobustnessMap out(full, coarse.plan_labels());
+  for (size_t plan = 0; plan < coarse.num_plans(); ++plan) {
+    for (size_t yi = 0; yi < full.y_size(); ++yi) {
+      const size_t lyi =
+          full.is_2d()
+              ? std::min((yi + stride / 2) / stride, lattice.y_size() - 1)
+              : 0;
+      for (size_t xi = 0; xi < full.x_size(); ++xi) {
+        const size_t lxi =
+            std::min((xi + stride / 2) / stride, lattice.x_size() - 1);
+        out.Set(plan, full.IndexOf(xi, yi), coarse.AtXY(plan, lxi, lyi));
+      }
+    }
+  }
+  return out;
+}
+
+/// The coarse-to-fine driver: one ordinary sweep per refinement level,
+/// coarsest lattice first, all levels sharing one cell cache so a cell is
+/// measured the first time some level's lattice lands on it and reused by
+/// every later level. The final level sweeps the full grid, so its layers
+/// are byte-identical to a direct sweep's — earlier levels only changed
+/// *when* cells were measured, never what.
+Result<SweepOutcome> RunProgressive(RunContext* ctx, const Executor& executor,
+                                    const SweepRequest& req) {
+  if (ctx->warmup.is_order_dependent() ||
+      (req.study == StudyKind::kWarmColdDelta &&
+       req.warm_policy.is_order_dependent())) {
+    return Status::InvalidArgument(
+        "progressive sweeps require an order-independent warmup policy; "
+        "coarse-level reuse replays cells out of sweep order");
+  }
+  if (req.sweep.shared_pool != nullptr ||
+      req.sweep.deterministic_shared_schedule) {
+    return Status::InvalidArgument(
+        "progressive sweeps cannot reuse cells under a shared pool or a "
+        "deterministic shared schedule, whose cell values depend on "
+        "execution order");
+  }
+  // Reuse across levels needs a cache; when the caller brought none, a
+  // sweep-lifetime in-memory one serves.
+  CellResultCache local_cache;
+  CellResultCache* cache =
+      req.cell_cache != nullptr ? req.cell_cache : &local_cache;
+
+  const bool observing = Observing();
+  const int64_t start_ns = observing ? MonotonicNowNs() : 0;
+  bool first_snapshot_pending = true;
+
+  std::vector<size_t> strides;
+  for (size_t s = req.progressive.initial_stride; s > 1; s /= 2) {
+    strides.push_back(s);
+  }
+  strides.push_back(1);
+
+  Result<SweepOutcome> out =
+      Status::Internal("progressive sweep ran no levels");
+  for (size_t stride : strides) {
+    SweepRequest level = req;
+    level.progressive = ProgressiveOptions{};
+    level.cell_cache = cache;
+    level.space = SubsampleSpace(req.space, stride);
+    level.sharded.lattice_stride = stride;
+    if (req.backend == BackendKind::kShardedProcess && stride > 1) {
+      // Coarse-level checkpoints live one subdirectory per level, so each
+      // level's resume scan sees only its own lattice's tiles; the final
+      // level writes into the caller's tile_dir exactly as a direct
+      // sharded sweep would.
+      level.sharded.tile_dir =
+          req.sharded.tile_dir + "/level_" + std::to_string(stride);
+    }
+    out = SweepEngine::Run(ctx, executor, level);
+    RM_RETURN_IF_ERROR(out.status());
+    SweepTelemetry::Get().AddCounter("sweep.progressive_levels", 1);
+    if (req.progressive.on_snapshot) {
+      if (stride == 1) {
+        req.progressive.on_snapshot(1, out.value().layers);
+      } else {
+        std::vector<RobustnessMap> filled;
+        filled.reserve(out.value().layers.size());
+        for (const RobustnessMap& layer : out.value().layers) {
+          filled.push_back(UpsampleNearest(layer, req.space, stride));
+        }
+        req.progressive.on_snapshot(stride, filled);
+      }
+    }
+    if (observing && first_snapshot_pending) {
+      first_snapshot_pending = false;
+      SweepTelemetry::Get().RecordLatency(
+          "sweep.seconds_to_first_snapshot",
+          static_cast<double>(MonotonicNowNs() - start_ns) * 1e-9);
+    }
+  }
   return out;
 }
 
@@ -1039,7 +1424,9 @@ Result<RobustnessMap> SweepEngine::RunCellsIndexed(
       CellTimer timer(observing);
       auto m = runner(plan, point);
       RM_RETURN_IF_ERROR(m.status());
-      timer.Observe(m.value());
+      if (!std::exchange(tl_cell_from_cache, false)) {
+        timer.Observe(m.value());
+      }
       map.Set(plan, point, std::move(m).value());
       tracker.CellDone(plan);
     }
@@ -1098,8 +1485,10 @@ Result<RobustnessMap> SweepEngine::RunCellsParallelIndexed(
             loop_status = m.status();
             break;
           }
-          timer.Observe(m.value());
-          if (observing) pool_view.CellDone();
+          if (!std::exchange(tl_cell_from_cache, false)) {
+            timer.Observe(m.value());
+            if (observing) pool_view.CellDone();
+          }
           map.Set(plan, point, std::move(m).value());
           tracker.CellDone(plan);
         }
@@ -1201,8 +1590,10 @@ Result<RobustnessMap> SweepEngine::RunCellsParallelIndexed(
             record_error(cell, m.status());
             continue;
           }
-          timer.Observe(m.value());
-          if (observing) pool_view.CellDone();
+          if (!std::exchange(tl_cell_from_cache, false)) {
+            timer.Observe(m.value());
+            if (observing) pool_view.CellDone();
+          }
           map.Set(plan, point, std::move(m).value());
           tracker.CellDone(plan);
         }
@@ -1232,6 +1623,9 @@ Result<RobustnessMap> SweepEngine::RunCellsParallelIndexed(
 Result<SweepOutcome> SweepEngine::Run(RunContext* ctx,
                                       const Executor& executor,
                                       const SweepRequest& req) {
+  if (req.progressive.enabled()) {
+    return RunProgressive(ctx, executor, req);
+  }
   if (req.backend == BackendKind::kShardedProcess) {
     return RunShardedStudy(ctx, executor, req);
   }
@@ -1241,14 +1635,15 @@ Result<SweepOutcome> SweepEngine::Run(RunContext* ctx,
   out.study = req.study;
   switch (req.study) {
     case StudyKind::kPlainMap: {
-      auto map = StudySweep(ctx, executor, req.plans, req.space, opts);
+      auto map = StudySweep(ctx, executor, req.plans, req.space, opts,
+                            StudyKindName(req.study), req.cell_cache);
       RM_RETURN_IF_ERROR(map.status());
       out.layers.push_back(std::move(map).value());
       return out;
     }
     case StudyKind::kWarmColdDelta: {
       auto layers = WarmColdLayers(ctx, executor, req.plans, req.space,
-                                   req.warm_policy, opts);
+                                   req.warm_policy, opts, req.cell_cache);
       RM_RETURN_IF_ERROR(layers.status());
       out.layers = std::move(layers).value();
       return out;

@@ -14,6 +14,8 @@
 
 namespace robustmap {
 
+class CellResultCache;
+
 /// The *study* axis of a sweep: what is measured at every grid cell, and
 /// how many output maps ("layers") the sweep therefore produces. Studies
 /// compose orthogonally with every `BackendKind` — the §3.2 buffer-contents
@@ -117,6 +119,39 @@ struct ShardedSweepOptions {
   /// finds covering a planned tile and recomputes only the uncovered
   /// remainder.
   bool split_stragglers = true;
+
+  /// Internal to progressive sweeps: the request's `space` is the stride-k
+  /// sublattice of the grid the worker flags describe (see
+  /// `SubsampleSpace`). Forwarded to exec-mode workers as "--stride=<k>"
+  /// so worker and coordinator slice rectangles from the same lattice;
+  /// 1 for ordinary sweeps. Set by `SweepEngine::Run`'s progressive
+  /// driver, not by callers.
+  size_t lattice_stride = 1;
+};
+
+/// Coarse-to-fine refinement for a sweep: measure the stride-k sublattice
+/// of the grid first, surface it as a nearest-neighbor-filled snapshot,
+/// then halve the stride and repeat until stride 1 — every level reusing
+/// all previously measured cells through the request's cell cache (or a
+/// per-run in-memory one), so a progressive sweep measures each grid cell
+/// exactly once and its final layers are byte-identical to a direct
+/// sweep's. Requires an order-independent configuration (no prior-run
+/// warmth, no shared pool): reuse makes cell order unobservable only when
+/// cells are independent.
+struct ProgressiveOptions {
+  /// Lattice stride of the first (coarsest) level; successive levels halve
+  /// it until 1, the full grid. 0 or 1 = not a progressive sweep.
+  size_t initial_stride = 0;
+
+  /// Called after each level with that level's stride and full-grid
+  /// layers: coarse levels are nearest-neighbor upsampled to grid size
+  /// (every cell shows its nearest measured lattice point), the final
+  /// stride-1 level is the exact result. Use it to write per-level `.rmt`
+  /// snapshots a viewer can tail.
+  std::function<void(size_t stride, const std::vector<RobustnessMap>& layers)>
+      on_snapshot;
+
+  bool enabled() const { return initial_stride > 1; }
 };
 
 /// What a sharded sweep did, for self-checks, resume tests, and the
@@ -178,6 +213,20 @@ struct SweepRequest {
   /// Sharded-process backend configuration (ignored by the in-process
   /// backends).
   ShardedSweepOptions sharded;
+
+  /// Optional content-addressed cell-result cache ("never measure a cell
+  /// twice"). Non-null: cells whose fingerprint is already stored skip
+  /// `Executor::Run` entirely and publish nothing to the measurement
+  /// telemetry (`sweep.cells_measured` counts real measurements only);
+  /// missed cells are measured and published back. Ignored — the sweep
+  /// measures everything, as without a cache — for order-dependent
+  /// configurations (prior-run warmth, shared pool, deterministic shared
+  /// schedule), whose cell values are not a pure function of the cell.
+  /// The caller owns the cache and decides when to flush it.
+  CellResultCache* cell_cache = nullptr;
+
+  /// Coarse-to-fine refinement schedule; disabled by default.
+  ProgressiveOptions progressive;
 };
 
 /// The maps a sweep produced: `StudyLayerCount(study)` layers, in study

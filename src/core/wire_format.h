@@ -1,0 +1,153 @@
+#ifndef ROBUSTMAP_CORE_WIRE_FORMAT_H_
+#define ROBUSTMAP_CORE_WIRE_FORMAT_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "engine/executor.h"
+
+namespace robustmap {
+namespace wire {
+
+/// The byte-level vocabulary shared by every binary artifact the repo
+/// writes (map tiles, the cell-result cache): little-endian integers,
+/// IEEE-754 bit-pattern doubles, length-prefixed strings, and an FNV-1a 64
+/// trailer — fully deterministic, so equal data serializes to equal bytes
+/// (the CI byte-for-byte diffs rest on this). Extracted from map_io.cc so
+/// a second format cannot drift from the first by re-implementing it.
+
+inline uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// ---- little-endian encoding into a growing buffer ----
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutDouble(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+inline void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked sequential reader over a decoded payload. Every getter
+/// fails with `Corruption("truncated <what> ...")` rather than reading
+/// past the end, so a file whose declared counts outrun its bytes is
+/// reported the same way as one cut short by a crashed writer. `what`
+/// names the artifact in error messages ("map tile", "cell cache").
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size, const char* what)
+      : data_(data), size_(size), what_(what) {}
+
+  Status GetU32(uint32_t* v) {
+    RM_RETURN_IF_ERROR(Need(4));
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status GetU64(uint64_t* v) {
+    RM_RETURN_IF_ERROR(Need(8));
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return Status::OK();
+  }
+
+  Status GetDouble(double* v) {
+    uint64_t bits = 0;
+    RM_RETURN_IF_ERROR(GetU64(&bits));
+    *v = std::bit_cast<double>(bits);
+    return Status::OK();
+  }
+
+  Status GetString(std::string* s) {
+    uint32_t n = 0;
+    RM_RETURN_IF_ERROR(GetU32(&n));
+    RM_RETURN_IF_ERROR(Need(n));
+    s->assign(data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  Status Need(size_t n) {
+    if (size_ - pos_ < n) {
+      return Status::Corruption("truncated " + std::string(what_) +
+                                ": wanted " + std::to_string(n) +
+                                " more bytes, have " +
+                                std::to_string(size_ - pos_));
+    }
+    return Status::OK();
+  }
+
+  const char* data_;
+  size_t size_;
+  const char* what_;
+  size_t pos_ = 0;
+};
+
+/// The serialized form of one measured cell — identical in the tile format
+/// and the cell cache, so a cached measurement round-trips to the exact
+/// bytes a freshly measured one would have produced.
+inline void PutMeasurement(std::string* out, const Measurement& m) {
+  PutDouble(out, m.seconds);
+  PutU64(out, m.output_rows);
+  PutU64(out, m.io.sequential_reads);
+  PutU64(out, m.io.skip_reads);
+  PutU64(out, m.io.random_reads);
+  PutU64(out, m.io.writes);
+  PutU64(out, m.io.buffer_hits);
+  PutU64(out, m.io.bytes_read);
+  PutU64(out, m.io.bytes_written);
+  PutString(out, m.plan_label);
+}
+
+inline Status GetMeasurement(Cursor* c, Measurement* m) {
+  RM_RETURN_IF_ERROR(c->GetDouble(&m->seconds));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->output_rows));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.sequential_reads));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.skip_reads));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.random_reads));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.writes));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.buffer_hits));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.bytes_read));
+  RM_RETURN_IF_ERROR(c->GetU64(&m->io.bytes_written));
+  RM_RETURN_IF_ERROR(c->GetString(&m->plan_label));
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace robustmap
+
+#endif  // ROBUSTMAP_CORE_WIRE_FORMAT_H_

@@ -38,10 +38,13 @@ known hazard patterns from the map-producing paths under src/:
                          to run under ASLR, so the order is noise.
   unchecked-write-map-tile
                          a WriteMapTile / WriteMapTileFile / WriteMapRmt /
-                         WriteWarmColdRmt call whose Status is discarded
-                         (including `(void)` casts) — a silently failed
-                         tile write turns into a corrupt or stale map at
-                         merge time, far from the cause.
+                         WriteWarmColdRmt / WriteCellCache /
+                         WriteCellCacheFile call (free function or member)
+                         whose Status is discarded (including `(void)`
+                         casts) — a silently failed tile write turns into
+                         a corrupt or stale map at merge time, and a
+                         silently failed cache flush costs later runs
+                         their reuse, both far from the cause.
   unannotated-mutex      (a) any raw standard locking type — std::mutex,
                          std::lock_guard, std::condition_variable, ... —
                          instead of the annotated robustmap::Mutex /
@@ -117,8 +120,9 @@ POINTER_KEY_RE = re.compile(
 UNORDERED_DECL_RE = re.compile(
     r"(?:std::)?unordered_(?:multi)?(?:map|set)\s*<[^;={]*>\s+(\w+)\s*[;={(]")
 WRITE_TILE_CALL_RE = re.compile(
-    r"(?:^|[\s(])(?:\(void\)\s*)?(?:robustmap::|bench::)?"
-    r"(WriteMapTileFile|WriteMapTile|WriteMapRmt|WriteWarmColdRmt)\s*\(")
+    r"(?:^|[\s(.>])(?:\(void\)\s*)?(?:robustmap::|bench::)?"
+    r"(WriteMapTileFile|WriteMapTile|WriteMapRmt|WriteWarmColdRmt|"
+    r"WriteCellCacheFile|WriteCellCache)\s*\(")
 # A checked call: the Status participates in a declaration, assignment,
 # return, macro, comparison, or member call on the temporary — or is passed
 # straight into another function (`WarnArtifact(WriteMapRmt(...), ...)`),
@@ -407,6 +411,7 @@ def selftest():
         "bad_unordered_iteration.cc": "unordered-iteration",
         "bad_pointer_keyed_order.cc": "pointer-keyed-order",
         "bad_unchecked_write_map_tile.cc": "unchecked-write-map-tile",
+        "bad_unchecked_write_cell_cache.cc": "unchecked-write-map-tile",
         "bad_raw_mutex.cc": "unannotated-mutex",
         "bad_unguarded_mutex_member.cc": "unannotated-mutex",
     }

@@ -1,0 +1,19 @@
+// Seeded violations for the unchecked-write-map-tile rule, cell-cache
+// flavor: WriteCellCache-family calls — member or free — whose Status is
+// dropped. A failed flush silently costs every later run its reuse; the
+// lint makes the drop loud at the call site instead.
+
+#include "core/cell_cache.h"
+
+namespace robustmap {
+
+void FlushWithoutChecking(CellResultCache* cache,
+                          const CellCacheData& data) {
+  cache->WriteCellCacheFile();  // member call, Status dropped
+
+  (void)cache->WriteCellCacheFile();  // (void) does not count as checking
+
+  WriteCellCacheFile("/tmp/cells.rmc", data);  // free function, dropped
+}
+
+}  // namespace robustmap
